@@ -1,0 +1,34 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples verify clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro experiment table2
+	$(PYTHON) -m repro experiment fig4
+	$(PYTHON) -m repro experiment fig5
+	$(PYTHON) -m repro experiment fig6
+	$(PYTHON) -m repro experiment fig7
+	$(PYTHON) -m repro experiment fig8
+	$(PYTHON) -m repro experiment fig9
+
+examples:
+	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
+
+verify:
+	$(PYTHON) -m repro verify chess --samples 1000
+	$(PYTHON) -m repro verify enron --samples 500
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

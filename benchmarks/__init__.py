@@ -1,0 +1,5 @@
+"""Benchmark suite regenerating every table and figure of the paper.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Module ↔ artefact
+mapping lives in DESIGN.md's per-experiment index.
+"""

@@ -1,0 +1,41 @@
+"""Ablation A1 — vertex-ordering strategies (DESIGN.md).
+
+Builds the index under each ordering strategy on a mid-size dataset,
+recording build time and index size.  Expected: the paper's
+degree-product order produces the smallest index; random/identity
+inflate it.
+"""
+
+import pytest
+
+from repro import TILLIndex
+from repro.core.ordering import ORDERINGS
+
+from benchmarks.conftest import get_graph
+
+DATASET = "enron"
+
+
+@pytest.mark.parametrize("strategy", sorted(ORDERINGS))
+def test_build_under_ordering(benchmark, strategy):
+    graph = get_graph(DATASET)
+
+    def build():
+        return TILLIndex.build(graph, ordering=strategy)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["dataset"] = DATASET
+    benchmark.extra_info["ordering"] = strategy
+    benchmark.extra_info["entries"] = index.labels.total_entries()
+
+
+def test_degree_product_is_smallest():
+    """Validity check for the paper's Section IV-A design choice."""
+    graph = get_graph(DATASET)
+    sizes = {
+        strategy: TILLIndex.build(graph, ordering=strategy)
+        .labels.total_entries()
+        for strategy in ("degree-product", "random", "identity")
+    }
+    assert sizes["degree-product"] <= sizes["random"]
+    assert sizes["degree-product"] <= sizes["identity"]

@@ -1,0 +1,91 @@
+"""Extension A3 — streaming maintenance cost (DESIGN.md).
+
+Times the ingest of an edge stream under the incremental delta-buffer
+index versus the rebuild-per-edge policy, plus the query paths on a
+dirty (delta-carrying) index.  Expected: incremental ingest orders of
+magnitude cheaper than rebuild-per-edge; dirty queries slower than
+clean indexed queries but far below a full rebuild.
+"""
+
+import random
+
+import pytest
+
+from repro import TILLIndex, TemporalGraph
+from repro.core.incremental import IncrementalTILLIndex
+
+from benchmarks.conftest import get_graph
+
+DATASET = "chess"
+STREAM = 100
+
+
+def _split(graph, num_stream, seed=0):
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    rng.shuffle(edges)
+    base = TemporalGraph(directed=graph.directed)
+    for label in graph.vertices():
+        base.add_vertex(label)
+    for u, v, t in edges[:-num_stream]:
+        base.add_edge(u, v, t)
+    return base.freeze(), edges[-num_stream:]
+
+
+def test_incremental_ingest(benchmark):
+    graph = get_graph(DATASET)
+    base, stream = _split(graph, STREAM)
+
+    def ingest():
+        inc = IncrementalTILLIndex(base, rebuild_threshold=64)
+        for u, v, t in stream:
+            inc.add_edge(u, v, t)
+        return inc.rebuilds
+
+    rebuilds = benchmark.pedantic(ingest, rounds=1, iterations=1)
+    benchmark.extra_info["stream_edges"] = STREAM
+    benchmark.extra_info["rebuilds"] = rebuilds
+
+
+def test_rebuild_per_edge_ingest(benchmark):
+    graph = get_graph(DATASET)
+    base, stream = _split(graph, STREAM)
+    # Time a representative slice (full replay would dominate the suite).
+    slice_size = 10
+
+    def ingest():
+        mirror = base.copy(freeze=False)
+        for u, v, t in stream[:slice_size]:
+            mirror.add_edge(u, v, t)
+            TILLIndex.build(mirror.copy())
+
+    benchmark.pedantic(ingest, rounds=1, iterations=1)
+    benchmark.extra_info["stream_edges"] = slice_size
+    benchmark.extra_info["note"] = "per-edge full rebuilds, 10-edge slice"
+
+
+def test_dirty_query_latency(benchmark):
+    graph = get_graph(DATASET)
+    base, stream = _split(graph, STREAM)
+    inc = IncrementalTILLIndex(base, rebuild_threshold=10_000)  # never fold
+    for u, v, t in stream:
+        inc.add_edge(u, v, t)
+    rng = random.Random(1)
+    labels = list(graph.vertices())
+    lo, hi = graph.min_time, graph.max_time
+    queries = []
+    for _ in range(50):
+        qu, qv = rng.sample(labels, 2)
+        a, b = rng.randint(lo, hi), rng.randint(lo, hi)
+        queries.append((qu, qv, (min(a, b), max(a, b))))
+
+    def run():
+        hits = 0
+        for qu, qv, window in queries:
+            if inc.span_reachable(qu, qv, window):
+                hits += 1
+        return hits
+
+    hits = benchmark(run)
+    benchmark.extra_info["delta_edges"] = inc.delta_size
+    benchmark.extra_info["positive"] = hits

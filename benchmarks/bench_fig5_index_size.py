@@ -1,0 +1,31 @@
+"""Figure 5 — index size vs dataset size.
+
+The timed body is the size computation itself (cheap); the artefact is
+the ``extra_info`` of every run: graph bytes, index bytes, entry count
+and their ratio, which should stay O(1) across the corpus and dip
+below ~3 on the larger graphs (the paper reports index < graph on
+Flickr).
+"""
+
+import pytest
+
+from repro.experiments.harness import graph_size_bytes
+
+from benchmarks.conftest import LADDER, get_graph, get_index
+
+
+@pytest.mark.parametrize("dataset", LADDER)
+def test_index_size(benchmark, dataset):
+    graph = get_graph(dataset)
+    index = get_index(dataset)
+
+    def measure():
+        return index.labels.estimated_bytes()
+
+    index_bytes = benchmark(measure)
+    gbytes = graph_size_bytes(graph)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["graph_bytes"] = gbytes
+    benchmark.extra_info["index_bytes"] = index_bytes
+    benchmark.extra_info["entries"] = index.labels.total_entries()
+    benchmark.extra_info["ratio"] = round(index_bytes / gbytes, 3)

@@ -1,0 +1,41 @@
+"""Figure 6 — index construction time, TILL-Construct vs TILL-Construct*.
+
+Builds are expensive, so each is timed as a single pedantic round.  The
+basic Algorithm 2 builder only runs on the two smallest datasets
+(everything larger is DNF within any sane benchmark budget — mirroring
+the paper, where TILL-Construct misses bars on large datasets); the
+optimized builder runs across the dataset ladder.
+"""
+
+import pytest
+
+from repro import TILLIndex
+
+from benchmarks.conftest import BASIC_SAFE, LADDER, get_graph
+
+
+@pytest.mark.parametrize("dataset", LADDER)
+def test_till_construct_star(benchmark, dataset):
+    graph = get_graph(dataset)
+
+    def build():
+        return TILLIndex.build(graph, method="optimized")
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["entries"] = index.labels.total_entries()
+
+
+@pytest.mark.parametrize("dataset", BASIC_SAFE)
+def test_till_construct_basic(benchmark, dataset):
+    graph = get_graph(dataset)
+
+    def build():
+        return TILLIndex.build(graph, method="basic")
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["entries"] = index.labels.total_entries()
+    benchmark.extra_info["note"] = (
+        "datasets beyond the two smallest are DNF for the basic builder"
+    )

@@ -1,0 +1,34 @@
+"""Figure 7 — construction time and index size under a varying ϑ cap.
+
+One pedantic build per (representative dataset, ratio).  Paper shape:
+both curves rise gently and flatten toward ϑ = ϑ_G; size barely moves.
+To bound total benchmark time the sweep runs on the two cheaper
+representative datasets (Enron, DBLP); the experiment module
+(`repro.experiments.fig7`) covers all four.
+"""
+
+import pytest
+
+from repro import TILLIndex
+
+from benchmarks.conftest import get_graph
+
+DATASETS = ["enron", "dblp"]
+RATIOS = [0.2, 0.6, 1.0]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("ratio", RATIOS)
+def test_build_with_vartheta(benchmark, dataset, ratio):
+    graph = get_graph(dataset)
+    cap = None if ratio >= 1.0 else max(1, int(graph.lifetime * ratio))
+
+    def build():
+        return TILLIndex.build(graph, vartheta=cap)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["vartheta_ratio"] = ratio
+    benchmark.extra_info["vartheta"] = cap if cap is not None else graph.lifetime
+    benchmark.extra_info["entries"] = index.labels.total_entries()
+    benchmark.extra_info["index_bytes"] = index.labels.estimated_bytes()

@@ -1,0 +1,36 @@
+"""Figure 8 — scalability: index construction on sampled graphs.
+
+Vertex- and edge-sampled builds at 20/60/100% on two representative
+datasets (the experiment module covers all four at five ratios).
+Paper shape: build time roughly linear in the sampling ratio.
+"""
+
+import pytest
+
+from repro import TILLIndex
+from repro.graph.sampling import sample_edges, sample_vertices
+
+from benchmarks.conftest import get_graph
+
+DATASETS = ["enron", "dblp"]
+RATIOS = [0.2, 0.6, 1.0]
+SAMPLERS = {"vertex": sample_vertices, "edge": sample_edges}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("mode", sorted(SAMPLERS))
+@pytest.mark.parametrize("ratio", RATIOS)
+def test_build_on_sample(benchmark, dataset, mode, ratio):
+    graph = get_graph(dataset)
+    sample = SAMPLERS[mode](graph, ratio, seed=0)
+
+    def build():
+        return TILLIndex.build(sample)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["ratio"] = ratio
+    benchmark.extra_info["n"] = sample.num_vertices
+    benchmark.extra_info["m"] = sample.num_edges
+    benchmark.extra_info["entries"] = index.labels.total_entries()

@@ -1,0 +1,116 @@
+"""Micro-benchmarks of the analytics extensions.
+
+Covers the features layered on top of the paper's core: minimal-window
+enumeration, witness-path extraction, certificates, connectivity
+components, and index anatomy — so their costs stay visible relative
+to the plain boolean query.
+"""
+
+import random
+
+import pytest
+
+from repro.core.explain import span_certificate
+from repro.core.intervals import Interval
+from repro.core.label_stats import index_anatomy
+from repro.core.windows import minimal_windows
+from repro.graph.components import (
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graph.paths import span_path
+
+from benchmarks.conftest import get_graph, get_index
+
+DATASET = "enron"
+
+
+def _pairs(graph, count, seed=0):
+    rng = random.Random(seed)
+    labels = list(graph.vertices())
+    return [tuple(rng.sample(labels, 2)) for _ in range(count)]
+
+
+def test_minimal_windows(benchmark):
+    graph = get_graph(DATASET)
+    index = get_index(DATASET)
+    pairs = _pairs(graph, 100)
+
+    def run():
+        total = 0
+        for u, v in pairs:
+            total += len(minimal_windows(index, u, v))
+        return total
+
+    total = benchmark(run)
+    benchmark.extra_info["pairs"] = len(pairs)
+    benchmark.extra_info["windows_found"] = total
+
+
+def test_witness_paths(benchmark):
+    graph = get_graph(DATASET)
+    pairs = _pairs(graph, 30, seed=1)
+    window = (graph.min_time, graph.max_time)
+
+    def run():
+        found = 0
+        for u, v in pairs:
+            if span_path(graph, u, v, window) is not None:
+                found += 1
+        return found
+
+    found = benchmark(run)
+    benchmark.extra_info["paths_found"] = found
+
+
+def test_certificates(benchmark):
+    graph = get_graph(DATASET)
+    index = get_index(DATASET)
+    pairs = _pairs(graph, 200, seed=2)
+    window = Interval(graph.min_time, graph.max_time)
+    rank, order = index.order.rank, index.order.order
+
+    def run():
+        positive = 0
+        for u, v in pairs:
+            cert = span_certificate(
+                graph, index.labels, rank, order,
+                graph.index_of(u), graph.index_of(v), window,
+            )
+            positive += int(cert.reachable)
+        return positive
+
+    benchmark(run)
+
+
+def test_weak_components(benchmark):
+    graph = get_graph(DATASET)
+    mid = (graph.min_time + graph.max_time) // 2
+    window = (graph.min_time, mid)
+
+    def run():
+        return len(weakly_connected_components(graph, window))
+
+    count = benchmark(run)
+    benchmark.extra_info["components"] = count
+
+
+def test_strong_components(benchmark):
+    graph = get_graph(DATASET)
+    mid = (graph.min_time + graph.max_time) // 2
+    window = (graph.min_time, mid)
+
+    def run():
+        return len(strongly_connected_components(graph, window))
+
+    count = benchmark(run)
+    benchmark.extra_info["components"] = count
+
+
+def test_index_anatomy(benchmark):
+    index = get_index(DATASET)
+
+    def run():
+        return index_anatomy(index).total_entries
+
+    benchmark(run)

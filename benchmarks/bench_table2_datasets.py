@@ -1,0 +1,25 @@
+"""Table II — dataset statistics generation.
+
+Times graph generation plus statistics for every stand-in and attaches
+the Table II row to ``extra_info`` so a benchmark run doubles as the
+table artefact.
+"""
+
+import pytest
+
+from repro.datasets import dataset_names, get_spec, load_dataset
+from repro.graph.statistics import graph_stats
+
+
+@pytest.mark.parametrize("dataset", dataset_names())
+def test_dataset_stats(benchmark, dataset):
+    spec = get_spec(dataset)
+
+    def generate_and_measure():
+        graph = load_dataset(dataset, cache=False)
+        return graph_stats(graph, name=dataset)
+
+    stats = benchmark.pedantic(generate_and_measure, rounds=1, iterations=1)
+    benchmark.extra_info.update(stats.as_row())
+    benchmark.extra_info["category"] = spec.category
+    benchmark.extra_info["model"] = spec.model

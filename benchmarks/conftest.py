@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks mirror DESIGN.md's per-experiment index: one module per
+paper table/figure plus the two ablations and a micro-benchmark module.
+Expensive artefacts (graphs, built indexes, workloads) are session-
+scoped so each is created once per run.
+
+Dataset subsets: query benchmarks run on a six-dataset ladder (smallest
+plus the paper's four representative datasets plus the largest);
+construction benchmarks that need the *basic* builder only use the two
+smallest datasets, mirroring the paper's DNF handling for slow builds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TILLIndex
+from repro.datasets import REPRESENTATIVE, load_dataset
+from repro.workloads import make_span_workload, make_theta_workload
+
+#: Smallest dataset, the four representative ones, and the largest.
+LADDER = ["chess", "email-eu", "enron", "dblp", "youtube", "flickr"]
+
+#: Datasets small enough to run the basic (Algorithm 2) builder on.
+BASIC_SAFE = ["chess", "college-msg"]
+
+_graphs = {}
+_indexes = {}
+
+
+def get_graph(name: str):
+    if name not in _graphs:
+        _graphs[name] = load_dataset(name)
+    return _graphs[name]
+
+
+def get_index(name: str) -> TILLIndex:
+    if name not in _indexes:
+        _indexes[name] = TILLIndex.build(get_graph(name))
+    return _indexes[name]
+
+
+@pytest.fixture(scope="session")
+def span_workloads():
+    """Section VI-A workloads, resolved to internal ids, per dataset."""
+    out = {}
+    for name in LADDER:
+        graph = get_graph(name)
+        workload = make_span_workload(
+            graph, num_pairs=100, intervals_per_pair=10, seed=0
+        )
+        out[name] = [
+            (graph.index_of(q.u), graph.index_of(q.v), q.interval)
+            for q in workload
+        ]
+    return out
+
+
+@pytest.fixture(scope="session")
+def theta_workloads():
+    """Section VI-C workloads at each θ fraction, per representative dataset."""
+    out = {}
+    for name in REPRESENTATIVE:
+        graph = get_graph(name)
+        per_fraction = {}
+        for fraction in (0.1, 0.5, 0.9):
+            workload = make_theta_workload(
+                graph, fraction, num_pairs=50, intervals_per_pair=5, seed=0
+            )
+            per_fraction[fraction] = [
+                (graph.index_of(q.u), graph.index_of(q.v), q.interval, q.theta)
+                for q in workload
+            ]
+        out[name] = per_fraction
+    return out

@@ -1,0 +1,95 @@
+"""Event cohorts in a social network — the paper's security/recommendation
+application.
+
+Section I: *"in social networks, our model can be used to detect
+whether two users are involved in a social group in the time period of
+some big events, such as FIFA World Cup and Olympic Games."*
+
+We simulate a messaging network over a year that contains two bursts of
+event-driven chatter (a 3-week "world cup" and a 2-week "olympics").
+Using span-reachability restricted to each event window we extract the
+*cohort* of a seed user — everyone transitively connected to them
+during the event — and show that cohorts differ per event and differ
+from year-round connectivity.
+
+Run with ``python examples/event_cohorts.py``.
+"""
+
+import random
+from typing import List, Set
+
+from repro import TemporalGraph, TILLIndex
+from repro.graph.projection import reachable_set
+
+DAYS = 365
+WORLD_CUP = (160, 180)  # a 3-week event window
+OLYMPICS = (300, 313)   # a 2-week event window
+
+
+def build_network(seed: int = 3) -> TemporalGraph:
+    rng = random.Random(seed)
+    graph = TemporalGraph(directed=False)
+    users = [f"user{i:03d}" for i in range(250)]
+
+    # Year-round background chatter between random pairs.
+    for _ in range(900):
+        u, v = rng.sample(users, 2)
+        graph.add_edge(u, v, rng.randint(1, DAYS))
+
+    # Event 1: a dense fan community (users 0-59) lights up during the
+    # world cup window, all of it bridged through a few superfans.
+    fans = users[:60]
+    for _ in range(700):
+        u, v = rng.sample(fans, 2)
+        graph.add_edge(u, v, rng.randint(*WORLD_CUP))
+
+    # Event 2: a different, partially overlapping community (users
+    # 40-99) chatters during the olympics.
+    athletes = users[40:100]
+    for _ in range(500):
+        u, v = rng.sample(athletes, 2)
+        graph.add_edge(u, v, rng.randint(*OLYMPICS))
+
+    return graph.freeze()
+
+
+def cohort(index: TILLIndex, seed_user: str, window) -> Set[str]:
+    """Everyone span-connected to *seed_user* within *window*.
+
+    Demonstrates point-queries against the index; for a full closure
+    the brute-force helper is equivalent (and used to cross-check).
+    """
+    members = {
+        other
+        for other in index.graph.vertices()
+        if other != seed_user and index.span_reachable(seed_user, other, window)
+    }
+    # Cross-check against explicit projection + BFS.
+    oracle = reachable_set(index.graph, seed_user, window) - {seed_user}
+    assert members == oracle, "index disagrees with projection oracle"
+    return members
+
+
+def main() -> None:
+    graph = build_network()
+    index = TILLIndex.build(graph)
+    seed_user = "user050"  # a member of both event communities
+
+    wc = cohort(index, seed_user, WORLD_CUP)
+    oly = cohort(index, seed_user, OLYMPICS)
+    quiet = cohort(index, seed_user, (20, 40))  # an uneventful window
+
+    print(f"network: {graph}")
+    print(f"{seed_user}'s world-cup cohort : {len(wc)} users")
+    print(f"{seed_user}'s olympics cohort  : {len(oly)} users")
+    print(f"{seed_user}'s quiet-3-weeks cohort: {len(quiet)} users")
+    print(f"cohort overlap (both events)   : {len(wc & oly)} users")
+
+    # The event cohorts should dwarf the quiet-window cohort.
+    assert len(wc) > len(quiet) and len(oly) > len(quiet)
+    print("event windows produce far larger cohorts than quiet windows,")
+    print("which is exactly the signal the paper's application needs.")
+
+
+if __name__ == "__main__":
+    main()

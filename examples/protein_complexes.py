@@ -1,0 +1,83 @@
+"""Protein interaction analysis — the paper's biology application.
+
+Section I: *"In monitoring the protein activities in a specific period,
+two proteins belonging to the same biological organization may not have
+direct time-respecting paths, but are controlled by or interacted with
+a common protein.  Our model can be used to identify the relationship
+between these proteins."*
+
+We simulate a PPI-style interaction log: proteins interact when both
+are expressed, and a biological process activates a *complex* of
+proteins within an assembly window.  Two member proteins of the complex
+never interact directly and have no time-respecting path (their
+interactions with the scaffold protein happen in the "wrong" order),
+yet span-reachability over the assembly window links them through the
+scaffold — and a ϑ-capped index answers all such window queries while
+staying small.
+
+Run with ``python examples/protein_complexes.py``.
+"""
+
+import random
+
+from repro import TemporalGraph, TILLIndex
+from repro.models import time_respecting_reachable
+
+
+def build_interaction_log(seed: int = 11) -> TemporalGraph:
+    rng = random.Random(seed)
+    graph = TemporalGraph(directed=False)
+    proteins = [f"P{i:04d}" for i in range(400)]
+
+    # Background interactome over 200 time units.
+    for _ in range(2000):
+        a, b = rng.sample(proteins, 2)
+        graph.add_edge(a, b, rng.randint(1, 200))
+
+    # A complex assembling in window [100, 106]: the scaffold protein
+    # SCAF recruits members A and B.  B binds *before* A does, so the
+    # path A - SCAF - B is not time-respecting.
+    graph.add_edge("A", "SCAF", 105)
+    graph.add_edge("SCAF", "B", 101)
+    # More members join the assembly at various offsets.
+    for i, t in enumerate((100, 102, 103, 104, 106)):
+        graph.add_edge("SCAF", f"member{i}", t)
+
+    return graph.freeze()
+
+
+def main() -> None:
+    graph = build_interaction_log()
+    window = (100, 106)
+
+    # Complex-assembly analyses only ever look at short windows, so a
+    # vartheta cap keeps the index lean (paper Section IV-C / Fig. 7).
+    cap = 10
+    index = TILLIndex.build(graph, vartheta=cap)
+    full_index = TILLIndex.build(graph)
+    print(f"interactome: {graph}")
+    print(
+        f"index entries with vartheta={cap}: "
+        f"{index.labels.total_entries()} "
+        f"(unbounded: {full_index.labels.total_entries()})"
+    )
+
+    # Undirected journeys: is there an interaction path A..B whose times
+    # are non-decreasing inside the window?
+    journey = time_respecting_reachable(graph, "A", "B", window)
+    print(f"time-respecting A..B within assembly window? {journey}")
+
+    span = index.span_reachable("A", "B", window)
+    print(f"span-reachable A..B within assembly window?  {span}")
+
+    members = [f"member{i}" for i in range(5)]
+    linked = [m for m in members if index.span_reachable("A", m, window)]
+    print(f"complex members linked to A in the window: {linked}")
+
+    assert span and not journey and len(linked) == len(members)
+    print("span-reachability recovers the full complex; the journey "
+          "model misses it.")
+
+
+if __name__ == "__main__":
+    main()

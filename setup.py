@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works on environments whose
+setuptools predates built-in bdist_wheel (no `wheel` package offline).
+All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — a reproduction of the TILL-Index from
+"Efficiently Answering Span-Reachability Queries in Large Temporal
+Graphs" (Wen et al., ICDE 2020).
+
+Quickstart
+----------
+
+>>> from repro import TemporalGraph, TILLIndex
+>>> g = TemporalGraph.from_edges([("a", "b", 3), ("b", "c", 5), ("c", "a", 4)])
+>>> index = TILLIndex.build(g)
+>>> index.span_reachable("a", "c", (3, 5))
+True
+>>> index.span_reachable("a", "c", (3, 4))
+False
+>>> index.theta_reachable("a", "c", (1, 8), theta=3)
+True
+
+Public surface
+--------------
+
+* :class:`TemporalGraph` — the temporal multigraph substrate.
+* :class:`TILLIndex` — build / query / save / load the labeling index.
+* :class:`Interval` — closed integer time intervals.
+* :func:`online_span_reachable` / :func:`online_theta_reachable` — the
+  index-free baselines (Algorithm 1).
+* :mod:`repro.graph.generators` — synthetic temporal graph models.
+* :mod:`repro.datasets` — the 17 Table II dataset stand-ins.
+* :mod:`repro.experiments` — the paper's tables and figures.
+"""
+
+from repro.core.construction import BuildBudgetExceeded
+from repro.core.index import IndexStats, TILLIndex
+from repro.core.intervals import Interval
+from repro.errors import (
+    DatasetError,
+    ExperimentError,
+    FrozenGraphError,
+    GraphError,
+    IndexBuildError,
+    IndexFormatError,
+    InvalidIntervalError,
+    ReproError,
+    UnknownVertexError,
+    UnsupportedIntervalError,
+)
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def online_span_reachable(graph, u, v, interval):
+    """Index-free span-reachability (Algorithm 1) at the label level."""
+    from repro.core.online import online_span_reachable as _impl
+
+    if not graph.frozen:
+        graph.freeze()
+    return _impl(graph, graph.index_of(u), graph.index_of(v), interval)
+
+
+def online_theta_reachable(graph, u, v, interval, theta):
+    """Index-free θ-reachability at the label level."""
+    from repro.core.online import online_theta_reachable as _impl
+
+    if not graph.frozen:
+        graph.freeze()
+    return _impl(graph, graph.index_of(u), graph.index_of(v), interval, theta)
+
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TemporalGraph",
+    "TILLIndex",
+    "IndexStats",
+    "Interval",
+    "BuildBudgetExceeded",
+    "online_span_reachable",
+    "online_theta_reachable",
+    "ReproError",
+    "GraphError",
+    "UnknownVertexError",
+    "FrozenGraphError",
+    "InvalidIntervalError",
+    "UnsupportedIntervalError",
+    "IndexBuildError",
+    "IndexFormatError",
+    "DatasetError",
+    "ExperimentError",
+    "__version__",
+]

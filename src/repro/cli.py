@@ -1,0 +1,263 @@
+"""Command line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands
+-----------
+
+``repro datasets``
+    List the Table II stand-in corpus with its statistics.
+
+``repro build SOURCE [-o FILE] [--vartheta N] [--method M] [--ordering O]``
+    Build a TILL-Index for a dataset name or a graph file and report
+    its statistics; optionally persist it.
+
+``repro query SOURCE U V T1 T2 [--theta N] [--index FILE] [--online]``
+    Answer one span- (or θ-) reachability query.
+
+``repro experiment NAME [--datasets a,b,c]``
+    Run one of the paper's experiments and print its table
+    (``repro experiment list`` enumerates them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro import __version__
+from repro.core.index import TILLIndex
+from repro.core.online import online_span_reachable, online_theta_reachable
+from repro.datasets import REGISTRY, dataset_names, load_dataset
+from repro.errors import ReproError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.report import fmt_bytes, fmt_time, format_table, render
+from repro.graph.io import read_graph
+from repro.graph.statistics import graph_stats
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def _load_source(source: str, directed: bool = True) -> TemporalGraph:
+    """A dataset name from the registry, or a path to a graph file."""
+    if source in REGISTRY:
+        return load_dataset(source)
+    path = Path(source)
+    if not path.exists():
+        known = ", ".join(dataset_names())
+        raise ReproError(
+            f"{source!r} is neither a known dataset ({known}) nor an "
+            "existing file"
+        )
+    return read_graph(path, directed=directed)
+
+
+def _parse_vertex(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    if args.export:
+        from repro.datasets.export import export_datasets
+
+        written = export_datasets(args.export)
+        for name, path in written.items():
+            print(f"wrote {name} -> {path}")
+        print(f"exported {len(written)} datasets to {args.export}")
+        return 0
+    rows = []
+    for name in dataset_names():
+        stats = graph_stats(load_dataset(name), name=name)
+        row = stats.as_row()
+        row["category"] = REGISTRY[name].category
+        rows.append(row)
+    print(format_table(rows))
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    graph = _load_source(args.source, directed=not args.undirected)
+    index = TILLIndex.build(
+        graph,
+        vartheta=args.vartheta,
+        method=args.method,
+        ordering=args.ordering,
+    )
+    stats = index.stats()
+    print(f"built TILL-Index for {args.source}")
+    print(f"  vertices        {stats.num_vertices}")
+    print(f"  temporal edges  {stats.num_edges}")
+    print(f"  label entries   {stats.total_entries}")
+    print(f"  index size      {fmt_bytes(stats.estimated_bytes)}")
+    print(f"  build time      {fmt_time(stats.build_seconds)}")
+    if args.output:
+        index.save(args.output)
+        print(f"  saved to        {args.output}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    graph = _load_source(args.source, directed=not args.undirected)
+    u, v = _parse_vertex(args.u), _parse_vertex(args.v)
+    window = (args.t1, args.t2)
+    if args.online:
+        if args.theta is None:
+            answer = online_span_reachable(
+                graph, graph.index_of(u), graph.index_of(v), window
+            )
+        else:
+            answer = online_theta_reachable(
+                graph, graph.index_of(u), graph.index_of(v), window, args.theta
+            )
+    else:
+        if args.index:
+            index = TILLIndex.load(args.index, graph)
+        else:
+            index = TILLIndex.build(graph)
+        if args.theta is None:
+            answer = index.span_reachable(u, v, window)
+        else:
+            answer = index.theta_reachable(u, v, window, args.theta)
+    kind = "span-reaches" if args.theta is None else f"{args.theta}-reaches"
+    print(f"{u!r} {kind} {v!r} in [{args.t1}, {args.t2}]: {answer}")
+    return 0 if answer else 1
+
+
+def cmd_anatomy(args: argparse.Namespace) -> int:
+    from repro.core.label_stats import anatomy_report
+
+    graph = _load_source(args.source, directed=not args.undirected)
+    if args.index:
+        index = TILLIndex.load(args.index, graph)
+    else:
+        index = TILLIndex.build(graph)
+    print(anatomy_report(index, top_k=args.top))
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    graph = _load_source(args.source, directed=not args.undirected)
+    if args.index:
+        index = TILLIndex.load(args.index, graph)
+    else:
+        index = TILLIndex.build(graph)
+    try:
+        index.verify(samples=args.samples, seed=args.seed)
+    except AssertionError as exc:
+        print(f"verification FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"verified {args.samples} random queries against the brute-force "
+        "oracle: all agree"
+    )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    kwargs = {}
+    if args.datasets:
+        kwargs["datasets"] = args.datasets.split(",")
+    result = run_experiment(args.name, **kwargs)
+    print(render(result))
+    if args.chart:
+        from repro.experiments.charts import chart_for
+
+        chart = chart_for(args.name, result)
+        if chart is not None:
+            print()
+            print(chart)
+        else:
+            print("\n(no chart renderer for this experiment)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "TILL-Index reproduction: span-reachability queries in temporal "
+            "graphs (Wen et al., ICDE 2020)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list the Table II stand-in corpus")
+    p.add_argument("--export", metavar="DIR",
+                   help="write all datasets as edge lists + manifest")
+    p.set_defaults(func=cmd_datasets)
+
+    p = sub.add_parser("build", help="build (and optionally save) an index")
+    p.add_argument("source", help="dataset name or graph file")
+    p.add_argument("-o", "--output", help="write the index to this file")
+    p.add_argument("--vartheta", type=int, default=None,
+                   help="largest supported query-interval length")
+    p.add_argument("--method", choices=("optimized", "basic"),
+                   default="optimized")
+    p.add_argument("--ordering", default="degree-product")
+    p.add_argument("--undirected", action="store_true",
+                   help="treat an input file as undirected")
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("query", help="answer one reachability query")
+    p.add_argument("source", help="dataset name or graph file")
+    p.add_argument("u", help="source vertex")
+    p.add_argument("v", help="target vertex")
+    p.add_argument("t1", type=int, help="interval start")
+    p.add_argument("t2", type=int, help="interval end")
+    p.add_argument("--theta", type=int, default=None,
+                   help="answer theta-reachability instead of span")
+    p.add_argument("--index", help="load a saved index instead of building")
+    p.add_argument("--online", action="store_true",
+                   help="use the index-free Algorithm 1")
+    p.add_argument("--undirected", action="store_true")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "anatomy", help="distributional statistics of a built index"
+    )
+    p.add_argument("source", help="dataset name or graph file")
+    p.add_argument("--index", help="inspect a saved index instead of building")
+    p.add_argument("--top", type=int, default=10,
+                   help="how many top hubs to list")
+    p.add_argument("--undirected", action="store_true")
+    p.set_defaults(func=cmd_anatomy)
+
+    p = sub.add_parser(
+        "verify", help="spot-check an index against the brute-force oracle"
+    )
+    p.add_argument("source", help="dataset name or graph file")
+    p.add_argument("--index", help="verify a saved index instead of building")
+    p.add_argument("--samples", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--undirected", action="store_true")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument("name", help="experiment id, or 'list'")
+    p.add_argument("--datasets", help="comma-separated dataset subset")
+    p.add_argument("--chart", action="store_true",
+                   help="also draw the figure as an ASCII chart")
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

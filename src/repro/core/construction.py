@@ -1,0 +1,299 @@
+"""TILL-Index construction (paper Section IV).
+
+Two builders are provided:
+
+* :func:`build_labels_basic` — the framework of Algorithm 2
+  (``TILL-Construct``): for each vertex in rank order, a FIFO search
+  enumerates *all* skyline reachability tuples (SRTs), which are then
+  filtered down to canonical tuples (CRTs) by querying the partial
+  index.  This is the paper's baseline for the Fig. 6 experiment.
+
+* :func:`build_labels_optimized` — Algorithm 3 (``TILL-Construct*``):
+  a priority queue pops the tuple with the *shortest* interval first
+  (Lemma 7 guarantees popped tuples are SRTs), and a covered tuple
+  terminates its whole subtree (Lemma 8), skipping both the CRT check
+  and the wasted exploration.  A length cap ``vartheta`` optionally
+  bounds indexed interval lengths (the paper's ϑ knob, Fig. 7).
+
+Both builders process, for every root ``u_i``, only vertices ranked
+*below* ``u_i``: paths through higher-ranked vertices are covered by
+those vertices because sub-path intervals are contained in path
+intervals, so such tuples are never canonical.
+
+The two builders provably produce identical labels; the test suite
+asserts this on randomized graphs.
+"""
+
+from __future__ import annotations
+
+import time
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.intervals import Interval, SkylineSet
+from repro.core.labels import TILLLabels
+from repro.core.ordering import VertexOrder
+from repro.core.queries import covered
+from repro.errors import IndexBuildError
+from repro.graph.temporal_graph import TemporalGraph
+
+ProgressHook = Callable[[int, int], None]
+
+
+class BuildBudgetExceeded(IndexBuildError):
+    """Raised when construction overruns its wall-clock budget.
+
+    Mirrors the paper's six-hour cutoff for ``TILL-Construct`` on large
+    datasets ("cannot finish in six hours" — reported as DNF in Fig. 6).
+    """
+
+    def __init__(self, elapsed: float, budget: float):
+        super().__init__(
+            f"index construction exceeded its budget: {elapsed:.1f}s > {budget:.1f}s"
+        )
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class _Deadline:
+    """Cheap cooperative wall-clock watchdog checked between roots."""
+
+    __slots__ = ("_t0", "_budget")
+
+    def __init__(self, budget: Optional[float]):
+        self._t0 = time.perf_counter()
+        self._budget = budget
+
+    def check(self) -> None:
+        if self._budget is None:
+            return
+        elapsed = time.perf_counter() - self._t0
+        if elapsed > self._budget:
+            raise BuildBudgetExceeded(elapsed, self._budget)
+
+
+def _directions(graph: TemporalGraph) -> List[str]:
+    """Search directions per root: directed graphs label both sides,
+    undirected graphs need a single pass (single shared label set)."""
+    return ["out", "in"] if graph.directed else ["out"]
+
+
+def _labels_for(labels: TILLLabels, direction: str) -> Tuple[list, list]:
+    """(root-side label list, target-side label list) for a direction.
+
+    Searching *out* from the root discovers vertices the root reaches,
+    so the root is recorded in the targets' **in**-labels and the
+    covered check pairs the root's **out**-label with each target's
+    **in**-label; the *in* direction is symmetric.
+    """
+    if direction == "out":
+        return labels.out_labels, labels.in_labels
+    return labels.in_labels, labels.out_labels
+
+
+def build_labels_optimized(
+    graph: TemporalGraph,
+    order: VertexOrder,
+    vartheta: Optional[int] = None,
+    budget_seconds: Optional[float] = None,
+    progress: Optional[ProgressHook] = None,
+    prune_covered_subtrees: bool = True,
+) -> TILLLabels:
+    """Algorithm 3, ``TILL-Construct*``.
+
+    Parameters
+    ----------
+    vartheta:
+        Largest indexable interval length ϑ (``None`` = unbounded, the
+        paper's default).  Queries wider than ϑ are not answerable by
+        the resulting index.
+    budget_seconds:
+        Optional wall-clock cutoff; raises :class:`BuildBudgetExceeded`.
+    progress:
+        Called as ``progress(done_roots, total_roots)`` after each root.
+    prune_covered_subtrees:
+        ``False`` disables the Lemma 8 subtree termination while
+        keeping the Lemma 7 priority queue — the covered check still
+        filters labels (output unchanged) but exploration continues
+        through covered tuples.  Exists solely for the optimization-
+        attribution ablation (experiment A4); leave ``True`` otherwise.
+    """
+    _validate_build_inputs(graph, order, vartheta)
+    labels = TILLLabels(graph.num_vertices, graph.directed)
+    deadline = _Deadline(budget_seconds)
+    n = len(order)
+    for root_rank, root in enumerate(order.order):
+        deadline.check()
+        for direction in _directions(graph):
+            _pruned_search(
+                graph, labels, order, root_rank, root, direction, vartheta,
+                prune_covered_subtrees=prune_covered_subtrees,
+            )
+        if progress is not None:
+            progress(root_rank + 1, n)
+    labels.finalize()
+    return labels
+
+
+def _pruned_search(
+    graph: TemporalGraph,
+    labels: TILLLabels,
+    order: VertexOrder,
+    root_rank: int,
+    root: int,
+    direction: str,
+    vartheta: Optional[int],
+    prune_covered_subtrees: bool = True,
+) -> None:
+    """One root, one direction of Algorithm 3 (lines 4-16).
+
+    Pops tuples by increasing interval length (Lemma 7: each pop is an
+    SRT), prunes covered subtrees (Lemma 8), appends canonical tuples to
+    the target-side labels.
+    """
+    rank = order.rank
+    root_side, target_side = _labels_for(labels, direction)
+    root_label = root_side[root]
+    adj = graph.out_adj if direction == "out" else graph.in_adj
+
+    heap: List[Tuple[int, int, int, int, int]] = []  # (length, seq, v, ts, te)
+    discovered: Dict[int, SkylineSet] = {}
+    seq = 0
+
+    # Seed with the root's direct neighbors — the expansion of the
+    # paper's special tuple ⟨u_i, +inf, -inf⟩.
+    for v, t in adj(root):
+        if rank[v] <= root_rank:
+            continue
+        sky = discovered.get(v)
+        if sky is None:
+            sky = discovered[v] = SkylineSet()
+        if sky.add((t, t)):
+            heappush(heap, (1, seq, v, t, t))
+            seq += 1
+
+    while heap:
+        _, _, v, ts, te = heappop(heap)
+        sky = discovered[v]
+        if (ts, te) not in sky:
+            continue  # dominated after being pushed: stale heap entry
+        window = Interval(ts, te)
+        if covered(root_label, target_side[v], root_rank, window):
+            if prune_covered_subtrees:
+                continue  # Lemma 8: the entire subtree is covered — prune
+        else:
+            target_side[v].append(root_rank, ts, te)
+        for w, t in adj(v):
+            if rank[w] <= root_rank:
+                continue
+            ns = ts if ts <= t else t
+            ne = te if te >= t else t
+            if vartheta is not None and ne - ns + 1 > vartheta:
+                continue
+            wsky = discovered.get(w)
+            if wsky is None:
+                wsky = discovered[w] = SkylineSet()
+            if wsky.add((ns, ne)):
+                heappush(heap, (ne - ns, seq, w, ns, ne))
+                seq += 1
+
+
+def build_labels_basic(
+    graph: TemporalGraph,
+    order: VertexOrder,
+    vartheta: Optional[int] = None,
+    budget_seconds: Optional[float] = None,
+    progress: Optional[ProgressHook] = None,
+) -> TILLLabels:
+    """Algorithm 2 framework, ``TILL-Construct`` (the Fig. 6 baseline).
+
+    Phase one exhaustively enumerates all SRTs of the root with a FIFO
+    queue and per-vertex skyline pruning only; phase two filters each
+    SRT through a partial-index query and stores the survivors (the
+    CRTs).  No covered-subtree termination, hence the large slowdown the
+    paper reports.
+    """
+    _validate_build_inputs(graph, order, vartheta)
+    labels = TILLLabels(graph.num_vertices, graph.directed)
+    deadline = _Deadline(budget_seconds)
+    n = len(order)
+    for root_rank, root in enumerate(order.order):
+        deadline.check()
+        for direction in _directions(graph):
+            _exhaustive_search(
+                graph, labels, order, root_rank, root, direction, vartheta
+            )
+        if progress is not None:
+            progress(root_rank + 1, n)
+    labels.finalize()
+    return labels
+
+
+def _exhaustive_search(
+    graph: TemporalGraph,
+    labels: TILLLabels,
+    order: VertexOrder,
+    root_rank: int,
+    root: int,
+    direction: str,
+    vartheta: Optional[int],
+) -> None:
+    """One root, one direction of the basic framework."""
+    rank = order.rank
+    root_side, target_side = _labels_for(labels, direction)
+    root_label = root_side[root]
+    adj = graph.out_adj if direction == "out" else graph.in_adj
+
+    queue: List[Tuple[int, int, int]] = []  # FIFO of (v, ts, te)
+    discovered: Dict[int, SkylineSet] = {}
+    for v, t in adj(root):
+        if rank[v] <= root_rank:
+            continue
+        sky = discovered.setdefault(v, SkylineSet())
+        if sky.add((t, t)):
+            queue.append((v, t, t))
+
+    head = 0
+    while head < len(queue):
+        v, ts, te = queue[head]
+        head += 1
+        if (ts, te) not in discovered[v]:
+            continue  # dominated since being queued
+        for w, t in adj(v):
+            if rank[w] <= root_rank:
+                continue
+            ns = ts if ts <= t else t
+            ne = te if te >= t else t
+            if vartheta is not None and ne - ns + 1 > vartheta:
+                continue
+            wsky = discovered.setdefault(w, SkylineSet())
+            if wsky.add((ns, ne)):
+                queue.append((w, ns, ne))
+
+    # Phase two: keep exactly the SRTs not covered by higher-ranked hubs.
+    # Shorter intervals first so that same-root coverage via already
+    # accepted tuples mirrors the optimized builder's semantics.
+    srts = [
+        (iv.length, v, iv.start, iv.end)
+        for v, sky in discovered.items()
+        for iv in sky
+    ]
+    srts.sort()
+    for _, v, ts, te in srts:
+        window = Interval(ts, te)
+        if not covered(root_label, target_side[v], root_rank, window):
+            target_side[v].append(root_rank, ts, te)
+
+
+def _validate_build_inputs(
+    graph: TemporalGraph, order: VertexOrder, vartheta: Optional[int]
+) -> None:
+    if not graph.frozen:
+        raise IndexBuildError("graph must be frozen before index construction")
+    if len(order) != graph.num_vertices:
+        raise IndexBuildError(
+            f"vertex order covers {len(order)} vertices but the graph has "
+            f"{graph.num_vertices}"
+        )
+    if vartheta is not None and vartheta < 1:
+        raise IndexBuildError(f"vartheta must be >= 1, got {vartheta}")

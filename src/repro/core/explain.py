@@ -1,0 +1,204 @@
+"""Query certificates: *why* is a span-reachability answer true/false?
+
+Algorithm 4 answers through one of three conditions; applications (and
+debugging) benefit from knowing which, and through which hub.  A
+:class:`Certificate` captures the evidence:
+
+* ``same-vertex``   — ``u == v``;
+* ``prefilter``     — a Lemma 9/10 check failed (definitely false);
+* ``target-hub``    — a triplet ``⟨v, ts, te⟩ ∈ L_out(u)`` fits the window;
+* ``source-hub``    — a triplet ``⟨u, ts, te⟩ ∈ L_in(v)`` fits the window;
+* ``common-hub``    — hub ``w`` fits on both sides;
+* ``unreachable``   — no condition holds (definitely false).
+
+Positive certificates can be upgraded to explicit temporal-edge paths
+with :func:`repro.graph.paths.span_path`; the certificate itself is
+O(label size) to produce and O(1) to check against the label arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.intervals import Interval, first_contained
+from repro.core.labels import LabelSet, TILLLabels
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Evidence for a span- or θ-reachability answer.
+
+    ``hub`` is an internal vertex id (the facade translates to labels);
+    ``out_interval`` / ``in_interval`` are the witnessing label
+    intervals on the source and target side respectively (whichever
+    apply to the certificate ``kind``).  For θ-certificates ``window``
+    is the earliest θ-length subwindow witnessing the answer.
+    """
+
+    reachable: bool
+    kind: str
+    hub: Optional[int] = None
+    out_interval: Optional[Tuple[int, int]] = None
+    in_interval: Optional[Tuple[int, int]] = None
+    window: Optional[Tuple[int, int]] = None
+
+
+def _find_contained(label: LabelSet, hub_rank: int, window: Interval):
+    """The first window-contained interval of *hub_rank*'s group."""
+    bounds = label.group_bounds(hub_rank)
+    if bounds is None:
+        return None
+    lo, hi = bounds
+    k = first_contained(label.starts, label.ends, lo, hi, window)
+    if k < 0:
+        return None
+    return (label.starts[k], label.ends[k])
+
+
+def _earliest_theta_window(
+    hull: Tuple[int, int], query: Interval, theta: int
+) -> Tuple[int, int]:
+    """The earliest θ-length subwindow of *query* containing *hull*.
+
+    Caller guarantees feasibility: ``hull ⊆ query`` and
+    ``hull length ≤ θ ≤ query length``.
+    """
+    start = max(query.start, hull[1] - theta + 1)
+    return (start, start + theta - 1)
+
+
+def theta_certificate(
+    graph: TemporalGraph,
+    labels: TILLLabels,
+    rank: list,
+    order: list,
+    ui: int,
+    vi: int,
+    window: Interval,
+    theta: int,
+) -> Certificate:
+    """Algorithm 5 with evidence collection.
+
+    Positive certificates carry the earliest θ-length witnessing
+    subwindow along with the label intervals that produced it.
+    """
+    if ui == vi:
+        return Certificate(
+            True, "same-vertex",
+            window=(window.start, window.start + theta - 1),
+        )
+    if not (
+        graph.has_out_edge_in(ui, window.start, window.end)
+        and graph.has_in_edge_in(vi, window.start, window.end)
+    ):
+        return Certificate(False, "prefilter")
+    out_label = labels.out_labels[ui]
+    in_label = labels.in_labels[vi]
+
+    best: Optional[Certificate] = None
+
+    def consider(kind, hub, out_iv, in_iv, hull):
+        nonlocal best
+        witness = _earliest_theta_window(hull, window, theta)
+        if best is None or witness[0] < best.window[0]:
+            best = Certificate(
+                True, kind, hub=hub,
+                out_interval=out_iv, in_interval=in_iv, window=witness,
+            )
+
+    # Conditions (1)/(2): a single short label entry of the other endpoint.
+    bounds = out_label.group_bounds(rank[vi])
+    if bounds is not None:
+        lo, hi = bounds
+        for k in range(lo, hi):
+            iv = (out_label.starts[k], out_label.ends[k])
+            if window.start <= iv[0] and iv[1] <= window.end and \
+                    iv[1] - iv[0] + 1 <= theta:
+                consider("target-hub", vi, iv, None, iv)
+    bounds = in_label.group_bounds(rank[ui])
+    if bounds is not None:
+        lo, hi = bounds
+        for k in range(lo, hi):
+            iv = (in_label.starts[k], in_label.ends[k])
+            if window.start <= iv[0] and iv[1] <= window.end and \
+                    iv[1] - iv[0] + 1 <= theta:
+                consider("source-hub", ui, None, iv, iv)
+
+    # Condition (3): common hub with a θ-compatible interval pair.
+    a_hubs, b_hubs = out_label.hub_ranks, in_label.hub_ranks
+    i = j = 0
+    while i < len(a_hubs) and j < len(b_hubs):
+        ha, hb = a_hubs[i], b_hubs[j]
+        if ha < hb:
+            i += 1
+        elif ha > hb:
+            j += 1
+        else:
+            o_lo, o_hi = out_label.offsets[i], out_label.offsets[i + 1]
+            i_lo, i_hi = in_label.offsets[j], in_label.offsets[j + 1]
+            for ko in range(o_lo, o_hi):
+                o_iv = (out_label.starts[ko], out_label.ends[ko])
+                if o_iv[0] < window.start or o_iv[1] > window.end:
+                    continue
+                for ki in range(i_lo, i_hi):
+                    i_iv = (in_label.starts[ki], in_label.ends[ki])
+                    if i_iv[0] < window.start or i_iv[1] > window.end:
+                        continue
+                    hull = (min(o_iv[0], i_iv[0]), max(o_iv[1], i_iv[1]))
+                    if hull[1] - hull[0] + 1 <= theta:
+                        consider(
+                            "common-hub", order[ha], o_iv, i_iv, hull
+                        )
+            i += 1
+            j += 1
+    if best is not None:
+        return best
+    return Certificate(False, "unreachable")
+
+
+def span_certificate(
+    graph: TemporalGraph,
+    labels: TILLLabels,
+    rank: list,
+    order: list,
+    ui: int,
+    vi: int,
+    window: Interval,
+) -> Certificate:
+    """Algorithm 4 with evidence collection instead of early booleans."""
+    if ui == vi:
+        return Certificate(True, "same-vertex")
+    if not (
+        graph.has_out_edge_in(ui, window.start, window.end)
+        and graph.has_in_edge_in(vi, window.start, window.end)
+    ):
+        return Certificate(False, "prefilter")
+    out_label = labels.out_labels[ui]
+    in_label = labels.in_labels[vi]
+    hit = _find_contained(out_label, rank[vi], window)
+    if hit is not None:
+        return Certificate(True, "target-hub", hub=vi, out_interval=hit)
+    hit = _find_contained(in_label, rank[ui], window)
+    if hit is not None:
+        return Certificate(True, "source-hub", hub=ui, in_interval=hit)
+    a_hubs, b_hubs = out_label.hub_ranks, in_label.hub_ranks
+    i = j = 0
+    while i < len(a_hubs) and j < len(b_hubs):
+        ha, hb = a_hubs[i], b_hubs[j]
+        if ha < hb:
+            i += 1
+        elif ha > hb:
+            j += 1
+        else:
+            out_hit = _find_contained(out_label, ha, window)
+            in_hit = _find_contained(in_label, ha, window)
+            if out_hit is not None and in_hit is not None:
+                return Certificate(
+                    True, "common-hub", hub=order[ha],
+                    out_interval=out_hit, in_interval=in_hit,
+                )
+            i += 1
+            j += 1
+    return Certificate(False, "unreachable")

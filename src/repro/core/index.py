@@ -1,0 +1,476 @@
+"""The public face of the library: :class:`TILLIndex`.
+
+Wraps the raw label family with vertex-label translation, interval
+validation, capability checks for the ϑ length cap, persistence, and
+statistics.  Typical use::
+
+    from repro import TemporalGraph, TILLIndex
+
+    g = TemporalGraph.from_edges([("a", "b", 3), ("b", "c", 5)])
+    index = TILLIndex.build(g)
+    index.span_reachable("a", "c", (3, 5))      # True
+    index.theta_reachable("a", "c", (1, 8), 3)  # True
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core import construction, online, queries
+from repro.core.intervals import Interval, IntervalLike, as_interval
+from repro.core.labels import TILLLabels
+from repro.core.ordering import VertexOrder, make_order
+from repro.core.serialization import dump_index, load_index
+from repro.errors import (
+    IndexBuildError,
+    InvalidIntervalError,
+    UnsupportedIntervalError,
+)
+from repro.graph.projection import span_reaches_bruteforce
+from repro.graph.temporal_graph import TemporalGraph, Vertex
+
+
+def _build_lemma7_only(graph, order, **kwargs):
+    """Algorithm 3 with the Lemma 8 subtree pruning disabled.
+
+    Ablation-only builder isolating the priority queue's contribution
+    (experiment A4); produces identical labels to the others.
+    """
+    return construction.build_labels_optimized(
+        graph, order, prune_covered_subtrees=False, **kwargs
+    )
+
+
+#: Builder registry: paper names on the left, callables on the right.
+BUILDERS = {
+    "optimized": construction.build_labels_optimized,  # TILL-Construct*
+    "basic": construction.build_labels_basic,  # TILL-Construct
+    "lemma7-only": _build_lemma7_only,  # ablation A4
+}
+
+
+@dataclass
+class IndexStats:
+    """Summary statistics of a built index (feeds Figures 5-8)."""
+
+    num_vertices: int
+    num_edges: int
+    directed: bool
+    vartheta: Optional[int]
+    method: str
+    ordering: str
+    total_entries: int
+    estimated_bytes: int
+    build_seconds: float
+    max_label_entries: int = 0
+    avg_label_entries: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.__dict__)
+
+
+class TILLIndex:
+    """A built Time Interval Labeling index over a temporal graph.
+
+    Construct with :meth:`build` (or :meth:`load`); the originating
+    graph is retained for the Lemma 9/10 query prefilters and the
+    online fallback.
+    """
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        order: VertexOrder,
+        labels: TILLLabels,
+        vartheta: Optional[int],
+        method: str = "optimized",
+        ordering_name: str = "degree-product",
+        build_seconds: float = 0.0,
+    ):
+        self.graph = graph
+        self.order = order
+        self.labels = labels
+        self.vartheta = vartheta
+        self.method = method
+        self.ordering_name = ordering_name
+        self.build_seconds = build_seconds
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        graph: TemporalGraph,
+        vartheta: Optional[int] = None,
+        ordering: Union[str, VertexOrder] = "degree-product",
+        method: str = "optimized",
+        budget_seconds: Optional[float] = None,
+        progress=None,
+    ) -> "TILLIndex":
+        """Build a TILL-Index.
+
+        Parameters
+        ----------
+        graph:
+            The temporal graph; frozen automatically if needed.
+        vartheta:
+            The ϑ length cap: largest span-reachability window length
+            the index will support (``None`` = unbounded, paper default).
+        ordering:
+            A strategy name from :data:`repro.core.ordering.ORDERINGS`
+            or a prebuilt :class:`VertexOrder`.
+        method:
+            ``"optimized"`` (Algorithm 3, TILL-Construct*) or
+            ``"basic"`` (Algorithm 2, TILL-Construct).
+        budget_seconds:
+            Wall-clock cutoff; raises
+            :class:`~repro.core.construction.BuildBudgetExceeded`.
+        """
+        if not graph.frozen:
+            graph.freeze()
+        if isinstance(ordering, VertexOrder):
+            order, ordering_name = ordering, "custom"
+        else:
+            order, ordering_name = make_order(graph, ordering), ordering
+        try:
+            builder = BUILDERS[method]
+        except KeyError:
+            known = ", ".join(sorted(BUILDERS))
+            raise IndexBuildError(
+                f"unknown build method {method!r}; known methods: {known}"
+            ) from None
+        started = time.perf_counter()
+        labels = builder(
+            graph,
+            order,
+            vartheta=vartheta,
+            budget_seconds=budget_seconds,
+            progress=progress,
+        )
+        elapsed = time.perf_counter() - started
+        return cls(
+            graph,
+            order,
+            labels,
+            vartheta,
+            method=method,
+            ordering_name=ordering_name,
+            build_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _window(self, interval: IntervalLike) -> Interval:
+        return as_interval(interval)
+
+    def _check_support(self, needed_length: int) -> None:
+        if self.vartheta is not None and needed_length > self.vartheta:
+            raise UnsupportedIntervalError(
+                f"query needs interval length {needed_length} but the index was "
+                f"built with vartheta={self.vartheta}; rebuild with a larger cap "
+                "or pass fallback='online'"
+            )
+
+    def span_reachable(
+        self,
+        u: Vertex,
+        v: Vertex,
+        interval: IntervalLike,
+        prefilter: bool = True,
+        fallback: Optional[str] = None,
+    ) -> bool:
+        """Does *u* span-reach *v* within *interval* (Definition 1)?
+
+        ``fallback="online"`` answers windows wider than the build-time
+        ϑ cap with the index-free Algorithm 1 instead of raising
+        :class:`UnsupportedIntervalError`.
+        """
+        window = self._window(interval)
+        ui = self.graph.index_of(u)
+        vi = self.graph.index_of(v)
+        if self.vartheta is not None and window.length > self.vartheta:
+            if fallback == "online":
+                return online.online_span_reachable(self.graph, ui, vi, window)
+            self._check_support(window.length)
+        return queries.span_reachable(
+            self.graph, self.labels, self.order.rank, ui, vi, window,
+            prefilter=prefilter,
+        )
+
+    def theta_reachable(
+        self,
+        u: Vertex,
+        v: Vertex,
+        interval: IntervalLike,
+        theta: int,
+        algorithm: str = "sliding",
+        prefilter: bool = True,
+    ) -> bool:
+        """Does *u* θ-reach *v* within *interval* (Definition 2)?
+
+        ``algorithm`` selects ``"sliding"`` (Algorithm 5, ES-Reach*) or
+        ``"naive"`` (ES-Reach: one span query per window position).
+        """
+        window = self._window(interval)
+        if theta < 1:
+            raise InvalidIntervalError(
+                f"theta must be a positive window length, got {theta}"
+            )
+        if window.length < theta:
+            raise InvalidIntervalError(
+                f"query interval {window} is shorter than theta={theta}"
+            )
+        self._check_support(theta)
+        ui = self.graph.index_of(u)
+        vi = self.graph.index_of(v)
+        if algorithm == "sliding":
+            return queries.theta_reachable(
+                self.graph, self.labels, self.order.rank, ui, vi, window, theta,
+                prefilter=prefilter,
+            )
+        if algorithm == "naive":
+            return queries.theta_reachable_naive(
+                self.graph, self.labels, self.order.rank, ui, vi, window, theta,
+                prefilter=prefilter,
+            )
+        raise InvalidIntervalError(
+            f"unknown theta algorithm {algorithm!r}; use 'sliding' or 'naive'"
+        )
+
+    def span_reachable_many(
+        self,
+        pairs,
+        interval: IntervalLike,
+        prefilter: bool = True,
+    ) -> List[bool]:
+        """Batch span queries over one window.
+
+        Validates and resolves the window once; each pair costs only the
+        label merge.  ``pairs`` is an iterable of ``(u, v)``.
+        """
+        window = self._window(interval)
+        self._check_support(window.length)
+        rank = self.order.rank
+        labels = self.labels
+        graph = self.graph
+        return [
+            queries.span_reachable(
+                graph, labels, rank,
+                graph.index_of(u), graph.index_of(v), window,
+                prefilter=prefilter,
+            )
+            for u, v in pairs
+        ]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def explain(self, u: Vertex, v: Vertex, interval: IntervalLike) -> Dict[str, Any]:
+        """Answer a span query *with evidence* (see :mod:`repro.core.explain`).
+
+        Returns a dict with ``reachable``, ``kind`` and — for positive
+        answers through a hub — the hub's vertex label and the
+        witnessing label intervals on each side.
+        """
+        from repro.core.explain import span_certificate
+
+        window = self._window(interval)
+        self._check_support(window.length)
+        cert = span_certificate(
+            self.graph, self.labels, self.order.rank, self.order.order,
+            self.graph.index_of(u), self.graph.index_of(v), window,
+        )
+        return {
+            "reachable": cert.reachable,
+            "kind": cert.kind,
+            "hub": None if cert.hub is None else self.graph.label_of(cert.hub),
+            "out_interval": cert.out_interval,
+            "in_interval": cert.in_interval,
+        }
+
+    def explain_theta(
+        self, u: Vertex, v: Vertex, interval: IntervalLike, theta: int
+    ) -> Dict[str, Any]:
+        """θ-reachability with evidence: the answering condition, hub,
+        label intervals, and the earliest θ-length witnessing window."""
+        from repro.core.explain import theta_certificate
+
+        window = self._window(interval)
+        if theta < 1:
+            raise InvalidIntervalError(
+                f"theta must be a positive window length, got {theta}"
+            )
+        if window.length < theta:
+            raise InvalidIntervalError(
+                f"query interval {window} is shorter than theta={theta}"
+            )
+        self._check_support(theta)
+        cert = theta_certificate(
+            self.graph, self.labels, self.order.rank, self.order.order,
+            self.graph.index_of(u), self.graph.index_of(v), window, theta,
+        )
+        return {
+            "reachable": cert.reachable,
+            "kind": cert.kind,
+            "hub": None if cert.hub is None else self.graph.label_of(cert.hub),
+            "out_interval": cert.out_interval,
+            "in_interval": cert.in_interval,
+            "window": cert.window,
+        }
+
+    def witness_path(self, u: Vertex, v: Vertex, interval: IntervalLike):
+        """A hop-minimal temporal-edge path proving the positive answer,
+        or ``None`` (see :func:`repro.graph.paths.span_path`)."""
+        from repro.graph.paths import span_path
+
+        return span_path(self.graph, u, v, self._window(interval))
+
+    def label_entries(self, u: Vertex) -> Dict[str, List[Tuple[Vertex, int, int]]]:
+        """Human-readable labels of *u*: hub ranks resolved to labels.
+
+        Returns ``{"out": [(hub, ts, te), ...], "in": [...]}`` — the
+        paper's Table I view of a vertex.
+        """
+        ui = self.graph.index_of(u)
+        out = [
+            (self.graph.label_of(self.order.order[hub]), ts, te)
+            for hub, ts, te in self.labels.out_labels[ui].entries()
+        ]
+        if not self.graph.directed:
+            return {"out": out, "in": list(out)}
+        in_ = [
+            (self.graph.label_of(self.order.order[hub]), ts, te)
+            for hub, ts, te in self.labels.in_labels[ui].entries()
+        ]
+        return {"out": out, "in": in_}
+
+    def stats(self) -> IndexStats:
+        """Aggregate index statistics (size experiments, Fig. 5/7/8)."""
+        per_vertex = [label.num_entries for label in self.labels.out_labels]
+        if self.graph.directed:
+            per_vertex += [label.num_entries for label in self.labels.in_labels]
+        total = self.labels.total_entries()
+        return IndexStats(
+            num_vertices=self.graph.num_vertices,
+            num_edges=self.graph.num_edges,
+            directed=self.graph.directed,
+            vartheta=self.vartheta,
+            method=self.method,
+            ordering=self.ordering_name,
+            total_entries=total,
+            estimated_bytes=self.labels.estimated_bytes(),
+            build_seconds=self.build_seconds,
+            max_label_entries=max(per_vertex) if per_vertex else 0,
+            avg_label_entries=(total / len(per_vertex)) if per_vertex else 0.0,
+        )
+
+    def verify(self, samples: int = 100, seed: int = 0) -> None:
+        """Spot-check the index against the brute-force oracle.
+
+        Draws random vertex pairs and windows; raises ``AssertionError``
+        on the first disagreement.  Intended for debugging and tests,
+        not production paths.
+        """
+        rng = random.Random(seed)
+        g = self.graph
+        n = g.num_vertices
+        if n < 2 or g.min_time is None:
+            return
+        lo, hi = g.min_time, g.max_time
+        max_len = self.vartheta if self.vartheta is not None else g.lifetime
+        for _ in range(samples):
+            ui, vi = rng.randrange(n), rng.randrange(n)
+            length = rng.randint(1, max(1, max_len))
+            start = rng.randint(lo - 1, hi)
+            window = (start, min(hi + 1, start + length - 1))
+            u, v = g.label_of(ui), g.label_of(vi)
+            got = self.span_reachable(u, v, window)
+            want = span_reaches_bruteforce(g, u, v, window)
+            assert got == want, (
+                f"index disagrees with oracle: {u!r} -> {v!r} in {window}: "
+                f"index={got}, oracle={want}"
+            )
+
+    def compact(self) -> "TILLIndex":
+        """Repack label arrays into typed buffers (~4x less memory).
+
+        Query behaviour is unchanged; returns ``self`` for chaining.
+        """
+        self.labels.compact()
+        return self
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the index (labels + order + metadata) to *path*.
+
+        The graph itself is not stored; :meth:`load` needs the same
+        graph again (an edge-count fingerprint is verified).
+        """
+        meta = {
+            "method": self.method,
+            "ordering": self.ordering_name,
+            "build_seconds": self.build_seconds,
+            "num_edges": self.graph.num_edges,
+        }
+        vertex_labels = list(self.graph.vertices())
+        with open(path, "wb") as fh:
+            dump_index(
+                fh, self.labels, self.order.order, vertex_labels, self.vartheta, meta
+            )
+
+    @classmethod
+    def load(cls, path: Union[str, Path], graph: TemporalGraph) -> "TILLIndex":
+        """Read an index written by :meth:`save`, rebinding it to *graph*.
+
+        The graph must match the one the index was built from; vertex
+        labels, vertex count, edge count and directedness are checked.
+        """
+        with open(path, "rb") as fh:
+            labels, header = load_index(fh)
+        if not graph.frozen:
+            graph.freeze()
+        if header["directed"] != graph.directed:
+            raise IndexBuildError("index/graph directedness mismatch")
+        if header["num_vertices"] != graph.num_vertices:
+            raise IndexBuildError(
+                f"index has {header['num_vertices']} vertices but the graph "
+                f"has {graph.num_vertices}"
+            )
+        if header["meta"].get("num_edges") not in (None, graph.num_edges):
+            raise IndexBuildError("index/graph edge-count mismatch")
+        stored = header["vertex_labels"]
+        current = list(graph.vertices())
+        if stored != current:
+            raise IndexBuildError(
+                "index/graph vertex label mismatch; was the graph rebuilt in a "
+                "different insertion order?"
+            )
+        order = VertexOrder(header["order"])
+        return cls(
+            graph,
+            order,
+            labels,
+            header["vartheta"],
+            method=header["meta"].get("method", "optimized"),
+            ordering_name=header["meta"].get("ordering", "unknown"),
+            build_seconds=header["meta"].get("build_seconds", 0.0),
+        )
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.vartheta is None else str(self.vartheta)
+        return (
+            f"TILLIndex(n={self.graph.num_vertices}, entries="
+            f"{self.labels.total_entries()}, vartheta={cap}, method={self.method})"
+        )

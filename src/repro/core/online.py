@@ -1,0 +1,83 @@
+"""Index-free query algorithms (paper Section III-A).
+
+:func:`online_span_reachable` is Algorithm 1 ``Online-Reach``: an
+alternating bidirectional BFS over the projected graph of the query
+window.  It never materializes the projection — edges outside the
+window are skipped with two binary searches per visited vertex (the
+graph keeps adjacency sorted by timestamp).
+
+:func:`online_theta_reachable` answers θ-reachability the way the paper
+describes for the online setting: one bidirectional search per θ-length
+window, ``O((t2 - t1 - θ)(n + m))`` worst case.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from repro.core.intervals import Interval, IntervalLike, as_interval
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def online_span_reachable(
+    graph: TemporalGraph, ui: int, vi: int, window: IntervalLike
+) -> bool:
+    """Algorithm 1: bidirectional BFS between internal vertices *ui*, *vi*.
+
+    The two frontiers are expanded alternately, one BFS level per turn;
+    ``True`` is returned as soon as the search scopes intersect.
+    Requires a frozen graph (time-sliced adjacency).
+    """
+    if ui == vi:
+        return True
+    win = as_interval(window)
+    ws, we = win.start, win.end
+
+    reached_fwd = {ui}
+    reached_bwd = {vi}
+    frontier_fwd = deque([ui])
+    frontier_bwd = deque([vi])
+
+    # Alternate sides while both have unexplored frontier; once one side
+    # is exhausted, keep expanding the other (line 5 of Algorithm 1:
+    # loop while Q_u ∪ Q_v is non-empty).
+    expand_forward = True
+    while frontier_fwd or frontier_bwd:
+        if expand_forward and not frontier_fwd:
+            expand_forward = False
+        elif not expand_forward and not frontier_bwd:
+            expand_forward = True
+        if expand_forward:
+            frontier, reached, other = frontier_fwd, reached_fwd, reached_bwd
+            neighbors = graph.out_adj_window
+        else:
+            frontier, reached, other = frontier_bwd, reached_bwd, reached_fwd
+            neighbors = graph.in_adj_window
+        for _ in range(len(frontier)):  # one full BFS level
+            w = frontier.popleft()
+            for w2, _t in neighbors(w, ws, we):
+                if w2 in other:
+                    return True
+                if w2 not in reached:
+                    reached.add(w2)
+                    frontier.append(w2)
+        expand_forward = not expand_forward
+    return False
+
+
+def online_theta_reachable(
+    graph: TemporalGraph,
+    ui: int,
+    vi: int,
+    window: IntervalLike,
+    theta: int,
+) -> bool:
+    """θ-reachability without an index: Algorithm 1 per θ-length window."""
+    if ui == vi:
+        return True
+    win = as_interval(window)
+    if theta < 1:
+        raise ValueError(f"theta must be a positive window length, got {theta}")
+    for start in range(win.start, win.end - theta + 2):
+        if online_span_reachable(graph, ui, vi, Interval(start, start + theta - 1)):
+            return True
+    return False

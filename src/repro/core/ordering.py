@@ -1,0 +1,111 @@
+"""Vertex orderings for hierarchical two-hop labeling.
+
+The quality (size) of a hierarchical two-hop cover hinges on processing
+"important" vertices first (paper Section IV-A).  The paper adopts the
+degree-product heuristic of Akiba et al.: importance of ``u`` is
+``(deg_out(u) + 1) * (deg_in(u) + 1)``, vertices sorted by decreasing
+importance, ties broken toward the smaller vertex id.
+
+Alternative strategies are provided for the ordering ablation
+(experiment A1 in DESIGN.md); all return a :class:`VertexOrder`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import IndexBuildError
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class VertexOrder:
+    """A total order over the internal vertex indices of a graph.
+
+    ``order[i]`` is the internal id of the *i*-th processed vertex;
+    ``rank[v]`` is the position of vertex ``v`` in that sequence.  A
+    *smaller* rank means a *higher* position in the hierarchy (the paper
+    writes :math:`\\mathcal{O}(u) < \\mathcal{O}(v)` for "u ranks higher").
+    """
+
+    __slots__ = ("order", "rank")
+
+    def __init__(self, order: Sequence[int]):
+        self.order: List[int] = list(order)
+        self.rank: List[int] = [0] * len(self.order)
+        seen = [False] * len(self.order)
+        for position, vertex in enumerate(self.order):
+            if not 0 <= vertex < len(self.order) or seen[vertex]:
+                raise IndexBuildError(
+                    f"vertex order is not a permutation of 0..{len(self.order) - 1}"
+                )
+            seen[vertex] = True
+            self.rank[vertex] = position
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def __iter__(self):
+        return iter(self.order)
+
+
+def degree_product_order(graph: TemporalGraph) -> VertexOrder:
+    """The paper's default: ``(deg_out + 1) * (deg_in + 1)`` descending,
+    ties broken by smaller internal id."""
+    n = graph.num_vertices
+
+    def importance(v: int) -> int:
+        return (len(graph.out_adj(v)) + 1) * (len(graph.in_adj(v)) + 1)
+
+    order = sorted(range(n), key=lambda v: (-importance(v), v))
+    return VertexOrder(order)
+
+
+def degree_sum_order(graph: TemporalGraph) -> VertexOrder:
+    """Total temporal degree descending — a common cheaper heuristic."""
+    n = graph.num_vertices
+    order = sorted(
+        range(n),
+        key=lambda v: (-(len(graph.out_adj(v)) + len(graph.in_adj(v))), v),
+    )
+    return VertexOrder(order)
+
+
+def out_degree_order(graph: TemporalGraph) -> VertexOrder:
+    """Out-degree descending; emphasises broadcast hubs only."""
+    n = graph.num_vertices
+    order = sorted(range(n), key=lambda v: (-len(graph.out_adj(v)), v))
+    return VertexOrder(order)
+
+
+def identity_order(graph: TemporalGraph) -> VertexOrder:
+    """Vertices in internal-id order — a deliberately weak baseline."""
+    return VertexOrder(range(graph.num_vertices))
+
+
+def random_order(graph: TemporalGraph, seed: int = 0) -> VertexOrder:
+    """A uniformly random order; ``seed`` keeps runs reproducible."""
+    order = list(range(graph.num_vertices))
+    random.Random(seed).shuffle(order)
+    return VertexOrder(order)
+
+
+ORDERINGS: Dict[str, Callable[[TemporalGraph], VertexOrder]] = {
+    "degree-product": degree_product_order,
+    "degree-sum": degree_sum_order,
+    "out-degree": out_degree_order,
+    "identity": identity_order,
+    "random": random_order,
+}
+
+
+def make_order(graph: TemporalGraph, strategy: str = "degree-product") -> VertexOrder:
+    """Look up an ordering *strategy* by name and apply it to *graph*."""
+    try:
+        factory = ORDERINGS[strategy]
+    except KeyError:
+        known = ", ".join(sorted(ORDERINGS))
+        raise IndexBuildError(
+            f"unknown ordering strategy {strategy!r}; known strategies: {known}"
+        ) from None
+    return factory(graph)

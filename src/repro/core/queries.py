@@ -1,0 +1,262 @@
+"""Query processing over TILL labels (paper Section V).
+
+All functions here operate at the *internal index* level: vertices are
+dense ints, hubs are identified by their rank in the vertex order.
+The public, label-level API lives in :class:`repro.core.index.TILLIndex`.
+
+Provided algorithms
+-------------------
+
+* :func:`span_reachable` — Algorithm 4 ``Span-Reach``: Lemma 9/10
+  prefilters, rank-ordered merge-join of the two hub arrays, and a
+  binary search per common hub over chronologically sorted skyline
+  intervals.
+* :func:`theta_reachable` — Algorithm 5 ``ES-Reach*``: the same
+  merge-join with a sliding-window two-pointer pass per common hub.
+* :func:`theta_reachable_naive` — the paper's ``ES-Reach`` baseline: one
+  ``Span-Reach`` invocation per θ-length window.
+* :func:`covered` — the construction-time pruning check (Algorithm 3
+  line 10), shared here because it is exactly a span query against a
+  partially built index.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.core.intervals import Interval, first_contained
+from repro.core.labels import LabelSet, TILLLabels
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def covered(
+    root_label: LabelSet,
+    target_label: LabelSet,
+    root_rank: int,
+    window: Interval,
+) -> bool:
+    """Is the tuple ``(root → target, window)`` answerable by the labels?
+
+    True when either
+
+    * the root itself appears as a hub of the target with a contained
+      interval (same-root dominance), or
+    * some common hub ``w`` appears in both label sets with contained
+      intervals (two-hop cover through a higher-ranked vertex).
+
+    Works on both finalized and mid-construction label sets.
+    """
+    if target_label.has_interval_within(root_rank, window):
+        return True
+    return _common_hub_within(root_label, target_label, window)
+
+
+def _common_hub_within(
+    out_label: LabelSet, in_label: LabelSet, window: Interval
+) -> bool:
+    """Merge-join of two rank-sorted hub arrays; ``True`` when some
+    common hub has a window-contained interval on *both* sides."""
+    a_hubs, b_hubs = out_label.hub_ranks, in_label.hub_ranks
+    i = j = 0
+    len_a, len_b = len(a_hubs), len(b_hubs)
+    while i < len_a and j < len_b:
+        ha, hb = a_hubs[i], b_hubs[j]
+        if ha < hb:
+            i += 1
+        elif ha > hb:
+            j += 1
+        else:
+            if _group_within(out_label, i, window) and _group_within(
+                in_label, j, window
+            ):
+                return True
+            i += 1
+            j += 1
+    return False
+
+
+def _group_within(label: LabelSet, gi: int, window: Interval) -> bool:
+    """Does the *gi*-th hub group hold an interval contained in *window*?"""
+    lo, hi = label.offsets[gi], label.offsets[gi + 1]
+    if label.finalized:
+        return first_contained(label.starts, label.ends, lo, hi, window) >= 0
+    ws, we = window
+    starts, ends = label.starts, label.ends
+    return any(ws <= starts[k] and ends[k] <= we for k in range(lo, hi))
+
+
+def span_reachable(
+    graph: TemporalGraph,
+    labels: TILLLabels,
+    rank: list,
+    ui: int,
+    vi: int,
+    window: Interval,
+    prefilter: bool = True,
+) -> bool:
+    """Algorithm 4: span-reachability of internal vertices *ui* → *vi*.
+
+    Parameters
+    ----------
+    rank:
+        ``rank[v]`` = position of vertex ``v`` in the construction order.
+    prefilter:
+        Apply the Lemma 9/10 neighbor-timestamp prechecks (requires a
+        frozen graph).  Disable for the pruning ablation.
+    """
+    if ui == vi:
+        return True
+    if prefilter and not (
+        graph.has_out_edge_in(ui, window.start, window.end)
+        and graph.has_in_edge_in(vi, window.start, window.end)
+    ):
+        return False
+    out_label = labels.out_labels[ui]
+    in_label = labels.in_labels[vi]
+    # Condition (i): v itself is a hub of u's out-label.
+    if out_label.has_interval_within(rank[vi], window):
+        return True
+    # Condition (ii): u itself is a hub of v's in-label.
+    if in_label.has_interval_within(rank[ui], window):
+        return True
+    # Condition (iii): a common higher-ranked hub covers the pair.
+    return _common_hub_within(out_label, in_label, window)
+
+
+def _group_within_theta(
+    label: LabelSet, gi: int, window: Interval, theta: int
+) -> bool:
+    """θ-conditions (1)/(2): a window-contained interval of length ≤ θ
+    inside one hub group.
+
+    The contained members form a contiguous chronological run; their
+    lengths are not monotone, so the run is scanned (the overall query
+    stays within the paper's ``O(|L_out(u)| + |L_in(v)|)`` bound).
+    """
+    lo, hi = label.offsets[gi], label.offsets[gi + 1]
+    starts, ends = label.starts, label.ends
+    k = first_contained(starts, ends, lo, hi, window)
+    if k < 0:
+        return False
+    we = window.end
+    while k < hi and ends[k] <= we:
+        if ends[k] - starts[k] + 1 <= theta:
+            return True
+        k += 1
+    return False
+
+
+def _sliding_window_pair(
+    out_label: LabelSet,
+    gi: int,
+    in_label: LabelSet,
+    gj: int,
+    window: Interval,
+    theta: int,
+) -> bool:
+    """θ-condition (3) for one common hub (Algorithm 5 lines 9-21).
+
+    Both groups are chronologically sorted skylines.  Two pointers scan
+    the window-contained runs; a pair is feasible when the union of the
+    two intervals spans at most θ timestamps.  Advancing the pointer of
+    the earlier-starting interval is safe: any later partner only grows
+    the union.
+    """
+    o_lo, o_hi = out_label.offsets[gi], out_label.offsets[gi + 1]
+    i_lo, i_hi = in_label.offsets[gj], in_label.offsets[gj + 1]
+    os_, oe = out_label.starts, out_label.ends
+    is_, ie = in_label.starts, in_label.ends
+    k = first_contained(os_, oe, o_lo, o_hi, window)
+    kp = first_contained(is_, ie, i_lo, i_hi, window)
+    if k < 0 or kp < 0:
+        return False
+    we = window.end
+    while k < o_hi and kp < i_hi and oe[k] <= we and ie[kp] <= we:
+        span = max(oe[k], ie[kp]) - min(os_[k], is_[kp]) + 1
+        if span <= theta:
+            return True
+        if os_[k] <= is_[kp]:
+            k += 1
+        else:
+            kp += 1
+    return False
+
+
+def theta_reachable(
+    graph: TemporalGraph,
+    labels: TILLLabels,
+    rank: list,
+    ui: int,
+    vi: int,
+    window: Interval,
+    theta: int,
+    prefilter: bool = True,
+) -> bool:
+    """Algorithm 5 ``ES-Reach*``: θ-reachability of *ui* → *vi*.
+
+    ``u`` θ-reaches ``v`` in ``window`` iff some θ-length subwindow
+    witnesses span-reachability (Definition 2).  Runs in
+    ``O(|L_out(u)| + |L_in(v)|)``.
+    """
+    if ui == vi:
+        return True
+    if prefilter and not (
+        graph.has_out_edge_in(ui, window.start, window.end)
+        and graph.has_in_edge_in(vi, window.start, window.end)
+    ):
+        return False
+    out_label = labels.out_labels[ui]
+    in_label = labels.in_labels[vi]
+    # Conditions (1) and (2): a single label entry of length ≤ θ where
+    # the hub *is* the other query endpoint.
+    gi = _group_index(out_label, rank[vi])
+    if gi >= 0 and _group_within_theta(out_label, gi, window, theta):
+        return True
+    gj = _group_index(in_label, rank[ui])
+    if gj >= 0 and _group_within_theta(in_label, gj, window, theta):
+        return True
+    # Condition (3): common hub with a θ-compatible interval pair.
+    a_hubs, b_hubs = out_label.hub_ranks, in_label.hub_ranks
+    i = j = 0
+    len_a, len_b = len(a_hubs), len(b_hubs)
+    while i < len_a and j < len_b:
+        ha, hb = a_hubs[i], b_hubs[j]
+        if ha < hb:
+            i += 1
+        elif ha > hb:
+            j += 1
+        else:
+            if _sliding_window_pair(out_label, i, in_label, j, window, theta):
+                return True
+            i += 1
+            j += 1
+    return False
+
+
+def _group_index(label: LabelSet, hub_rank: int) -> int:
+    """Position of *hub_rank* in the hub array, or ``-1`` when absent."""
+    i = bisect_left(label.hub_ranks, hub_rank)
+    if i < len(label.hub_ranks) and label.hub_ranks[i] == hub_rank:
+        return i
+    return -1
+
+
+def theta_reachable_naive(
+    graph: TemporalGraph,
+    labels: TILLLabels,
+    rank: list,
+    ui: int,
+    vi: int,
+    window: Interval,
+    theta: int,
+    prefilter: bool = True,
+) -> bool:
+    """The paper's ``ES-Reach`` baseline: slide a θ-length window over
+    the query interval and run ``Span-Reach`` for each position."""
+    if ui == vi:
+        return True
+    for start in range(window.start, window.end - theta + 2):
+        sub = Interval(start, start + theta - 1)
+        if span_reachable(graph, labels, rank, ui, vi, sub, prefilter=prefilter):
+            return True
+    return False

@@ -1,0 +1,177 @@
+"""Binary (de)serialization of a built TILL-Index.
+
+File layout (little-endian)
+---------------------------
+
+::
+
+    magic   8 bytes   b"TILLIDX1"
+    hlen    u32       length of the JSON header
+    header  hlen      JSON: {"directed", "vartheta", "num_vertices",
+                             "vertex_labels", "order", "meta",
+                             "body_crc32", "body_len"}
+    body              one label block per vertex per direction
+
+The header records the CRC-32 and length of the body, so bit-level
+corruption of the label arrays is detected at load time instead of
+surfacing as silently wrong query answers.
+
+Each label block::
+
+    num_hubs     u32
+    num_entries  u32
+    hub_ranks    i32 * num_hubs
+    offsets      i32 * (num_hubs + 1)
+    starts       i64 * num_entries
+    ends         i64 * num_entries
+
+Directed indexes store ``2 * n`` blocks (all out-labels, then all
+in-labels); undirected indexes store ``n`` blocks.  Timestamps are
+signed 64-bit so arbitrary integer epochs round-trip.
+
+Vertex labels are stored as JSON, which deliberately restricts them to
+JSON-representable values (str, int, float, bool, None) — a safe,
+pickle-free format.  Note that JSON round-trips tuples as lists; use
+scalar vertex ids if exact type fidelity matters.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import zlib
+from array import array
+from typing import Any, BinaryIO, Dict, List, Tuple
+
+from repro.core.labels import LabelSet, TILLLabels
+from repro.errors import IndexFormatError
+
+MAGIC = b"TILLIDX1"
+_U32 = struct.Struct("<I")
+
+
+def _write_array(fh: BinaryIO, typecode: str, values: List[int]) -> None:
+    arr = array(typecode, values)
+    if hasattr(arr, "tobytes"):
+        fh.write(arr.tobytes())
+
+
+def _read_array(fh: BinaryIO, typecode: str, count: int) -> List[int]:
+    arr = array(typecode)
+    itemsize = arr.itemsize
+    data = fh.read(itemsize * count)
+    if len(data) != itemsize * count:
+        raise IndexFormatError("truncated index file: array body too short")
+    arr.frombytes(data)
+    return arr.tolist()
+
+
+def _write_label_set(fh: BinaryIO, label: LabelSet) -> None:
+    fh.write(_U32.pack(label.num_hubs))
+    fh.write(_U32.pack(label.num_entries))
+    _write_array(fh, "i", label.hub_ranks)
+    _write_array(fh, "i", label.offsets)
+    _write_array(fh, "q", label.starts)
+    _write_array(fh, "q", label.ends)
+
+
+def _read_label_set(fh: BinaryIO) -> LabelSet:
+    raw = fh.read(8)
+    if len(raw) != 8:
+        raise IndexFormatError("truncated index file: missing label block header")
+    num_hubs, num_entries = struct.unpack("<II", raw)
+    label = LabelSet()
+    label.hub_ranks = _read_array(fh, "i", num_hubs)
+    label.offsets = _read_array(fh, "i", num_hubs + 1)
+    label.starts = _read_array(fh, "q", num_entries)
+    label.ends = _read_array(fh, "q", num_entries)
+    if label.offsets and (label.offsets[0] != 0 or label.offsets[-1] != num_entries):
+        raise IndexFormatError("corrupt index file: inconsistent label offsets")
+    if not label.offsets:
+        raise IndexFormatError("corrupt index file: empty offsets array")
+    label.finalized = True
+    return label
+
+
+def dump_index(
+    fh: BinaryIO,
+    labels: TILLLabels,
+    order: List[int],
+    vertex_labels: List[Any],
+    vartheta: Any,
+    meta: Dict[str, Any],
+) -> None:
+    """Serialize a finalized label family plus its metadata to *fh*."""
+    body = io.BytesIO()
+    for label in labels.out_labels:
+        _write_label_set(body, label)
+    if labels.directed:
+        for label in labels.in_labels:
+            _write_label_set(body, label)
+    body_bytes = body.getvalue()
+    header = {
+        "directed": labels.directed,
+        "vartheta": vartheta,
+        "num_vertices": labels.num_vertices,
+        "vertex_labels": vertex_labels,
+        "order": list(order),
+        "meta": meta,
+        "body_crc32": zlib.crc32(body_bytes),
+        "body_len": len(body_bytes),
+    }
+    try:
+        encoded = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    except TypeError as exc:
+        raise IndexFormatError(
+            "vertex labels must be JSON-serializable to save an index; "
+            "relabel the graph with scalar vertex ids first"
+        ) from exc
+    fh.write(MAGIC)
+    fh.write(_U32.pack(len(encoded)))
+    fh.write(encoded)
+    fh.write(body_bytes)
+
+
+def load_index(fh: BinaryIO) -> Tuple[TILLLabels, Dict[str, Any]]:
+    """Read an index written by :func:`dump_index`.
+
+    Returns the label family plus the decoded JSON header.
+    """
+    magic = fh.read(len(MAGIC))
+    if magic != MAGIC:
+        raise IndexFormatError(
+            f"not a TILL index file (bad magic {magic!r}, expected {MAGIC!r})"
+        )
+    raw = fh.read(4)
+    if len(raw) != 4:
+        raise IndexFormatError("truncated index file: missing header length")
+    (hlen,) = _U32.unpack(raw)
+    try:
+        header = json.loads(fh.read(hlen).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IndexFormatError("corrupt index file: undecodable header") from exc
+    body_bytes = fh.read()
+    expected_len = header.get("body_len")
+    if expected_len is not None and len(body_bytes) != expected_len:
+        raise IndexFormatError(
+            f"corrupt index file: body is {len(body_bytes)} bytes, header "
+            f"says {expected_len}"
+        )
+    expected_crc = header.get("body_crc32")
+    if expected_crc is not None and zlib.crc32(body_bytes) != expected_crc:
+        raise IndexFormatError(
+            "corrupt index file: body checksum mismatch (bit rot or a "
+            "truncated/overwritten file)"
+        )
+    body = io.BytesIO(body_bytes)
+    n = header["num_vertices"]
+    labels = TILLLabels(0, header["directed"])
+    labels.out_labels = [_read_label_set(body) for _ in range(n)]
+    if header["directed"]:
+        labels.in_labels = [_read_label_set(body) for _ in range(n)]
+    else:
+        labels.in_labels = labels.out_labels
+    if body.read(1):
+        raise IndexFormatError("corrupt index file: trailing bytes after labels")
+    return labels, header

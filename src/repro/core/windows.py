@@ -1,0 +1,112 @@
+"""Enumerating the minimal reachability windows of a vertex pair.
+
+Boolean queries answer "are they connected in *this* window"; analysts
+often need the inverse: *in which windows* are two entities connected
+at all?  The complete answer is the **pair skyline** — the set of
+containment-minimal intervals `[ts, te]` with `u ⇝[ts,te] v`; `u`
+span-reaches `v` in a window iff the window contains a skyline member.
+
+The TILL-Index already holds everything needed.  Every positive answer
+comes from a certificate: a direct label entry, or a common hub `w`
+with an out-interval `I` and an in-interval `I'`; the witnessed window
+is the hull `[min(starts), max(ends)]`.  Conversely every reachable
+window contains some certificate hull (that is exactly query
+correctness).  Hence:
+
+    pair skyline  =  skyline of all certificate hulls,
+
+which :func:`minimal_windows` computes with one merge over the two
+label sets — no graph traversal.
+
+With a build-time ϑ cap the enumeration is **complete for windows of
+length ≤ ϑ** (every such minimal window is returned).  Longer windows
+may still appear — a hull of two capped certificates can exceed ϑ and
+is always a *correct* reachability window — but minimal windows longer
+than ϑ whose certificates were never indexed are missed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.index import TILLIndex
+from repro.core.intervals import Interval, SkylineSet
+from repro.core.labels import LabelSet
+from repro.graph.temporal_graph import Vertex
+
+
+def _group_intervals(label: LabelSet, hub_rank: int):
+    bounds = label.group_bounds(hub_rank)
+    if bounds is None:
+        return []
+    lo, hi = bounds
+    return list(zip(label.starts[lo:hi], label.ends[lo:hi]))
+
+
+def minimal_windows(index: TILLIndex, u: Vertex, v: Vertex) -> List[Interval]:
+    """All containment-minimal windows in which *u* span-reaches *v*.
+
+    Sorted by start time.  ``u`` span-reaches ``v`` in an arbitrary
+    window of length within the index's ϑ cap iff that window contains
+    one of the returned intervals (see the module docstring for the
+    capped-index completeness guarantee).  For ``u == v`` a
+    ``ValueError`` is raised — every window, including any single
+    timestamp, trivially works and there is no meaningful skyline.
+    """
+    graph = index.graph
+    ui = graph.index_of(u)
+    vi = graph.index_of(v)
+    if ui == vi:
+        raise ValueError(
+            "minimal_windows is undefined for u == v (reachable in every "
+            "window)"
+        )
+    rank = index.order.rank
+    out_label = index.labels.out_labels[ui]
+    in_label = index.labels.in_labels[vi]
+    sky = SkylineSet()
+    # Direct certificates: the other endpoint as hub.
+    for iv in _group_intervals(out_label, rank[vi]):
+        sky.add(iv)
+    for iv in _group_intervals(in_label, rank[ui]):
+        sky.add(iv)
+    # Common-hub certificates: hull of every interval pair.
+    a_hubs, b_hubs = out_label.hub_ranks, in_label.hub_ranks
+    i = j = 0
+    while i < len(a_hubs) and j < len(b_hubs):
+        ha, hb = a_hubs[i], b_hubs[j]
+        if ha < hb:
+            i += 1
+        elif ha > hb:
+            j += 1
+        else:
+            lo_o, hi_o = out_label.offsets[i], out_label.offsets[i + 1]
+            lo_i, hi_i = in_label.offsets[j], in_label.offsets[j + 1]
+            for ko in range(lo_o, hi_o):
+                os_, oe = out_label.starts[ko], out_label.ends[ko]
+                for ki in range(lo_i, hi_i):
+                    is_, ie = in_label.starts[ki], in_label.ends[ki]
+                    sky.add((min(os_, is_), max(oe, ie)))
+            i += 1
+            j += 1
+    return sky.intervals()
+
+
+def earliest_window(
+    index: TILLIndex, u: Vertex, v: Vertex
+) -> Optional[Interval]:
+    """The minimal window with the smallest start time, or ``None``
+    when the pair is never connected (within the index's ϑ cap)."""
+    windows = minimal_windows(index, u, v)
+    return windows[0] if windows else None
+
+
+def tightest_window(
+    index: TILLIndex, u: Vertex, v: Vertex
+) -> Optional[Interval]:
+    """The shortest minimal window — "how fast were these two ever
+    connected?" — or ``None``.  Ties break toward the earlier window."""
+    windows = minimal_windows(index, u, v)
+    if not windows:
+        return None
+    return min(windows, key=lambda iv: (iv.length, iv.start))

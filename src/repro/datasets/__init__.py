@@ -1,0 +1,31 @@
+"""Dataset stand-ins for the paper's Table II corpus."""
+
+from repro.datasets.paper_example import (
+    PAPER_EDGES,
+    PAPER_VERTICES,
+    paper_example_graph,
+)
+from repro.datasets.registry import (
+    REGISTRY,
+    REPRESENTATIVE,
+    SPECS,
+    DatasetSpec,
+    clear_cache,
+    dataset_names,
+    get_spec,
+    load_dataset,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "SPECS",
+    "REGISTRY",
+    "REPRESENTATIVE",
+    "dataset_names",
+    "get_spec",
+    "load_dataset",
+    "clear_cache",
+    "paper_example_graph",
+    "PAPER_EDGES",
+    "PAPER_VERTICES",
+]

@@ -1,0 +1,122 @@
+"""The 17 Table II dataset stand-ins.
+
+The paper evaluates on seventeen public SNAP/KONECT temporal graphs
+(Table II), four of which — **Enron, Youtube, DBLP and Flickr** — serve
+as the representative datasets of Figures 7–9 (named explicitly in
+Section VI; Chess is named as the fastest-indexing dataset).  This
+environment has no network access and pure-Python index construction
+cannot ingest million-edge graphs in reasonable time (see DESIGN.md
+"Substitutions"), so each dataset is replaced by a *synthetic stand-in*
+that preserves what drives the algorithms' relative behaviour:
+
+* the category's structural model (cascading email bursts, power-law
+  social ties, time-sliced collaboration communities, near-uniform
+  game pairings);
+* directedness, matching the original (`M` column of Table II);
+* the *ordering* of dataset sizes (chess smallest … flickr largest),
+  so cross-dataset trends in Figs. 4–6 keep their shape.
+
+Every stand-in is deterministic (fixed seed) and carries its Table II
+row via :func:`repro.graph.statistics.graph_stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import DatasetError
+from repro.graph import generators
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one Table II stand-in."""
+
+    name: str
+    category: str
+    directed: bool
+    model: str  # generator key in repro.graph.generators.GENERATORS
+    num_vertices: int
+    num_edges: int
+    lifetime: int
+    seed: int
+
+    def load(self) -> TemporalGraph:
+        """Generate the stand-in graph (deterministic for the spec)."""
+        factory = generators.GENERATORS[self.model]
+        return factory(
+            self.num_vertices,
+            self.num_edges,
+            self.lifetime,
+            directed=self.directed,
+            seed=self.seed,
+        )
+
+
+def _spec(name, category, directed, model, n, m, lifetime, seed) -> DatasetSpec:
+    return DatasetSpec(name, category, directed, model, n, m, lifetime, seed)
+
+
+#: All 17 datasets, ordered smallest to largest as in the paper's plots.
+SPECS: Tuple[DatasetSpec, ...] = (
+    _spec("chess",          "game",           True,  "uniform",       300,  1500,  60, 101),
+    _spec("wiki-elections", "voting",         True,  "preferential",  350,  2000,  80, 102),
+    _spec("college-msg",    "messaging",      True,  "preferential",  400,  2500, 120, 103),
+    _spec("email-eu",       "email",          True,  "cascade",       500,  3500, 150, 104),
+    _spec("enron",          "email",          True,  "cascade",       800,  5000, 200, 105),
+    _spec("digg",           "social news",    True,  "preferential",  700,  4500, 150, 106),
+    _spec("slashdot",       "social news",    True,  "preferential",  800,  5000, 180, 107),
+    _spec("epinions",       "trust",          True,  "preferential",  900,  5500, 200, 108),
+    _spec("facebook-wall",  "social",         True,  "preferential", 1000,  6000, 250, 109),
+    _spec("math-overflow",  "q&a",            True,  "preferential", 1000,  7000, 250, 110),
+    _spec("ask-ubuntu",     "q&a",            True,  "preferential", 1200,  8000, 300, 111),
+    _spec("super-user",     "q&a",            True,  "preferential", 1400,  9000, 350, 112),
+    _spec("wiki-talk",      "communication",  True,  "cascade",      1600, 10000, 400, 113),
+    _spec("prosper-loans",  "economic",       True,  "preferential", 1200,  8000, 300, 114),
+    _spec("dblp",           "co-authorship",  False, "community",    1500,  9000, 300, 115),
+    _spec("youtube",        "friendship",     False, "preferential", 2000, 11000, 400, 116),
+    _spec("flickr",         "friendship",     True,  "preferential", 2500, 14000, 500, 117),
+)
+
+REGISTRY: Dict[str, DatasetSpec] = {spec.name: spec for spec in SPECS}
+
+#: The four representative datasets of Figures 7, 8 and 9.
+REPRESENTATIVE: Tuple[str, ...] = ("enron", "youtube", "dblp", "flickr")
+
+_cache: Dict[str, TemporalGraph] = {}
+
+
+def dataset_names() -> List[str]:
+    """All 17 dataset names, smallest to largest."""
+    return [spec.name for spec in SPECS]
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Spec by name; raises :class:`DatasetError` for unknown names."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(dataset_names())
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}") from None
+
+
+def load_dataset(name: str, cache: bool = True) -> TemporalGraph:
+    """Generate (or fetch from the process-level cache) a stand-in graph.
+
+    The cache matters because experiment modules load the same datasets
+    repeatedly; generation is deterministic, so sharing is safe as long
+    as callers treat graphs as read-only (all library transforms copy).
+    """
+    if cache and name in _cache:
+        return _cache[name]
+    graph = get_spec(name).load()
+    if cache:
+        _cache[name] = graph
+    return graph
+
+
+def clear_cache() -> None:
+    """Drop all cached dataset graphs (tests use this for isolation)."""
+    _cache.clear()

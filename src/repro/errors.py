@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by the library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting genuine programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A temporal graph was constructed or used inconsistently."""
+
+
+class UnknownVertexError(GraphError, KeyError):
+    """A vertex id was referenced that is not part of the graph.
+
+    Inherits from :class:`KeyError` because lookup-by-vertex is
+    dictionary-like; code written against plain mappings keeps working.
+    """
+
+    def __init__(self, vertex: object):
+        super().__init__(vertex)
+        self.vertex = vertex
+
+    def __str__(self) -> str:  # KeyError would repr() the args tuple
+        return f"unknown vertex: {self.vertex!r}"
+
+
+class FrozenGraphError(GraphError):
+    """A mutation was attempted on a graph that has been frozen."""
+
+
+class InvalidIntervalError(ReproError, ValueError):
+    """A time interval was malformed (e.g. start after end)."""
+
+
+class UnsupportedIntervalError(ReproError):
+    """A query interval exceeds what the index was built to answer.
+
+    Raised when a :class:`~repro.core.index.TILLIndex` built with a finite
+    length cap ``vartheta`` receives a query whose window is wider than
+    the cap and no online fallback was requested.
+    """
+
+
+class IndexBuildError(ReproError):
+    """Index construction failed or was configured inconsistently."""
+
+
+class IndexFormatError(ReproError):
+    """A serialized index file is corrupt or from an incompatible version."""
+
+
+class DatasetError(ReproError):
+    """A dataset name is unknown or a dataset file cannot be parsed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured with invalid parameters."""

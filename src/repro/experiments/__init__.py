@@ -1,0 +1,58 @@
+"""Reproduction of every table and figure in the paper's evaluation.
+
+Each module exposes ``run(...) -> ExperimentResult``; the registry
+below maps experiment ids (as used by the CLI and DESIGN.md) to those
+entry points.
+"""
+
+from typing import Callable, Dict
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ablation_optimizations,
+    analysis_operations,
+    ablation_ordering,
+    ablation_pruning,
+    example,
+    extension_streaming,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table2,
+)
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import render
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": example.run,
+    "table2": table2.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "ablation-ordering": ablation_ordering.run,
+    "ablation-pruning": ablation_pruning.run,
+    "ablation-optimizations": ablation_optimizations.run,
+    "extension-streaming": extension_streaming.run,
+    "analysis-operations": analysis_operations.run,
+}
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Run experiment *name* (see :data:`EXPERIMENTS`) with overrides."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment {name!r}; known experiments: {known}"
+        ) from None
+    return runner(**kwargs)
+
+
+__all__ = ["EXPERIMENTS", "run_experiment", "render", "ExperimentResult"]

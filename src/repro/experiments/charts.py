@@ -1,0 +1,224 @@
+"""ASCII charts for experiment results.
+
+The paper presents Figures 4-9 as log-scale bar and line charts.  A
+terminal reproduction needs a terminal rendering: this module draws
+horizontal bar charts (optionally log-scaled, like the paper's axes)
+and compact line series from :class:`ExperimentResult` rows, with no
+plotting dependencies.
+
+Example output (Fig. 4 shape)::
+
+    chess        online  ████████████████████████████▌  28.3 ms
+                 span    ███▍                            3.4 ms
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import fmt_time
+
+FULL = "█"
+PARTIALS = ["", "▏", "▎", "▍", "▌", "▋", "▊", "▉"]
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A unicode bar filling ``fraction`` of ``width`` character cells."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    cells = fraction * width
+    whole = int(cells)
+    partial = PARTIALS[int((cells - whole) * 8)]
+    return FULL * whole + partial
+
+
+def bar_chart(
+    items: Sequence,
+    value_of: Callable[[Any], Optional[float]],
+    label_of: Callable[[Any], str],
+    width: int = 40,
+    log_scale: bool = True,
+    format_value: Callable[[Optional[float]], str] = fmt_time,
+) -> str:
+    """Horizontal bar chart of ``value_of(item)`` per item.
+
+    ``None`` values render as ``DNF`` with no bar (the paper's missing
+    bars).  With ``log_scale`` bars are proportional to the value's
+    position between the min and max on a log axis — matching the
+    paper's log-scale figures, where a 100x gap is visible but does not
+    flatten the smaller bars to zero.
+    """
+    values = [value_of(item) for item in items]
+    labels = [label_of(item) for item in items]
+    present = [v for v in values if v is not None and v > 0]
+    lines = []
+    label_width = max((len(l) for l in labels), default=0)
+    if present:
+        vmax = max(present)
+        vmin = min(present)
+        for label, value in zip(labels, values):
+            if value is None or value <= 0:
+                bar, shown = "", format_value(None if value is None else value)
+            else:
+                if log_scale and vmax > vmin:
+                    fraction = (math.log(value) - math.log(vmin) + 1.0) / (
+                        math.log(vmax) - math.log(vmin) + 1.0
+                    )
+                elif vmax > 0:
+                    fraction = value / vmax
+                else:
+                    fraction = 0.0
+                bar = _bar(fraction, width)
+                shown = format_value(value)
+            lines.append(f"{label.ljust(label_width)}  {bar.ljust(width)}  {shown}")
+    else:
+        lines = [f"{label.ljust(label_width)}  {format_value(None)}"
+                 for label in labels]
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    result: ExperimentResult,
+    group_key: str,
+    series_keys: Sequence[str],
+    width: int = 40,
+    log_scale: bool = True,
+    format_value: Callable[[Optional[float]], str] = fmt_time,
+) -> str:
+    """The paper's per-dataset grouped bars (Figs. 4 and 6).
+
+    One group per distinct ``group_key`` value; within each group, one
+    bar per series column.  All bars share one scale so cross-group
+    comparison works, exactly like a shared figure axis.
+    """
+    rows = result.rows
+    flat = [
+        (row.get(group_key, "?"), key, row.get(key))
+        for row in rows
+        for key in series_keys
+    ]
+    series_width = max(len(k) for k in series_keys)
+    values = [v for _, _, v in flat if isinstance(v, (int, float)) and v > 0]
+    out: List[str] = []
+    vmin = min(values) if values else 0.0
+    vmax = max(values) if values else 0.0
+
+    def fraction(v: float) -> float:
+        if log_scale and vmax > vmin:
+            return (math.log(v) - math.log(vmin) + 1.0) / (
+                math.log(vmax) - math.log(vmin) + 1.0
+            )
+        return v / vmax if vmax else 0.0
+
+    group_width = max(len(str(g)) for g, _, _ in flat) if flat else 0
+    last_group = None
+    for group, key, value in flat:
+        head = str(group).ljust(group_width) if group != last_group else \
+            " " * group_width
+        last_group = group
+        if isinstance(value, (int, float)) and value > 0:
+            bar = _bar(fraction(float(value)), width)
+            shown = format_value(float(value))
+        else:
+            bar, shown = "", format_value(None)
+        out.append(
+            f"{head}  {key.ljust(series_width)}  {bar.ljust(width)}  {shown}"
+        )
+    return "\n".join(out)
+
+
+def chart_for(name: str, result: ExperimentResult) -> Optional[str]:
+    """The natural chart for a known experiment id, or ``None``.
+
+    Used by ``repro experiment NAME --chart``; mirrors how each figure
+    is drawn in the paper (grouped log-scale bars for Figs. 4-6,
+    x-sweeps for Figs. 7-9).
+    """
+    from repro.experiments.report import fmt_bytes
+
+    def fmt_b(value):
+        return fmt_bytes(None if value is None else int(value))
+
+    if name == "fig4":
+        return grouped_bar_chart(
+            result, "Dataset", ["online_reach_s", "span_reach_s"]
+        )
+    if name == "fig5":
+        return grouped_bar_chart(
+            result, "Dataset", ["graph_bytes", "index_bytes"],
+            format_value=fmt_b,
+        )
+    if name == "fig6":
+        return grouped_bar_chart(
+            result, "Dataset", ["till_construct_s", "till_construct_star_s"]
+        )
+    if name == "fig7":
+        return "build time:\n" + line_series(
+            result, "vartheta_ratio", "build_s", "Dataset"
+        ) + "\n\nindex size:\n" + line_series(
+            result, "vartheta_ratio", "index_bytes", "Dataset"
+        )
+    if name == "fig8":
+        sized = ExperimentResult(result.experiment, result.description, [
+            {**row, "series": f"{row.get('Dataset')}/{row.get('mode')}"}
+            for row in result.rows
+        ])
+        return line_series(sized, "ratio", "build_s", "series")
+    if name == "fig9":
+        merged = ExperimentResult(result.experiment, result.description, [
+            {**row, "series": f"{row.get('Dataset')}/{alg}",
+             "time_s": row.get(key)}
+            for row in result.rows
+            for alg, key in (("naive", "es_reach_s"), ("star", "es_reach_star_s"))
+        ])
+        return line_series(merged, "theta_fraction", "time_s", "series")
+    if name == "ablation-ordering":
+        return grouped_bar_chart(
+            result, "Dataset", ["build_s", "query_batch_s"]
+        )
+    if name == "ablation-pruning":
+        return grouped_bar_chart(
+            result, "regime", ["prefilter_on_s", "prefilter_off_s"]
+        )
+    return None
+
+
+def line_series(
+    result: ExperimentResult,
+    x_key: str,
+    y_key: str,
+    group_key: Optional[str] = None,
+    width: int = 50,
+) -> str:
+    """Compact per-group sparklines over an x-sweep (Figs. 7-9 shape).
+
+    Values are normalized per chart (not per group) into eight
+    sparkline levels; ``None`` points render as ``·``.
+    """
+    levels = "▁▂▃▄▅▆▇█"
+    groups: Dict[Any, List] = {}
+    for row in result.rows:
+        groups.setdefault(row.get(group_key) if group_key else "", []).append(row)
+    all_values = [
+        row.get(y_key) for row in result.rows
+        if isinstance(row.get(y_key), (int, float))
+    ]
+    if not all_values:
+        return "(no data)"
+    vmin, vmax = min(all_values), max(all_values)
+    span = (vmax - vmin) or 1.0
+    out = []
+    name_width = max(len(str(g)) for g in groups)
+    for name, rows in groups.items():
+        rows = sorted(rows, key=lambda r: r.get(x_key))
+        marks = []
+        for row in rows:
+            value = row.get(y_key)
+            if not isinstance(value, (int, float)):
+                marks.append("·")
+                continue
+            marks.append(levels[int((value - vmin) / span * 7)])
+        xs = ", ".join(str(r.get(x_key)) for r in rows)
+        out.append(f"{str(name).ljust(name_width)}  {''.join(marks)}  (x: {xs})")
+    return "\n".join(out)

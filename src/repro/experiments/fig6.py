@@ -1,0 +1,60 @@
+"""Figure 6 — index construction time: TILL-Construct vs TILL-Construct*.
+
+Builds every dataset's index with both Algorithm 2 (basic: exhaustive
+SRT enumeration + CRT filtering) and Algorithm 3 (optimized: shortest-
+interval priority queue + covered-subtree pruning).  The basic builder
+gets a wall-clock budget, mirroring the paper's six-hour cutoff; over-
+budget runs are reported as DNF exactly as the paper omits them.
+
+Expected shape: TILL-Construct* at least two orders of magnitude faster
+wherever the basic builder finishes at all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.index import TILLIndex
+from repro.core.construction import BuildBudgetExceeded
+from repro.datasets import dataset_names, load_dataset
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import speedup
+
+
+def run(
+    datasets: Optional[List[str]] = None,
+    basic_budget_seconds: float = 60.0,
+) -> ExperimentResult:
+    names = datasets if datasets is not None else dataset_names()
+    result = ExperimentResult(
+        experiment="Figure 6",
+        description="Index construction time, basic vs optimized builder",
+    )
+    for name in names:
+        graph = load_dataset(name)
+        optimized = TILLIndex.build(graph, method="optimized")
+        opt_s = optimized.build_seconds
+        try:
+            basic = TILLIndex.build(
+                graph, method="basic", budget_seconds=basic_budget_seconds
+            )
+            basic_s: Optional[float] = basic.build_seconds
+        except BuildBudgetExceeded:
+            basic_s = None
+        result.add_row(
+            Dataset=name,
+            till_construct_s=basic_s,
+            till_construct_star_s=opt_s,
+            speedup=speedup(basic_s, opt_s),
+            index_entries=optimized.labels.total_entries(),
+        )
+    result.note(
+        f"basic builder budget: {basic_budget_seconds:.0f}s per dataset "
+        "(the paper used a six-hour cutoff); DNF rows mirror the paper's "
+        "missing bars."
+    )
+    result.note(
+        "paper shape check: TILL-Construct* >= ~100x faster wherever the "
+        "basic builder finishes."
+    )
+    return result

@@ -1,0 +1,99 @@
+"""Experiment plumbing: timing, result records, dataset preparation.
+
+Every experiment module in this package produces an
+:class:`ExperimentResult` — a named list of row dictionaries — which
+:mod:`repro.experiments.report` renders as a paper-style text table and
+the benchmark suite consumes programmatically.
+
+Times are wall-clock (:func:`time.perf_counter`) medians over a small
+number of repetitions; the paper reports single C++ runs, but medians
+tame CPython jitter at our much smaller absolute scales.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from repro.core.index import TILLIndex
+from repro.datasets import load_dataset
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment (one table or one figure)."""
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, key: str) -> List[Any]:
+        """One column across all rows (missing values become ``None``)."""
+        return [row.get(key) for row in self.rows]
+
+
+def time_callable(
+    fn: Callable[[], Any], repeat: int = 3, number: int = 1
+) -> float:
+    """Median wall-clock seconds of ``number`` calls to *fn*.
+
+    ``repeat`` independent samples are taken and the median returned;
+    the result of the final call is discarded (callables are expected
+    to be pure measurements).
+    """
+    samples = []
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        for _ in range(max(1, number)):
+            fn()
+        samples.append((time.perf_counter() - started) / max(1, number))
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+@dataclass
+class PreparedDataset:
+    """A dataset together with its built default index (shared across
+    experiments within one process to avoid redundant construction)."""
+
+    name: str
+    graph: TemporalGraph
+    index: TILLIndex
+
+
+_prepared: Dict[str, PreparedDataset] = {}
+
+
+def prepare_dataset(name: str) -> PreparedDataset:
+    """Load dataset *name* and build (or reuse) its default TILL-Index."""
+    if name in _prepared:
+        return _prepared[name]
+    graph = load_dataset(name)
+    index = TILLIndex.build(graph)
+    prepared = PreparedDataset(name=name, graph=graph, index=index)
+    _prepared[name] = prepared
+    return prepared
+
+
+def clear_prepared() -> None:
+    """Drop all cached prepared datasets (test isolation)."""
+    _prepared.clear()
+
+
+def graph_size_bytes(graph: TemporalGraph) -> int:
+    """Dataset size proxy used by the Fig. 5 comparison.
+
+    Matches the index-size estimate's convention: a temporal edge is
+    two 32-bit vertex ids plus a 32-bit timestamp (12 bytes), the same
+    flat-array accounting the paper's C++ implementation implies.
+    """
+    return 12 * graph.num_edges

@@ -1,0 +1,103 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents results as log-scale bar/line charts; in a terminal
+reproduction the equivalent artefact is an aligned table with
+human-scale units.  :func:`render` turns an
+:class:`~repro.experiments.harness.ExperimentResult` into one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.harness import ExperimentResult
+
+
+def fmt_time(seconds: Optional[float]) -> str:
+    """Seconds → the unit ladder the paper uses (s / ms / µs)."""
+    if seconds is None:
+        return "DNF"
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.2f} us"
+
+
+def fmt_bytes(count: Optional[int]) -> str:
+    """Bytes → KB/MB with two decimals."""
+    if count is None:
+        return "-"
+    if count >= 1 << 20:
+        return f"{count / (1 << 20):.2f} MB"
+    if count >= 1 << 10:
+        return f"{count / (1 << 10):.2f} KB"
+    return f"{count} B"
+
+
+def fmt_value(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, Any]], columns: Optional[List[str]] = None) -> str:
+    """Align *rows* into a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[fmt_value(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(w) for col, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown(
+    rows: Sequence[Dict[str, Any]], columns: Optional[List[str]] = None
+) -> str:
+    """GitHub-flavoured markdown table of *rows* (for EXPERIMENTS.md)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(fmt_value(row.get(col)) for col in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def render(result: ExperimentResult, columns: Optional[List[str]] = None) -> str:
+    """Full report: heading, table, footnotes."""
+    parts = [
+        f"== {result.experiment} ==",
+        result.description,
+        "",
+        format_table(result.rows, columns),
+    ]
+    if result.notes:
+        parts.append("")
+        parts.extend(f"note: {note}" for note in result.notes)
+    return "\n".join(parts)
+
+
+def speedup(slow: Optional[float], fast: Optional[float]) -> Optional[float]:
+    """``slow / fast`` with ``None`` (DNF) propagation."""
+    if slow is None or fast is None or fast <= 0:
+        return None
+    return slow / fast

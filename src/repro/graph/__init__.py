@@ -1,0 +1,20 @@
+"""Temporal graph substrate: storage, projection, I/O, generation."""
+
+from repro.graph.projection import (
+    StaticGraph,
+    project,
+    span_reaches_bruteforce,
+    theta_reaches_bruteforce,
+)
+from repro.graph.statistics import GraphStats, graph_stats
+from repro.graph.temporal_graph import TemporalGraph
+
+__all__ = [
+    "TemporalGraph",
+    "StaticGraph",
+    "project",
+    "span_reaches_bruteforce",
+    "theta_reaches_bruteforce",
+    "GraphStats",
+    "graph_stats",
+]

@@ -1,0 +1,270 @@
+"""Reading and writing temporal graphs.
+
+Supported formats
+-----------------
+
+``edgelist``
+    Whitespace-separated ``u v t`` per line — the layout of the SNAP
+    temporal collections (e.g. ``CollegeMsg.txt``).  Lines starting
+    with ``#`` are comments.  Vertex tokens that parse as integers are
+    stored as ints, otherwise as strings.
+
+``konect``
+    The KONECT ``out.<name>`` layout: ``u v [weight [t]]`` with ``%``
+    comment lines.  When a weight column is present the timestamp is
+    the fourth column; two-column lines get timestamp ``1``.
+
+``json``
+    ``{"directed": bool, "edges": [[u, v, t], ...], "vertices": [...]}``
+    — lossless for JSON-representable vertex labels and convenient for
+    small fixtures.
+
+``csv``
+    ``source,target,timestamp`` with a header row — the layout most
+    spreadsheet/pandas exports produce.  Extra columns are ignored;
+    the three required columns are located by header name.
+
+Any path ending in ``.gz`` is transparently (de)compressed.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import IO, Optional, Union
+
+from repro.errors import DatasetError
+from repro.graph.temporal_graph import TemporalGraph
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike, mode: str) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def _parse_vertex(token: str):
+    """Integers stay integers so ids round-trip compactly."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_edgelist(
+    path: PathLike,
+    directed: bool = True,
+    comment: str = "#",
+    freeze: bool = True,
+) -> TemporalGraph:
+    """Read a SNAP-style ``u v t`` edge list."""
+    graph = TemporalGraph(directed=directed)
+    with _open_text(path, "r") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 3:
+                raise DatasetError(
+                    f"{path}:{lineno}: expected 'u v t', got {line!r}"
+                )
+            u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
+            try:
+                t = int(parts[2])
+            except ValueError:
+                raise DatasetError(
+                    f"{path}:{lineno}: timestamp is not an integer: {parts[2]!r}"
+                ) from None
+            graph.add_edge(u, v, t)
+    if freeze:
+        graph.freeze()
+    return graph
+
+
+def write_edgelist(graph: TemporalGraph, path: PathLike) -> None:
+    """Write a graph as a SNAP-style ``u v t`` edge list."""
+    with _open_text(path, "w") as fh:
+        fh.write(f"# directed={graph.directed} n={graph.num_vertices} "
+                 f"m={graph.num_edges}\n")
+        for u, v, t in graph.edges():
+            fh.write(f"{u} {v} {t}\n")
+
+
+def read_konect(
+    path: PathLike, directed: bool = True, freeze: bool = True
+) -> TemporalGraph:
+    """Read a KONECT ``out.*`` file (``u v [weight [timestamp]]``)."""
+    graph = TemporalGraph(directed=directed)
+    with _open_text(path, "r") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise DatasetError(
+                    f"{path}:{lineno}: expected at least 'u v', got {line!r}"
+                )
+            u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
+            if len(parts) >= 4:
+                raw_t = parts[3]
+            elif len(parts) == 3:
+                raw_t = parts[2]
+            else:
+                raw_t = "1"
+            try:
+                # KONECT sometimes stores float epochs; truncate.
+                t = int(float(raw_t))
+            except ValueError:
+                raise DatasetError(
+                    f"{path}:{lineno}: timestamp is not numeric: {raw_t!r}"
+                ) from None
+            graph.add_edge(u, v, t)
+    if freeze:
+        graph.freeze()
+    return graph
+
+
+def read_json(path: PathLike, freeze: bool = True) -> TemporalGraph:
+    """Read the library's JSON graph format."""
+    with _open_text(path, "r") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"{path}: invalid JSON: {exc}") from exc
+    try:
+        directed = bool(payload["directed"])
+        edges = payload["edges"]
+    except (KeyError, TypeError) as exc:
+        raise DatasetError(
+            f"{path}: JSON graph needs 'directed' and 'edges' keys"
+        ) from exc
+    graph = TemporalGraph(directed=directed)
+    for label in payload.get("vertices", []):
+        graph.add_vertex(label)
+    for edge in edges:
+        if len(edge) != 3:
+            raise DatasetError(f"{path}: malformed edge {edge!r}")
+        u, v, t = edge
+        graph.add_edge(u, v, int(t))
+    if freeze:
+        graph.freeze()
+    return graph
+
+
+def write_json(graph: TemporalGraph, path: PathLike) -> None:
+    """Write the library's JSON graph format (preserves isolated vertices)."""
+    payload = {
+        "directed": graph.directed,
+        "vertices": list(graph.vertices()),
+        "edges": [[u, v, t] for u, v, t in graph.edges()],
+    }
+    with _open_text(path, "w") as fh:
+        json.dump(payload, fh, separators=(",", ":"))
+
+
+#: Accepted header names for each CSV column, lowercase.
+_CSV_COLUMNS = {
+    "source": ("source", "src", "from", "u", "payer", "sender"),
+    "target": ("target", "dst", "to", "v", "payee", "receiver"),
+    "timestamp": ("timestamp", "time", "t", "ts", "date", "when"),
+}
+
+
+def read_csv(
+    path: PathLike, directed: bool = True, freeze: bool = True
+) -> TemporalGraph:
+    """Read a CSV with a header naming source/target/timestamp columns.
+
+    Column matching is case-insensitive over the common aliases in
+    ``_CSV_COLUMNS``; any extra columns are ignored.
+    """
+    import csv as _csv
+
+    graph = TemporalGraph(directed=directed)
+    with _open_text(path, "r") as fh:
+        reader = _csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetError(f"{path}: empty CSV file") from None
+        lower = [cell.strip().lower() for cell in header]
+        indices = {}
+        for role, aliases in _CSV_COLUMNS.items():
+            for alias in aliases:
+                if alias in lower:
+                    indices[role] = lower.index(alias)
+                    break
+        missing = [role for role in _CSV_COLUMNS if role not in indices]
+        if missing:
+            raise DatasetError(
+                f"{path}: CSV header {header!r} lacks recognisable "
+                f"{'/'.join(missing)} column(s)"
+            )
+        for lineno, row in enumerate(reader, 2):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            try:
+                u = _parse_vertex(row[indices["source"]].strip())
+                v = _parse_vertex(row[indices["target"]].strip())
+                t = int(float(row[indices["timestamp"]].strip()))
+            except (IndexError, ValueError) as exc:
+                raise DatasetError(f"{path}:{lineno}: malformed row {row!r}") \
+                    from exc
+            graph.add_edge(u, v, t)
+    if freeze:
+        graph.freeze()
+    return graph
+
+
+def write_csv(graph: TemporalGraph, path: PathLike) -> None:
+    """Write a graph as ``source,target,timestamp`` CSV with a header."""
+    import csv as _csv
+
+    with _open_text(path, "w") as fh:
+        writer = _csv.writer(fh, lineterminator="\n")
+        writer.writerow(["source", "target", "timestamp"])
+        for u, v, t in graph.edges():
+            writer.writerow([u, v, t])
+
+
+READERS = {
+    "edgelist": read_edgelist,
+    "konect": read_konect,
+    "json": read_json,
+    "csv": read_csv,
+}
+
+
+def read_graph(
+    path: PathLike, fmt: Optional[str] = None, directed: bool = True
+) -> TemporalGraph:
+    """Dispatch on *fmt*, or guess it from the filename.
+
+    Guessing: ``*.json[.gz]`` → json; ``*.csv[.gz]`` → csv; files named
+    ``out.*`` → konect; anything else → edgelist.
+    """
+    if fmt is None:
+        name = Path(path).name
+        stripped = name[:-3] if name.endswith(".gz") else name
+        if stripped.endswith(".json"):
+            fmt = "json"
+        elif stripped.endswith(".csv"):
+            fmt = "csv"
+        elif stripped.startswith("out."):
+            fmt = "konect"
+        else:
+            fmt = "edgelist"
+    try:
+        reader = READERS[fmt]
+    except KeyError:
+        known = ", ".join(sorted(READERS))
+        raise DatasetError(f"unknown graph format {fmt!r}; known: {known}") from None
+    if fmt == "json":
+        return reader(path)
+    return reader(path, directed=directed)

@@ -1,0 +1,151 @@
+"""Projected static graphs and brute-force reachability oracles.
+
+Definition 1 of the paper reduces span-reachability to plain
+reachability in the *projected graph* of an interval: the static graph
+containing exactly the edges whose timestamps fall inside the interval.
+This module materialises projected graphs and provides exhaustive
+BFS-based reachability — the ground truth the whole test suite checks
+the index against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Set, Tuple
+
+from repro.core.intervals import IntervalLike, as_interval
+from repro.graph.temporal_graph import TemporalGraph, Vertex
+
+
+class StaticGraph:
+    """A plain static digraph over the vertex set of a temporal graph.
+
+    Vertices are the *internal indices* of the originating
+    :class:`TemporalGraph`; adjacency lists are deduplicated.
+    """
+
+    __slots__ = ("num_vertices", "out", "in_", "directed")
+
+    def __init__(self, num_vertices: int, directed: bool = True):
+        self.num_vertices = num_vertices
+        self.directed = directed
+        self.out: List[Set[int]] = [set() for _ in range(num_vertices)]
+        self.in_: List[Set[int]] = [set() for _ in range(num_vertices)]
+
+    def add_edge(self, u: int, v: int) -> None:
+        self.out[u].add(v)
+        self.in_[v].add(u)
+        if not self.directed:
+            self.out[v].add(u)
+            self.in_[u].add(v)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct directed arcs (pairs counted once each way)."""
+        return sum(len(s) for s in self.out)
+
+    def reachable_from(self, source: int) -> Set[int]:
+        """All vertices reachable from *source* (including itself)."""
+        seen = {source}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in self.out[u]:
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return seen
+
+    def reaches(self, source: int, target: int) -> bool:
+        """BFS reachability test from *source* to *target*."""
+        if source == target:
+            return True
+        seen = {source}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in self.out[u]:
+                if v == target:
+                    return True
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return False
+
+
+def project(graph: TemporalGraph, interval: IntervalLike) -> StaticGraph:
+    """The projected static graph :math:`\\mathcal{G}([t_s, t_e])`.
+
+    Keeps every vertex and exactly the edges whose timestamp lies in the
+    interval (Section II of the paper).
+    """
+    window = as_interval(interval)
+    projected = StaticGraph(graph.num_vertices, directed=graph.directed)
+    for ui in range(graph.num_vertices):
+        for vi, t in graph.out_adj(ui):
+            if window.start <= t <= window.end:
+                projected.out[ui].add(vi)
+                projected.in_[vi].add(ui)
+    return projected
+
+
+def span_reaches_bruteforce(
+    graph: TemporalGraph, u: Vertex, v: Vertex, interval: IntervalLike
+) -> bool:
+    """Ground-truth span-reachability by explicit projection + BFS.
+
+    Exponentially simpler than the index and deliberately unoptimized:
+    this is the oracle the rest of the library is validated against.
+    """
+    ui = graph.index_of(u)
+    vi = graph.index_of(v)
+    if ui == vi:
+        return True
+    return project(graph, interval).reaches(ui, vi)
+
+
+def theta_reaches_bruteforce(
+    graph: TemporalGraph, u: Vertex, v: Vertex, interval: IntervalLike, theta: int
+) -> bool:
+    """Ground-truth θ-reachability: try every θ-length window.
+
+    Follows Definition 2 literally — a window ``[t, t + θ - 1]`` slides
+    over the query interval and each projected graph is searched.
+    """
+    window = as_interval(interval)
+    if theta < 1:
+        raise ValueError(f"theta must be a positive window length, got {theta}")
+    if window.length < theta:
+        raise ValueError(
+            f"query interval {window} is shorter than theta={theta}"
+        )
+    ui = graph.index_of(u)
+    vi = graph.index_of(v)
+    if ui == vi:
+        return True
+    for start in range(window.start, window.end - theta + 2):
+        if project(graph, (start, start + theta - 1)).reaches(ui, vi):
+            return True
+    return False
+
+
+def reachable_set(
+    graph: TemporalGraph, u: Vertex, interval: IntervalLike
+) -> Set[Vertex]:
+    """Labels of every vertex *u* span-reaches within *interval*."""
+    ui = graph.index_of(u)
+    reached = project(graph, interval).reachable_from(ui)
+    return {graph.label_of(i) for i in reached}
+
+
+def connected_pairs(
+    graph: TemporalGraph, interval: IntervalLike
+) -> Iterable[Tuple[Vertex, Vertex]]:
+    """Every ordered pair ``(u, v)`` with ``u ≠ v`` span-connected in
+    *interval* — exhaustive; intended for small test graphs only."""
+    projected = project(graph, interval)
+    for ui in range(graph.num_vertices):
+        u = graph.label_of(ui)
+        for vi in projected.reachable_from(ui):
+            if vi != ui:
+                yield (u, graph.label_of(vi))

@@ -1,0 +1,140 @@
+"""Structure- and time-transformations of temporal graphs.
+
+Dataset preparation utilities: real dumps carry Unix-epoch timestamps
+(ϑ_G in the billions), while experiments want compact atomic units —
+:func:`normalize_timestamps` and :func:`coarsen_timestamps` perform the
+standard rescaling.  The remaining transforms (reverse, undirected
+view, induced subgraph, relabel) are the usual graph plumbing.
+
+Every transform returns a **new frozen graph**; inputs are never
+mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional
+
+from repro.errors import GraphError
+from repro.graph.temporal_graph import TemporalGraph, Vertex
+
+
+def normalize_timestamps(graph: TemporalGraph) -> TemporalGraph:
+    """Shift timestamps so the earliest edge is at time 1.
+
+    Lifetime (ϑ_G) is preserved; only the origin moves.
+    """
+    if graph.min_time is None:
+        return graph.copy()
+    shift = 1 - graph.min_time
+    out = TemporalGraph(directed=graph.directed)
+    for label in graph.vertices():
+        out.add_vertex(label)
+    for u, v, t in graph.edges():
+        out.add_edge(u, v, t + shift)
+    return out.freeze()
+
+
+def coarsen_timestamps(graph: TemporalGraph, unit: int) -> TemporalGraph:
+    """Bucket timestamps into atomic units of width *unit*.
+
+    E.g. ``unit=86400`` converts Unix-second data to days.  The result
+    is additionally normalized to start at time 1 so that ϑ_G equals
+    the number of buckets spanned.
+    """
+    if unit < 1:
+        raise GraphError(f"coarsening unit must be >= 1, got {unit}")
+    if graph.min_time is None:
+        return graph.copy()
+    origin = graph.min_time
+    out = TemporalGraph(directed=graph.directed)
+    for label in graph.vertices():
+        out.add_vertex(label)
+    for u, v, t in graph.edges():
+        out.add_edge(u, v, (t - origin) // unit + 1)
+    return out.freeze()
+
+
+def reverse(graph: TemporalGraph) -> TemporalGraph:
+    """Flip every edge direction (undirected graphs copy unchanged).
+
+    ``u`` span-reaches ``v`` in the reverse graph iff ``v`` span-reaches
+    ``u`` in the original — handy for validating in/out label symmetry.
+    """
+    out = TemporalGraph(directed=graph.directed)
+    for label in graph.vertices():
+        out.add_vertex(label)
+    for u, v, t in graph.edges():
+        if graph.directed:
+            out.add_edge(v, u, t)
+        else:
+            out.add_edge(u, v, t)
+    return out.freeze()
+
+
+def to_undirected(graph: TemporalGraph) -> TemporalGraph:
+    """Forget edge directions (each temporal edge kept once)."""
+    out = TemporalGraph(directed=False)
+    for label in graph.vertices():
+        out.add_vertex(label)
+    for u, v, t in graph.edges():
+        out.add_edge(u, v, t)
+    return out.freeze()
+
+
+def induced_subgraph(graph: TemporalGraph, keep: Iterable[Vertex]) -> TemporalGraph:
+    """Subgraph on the vertex set *keep* (edges with both endpoints kept)."""
+    kept = set(keep)
+    out = TemporalGraph(directed=graph.directed)
+    for label in graph.vertices():
+        if label in kept:
+            out.add_vertex(label)
+    for u, v, t in graph.edges():
+        if u in kept and v in kept:
+            out.add_edge(u, v, t)
+    return out.freeze()
+
+
+def time_slice(graph: TemporalGraph, start: int, end: int) -> TemporalGraph:
+    """The temporal subgraph of edges with timestamps in ``[start, end]``.
+
+    Unlike :func:`repro.graph.projection.project` this keeps the result
+    *temporal* (timestamps preserved), so it composes with indexing.
+    """
+    if start > end:
+        raise GraphError(f"empty time slice [{start}, {end}]")
+    out = TemporalGraph(directed=graph.directed)
+    for label in graph.vertices():
+        out.add_vertex(label)
+    for u, v, t in graph.edges():
+        if start <= t <= end:
+            out.add_edge(u, v, t)
+    return out.freeze()
+
+
+def relabel(
+    graph: TemporalGraph, mapping: Optional[Dict[Vertex, Hashable]] = None
+) -> TemporalGraph:
+    """Rename vertices.
+
+    With ``mapping=None`` vertices are renamed to their dense internal
+    indices ``0..n-1`` — the canonical form used before serialization
+    of graphs with exotic labels.  A partial mapping raises
+    :class:`GraphError` (silent partial renames corrupt datasets).
+    """
+    if mapping is None:
+        mapping = {label: i for i, label in enumerate(graph.vertices())}
+    else:
+        missing = [v for v in graph.vertices() if v not in mapping]
+        if missing:
+            raise GraphError(
+                f"relabel mapping misses {len(missing)} vertices, "
+                f"e.g. {missing[0]!r}"
+            )
+        if len(set(mapping.values())) != len(mapping):
+            raise GraphError("relabel mapping is not injective")
+    out = TemporalGraph(directed=graph.directed)
+    for label in graph.vertices():
+        out.add_vertex(mapping[label])
+    for u, v, t in graph.edges():
+        out.add_edge(mapping[u], mapping[v], t)
+    return out.freeze()

@@ -1,0 +1,22 @@
+"""Related-work temporal reachability models (paper Sections I, VII).
+
+These exist so examples and tests can demonstrate where span-
+reachability diverges from earlier definitions:
+
+* :mod:`repro.models.time_respecting` — non-decreasing-timestamp paths;
+* :mod:`repro.models.historical` — single-snapshot (dis/con)junctive
+  reachability of Semertzidis et al. (θ = 1 special case).
+"""
+
+from repro.models.historical import conjunctive_reachable, disjunctive_reachable
+from repro.models.time_respecting import (
+    earliest_arrival,
+    time_respecting_reachable,
+)
+
+__all__ = [
+    "time_respecting_reachable",
+    "earliest_arrival",
+    "disjunctive_reachable",
+    "conjunctive_reachable",
+]

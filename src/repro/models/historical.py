@@ -1,0 +1,63 @@
+"""Historical reachability (Semertzidis, Pitoura & Lillis).
+
+The related-work model the paper generalizes (Section II, Section VII):
+given a window ``[t1, t2]``,
+
+* **disjunctive** historical reachability holds when *some* timestamp
+  ``t`` in the window admits a path all of whose edges carry exactly
+  ``t`` — i.e. reachability in the snapshot :math:`\\mathcal{G}([t, t])`;
+* **conjunctive** historical reachability holds when *every* timestamp
+  in the window does.
+
+The paper observes that disjunctive historical reachability is exactly
+θ-reachability with ``θ = 1``; :func:`disjunctive_reachable` exploits
+that and answers through a :class:`~repro.core.index.TILLIndex` when
+one is supplied, falling back to snapshot BFS otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.intervals import IntervalLike, as_interval
+from repro.graph.projection import project
+from repro.graph.temporal_graph import TemporalGraph, Vertex
+
+
+def disjunctive_reachable(
+    graph: TemporalGraph,
+    u: Vertex,
+    v: Vertex,
+    interval: IntervalLike,
+    index: Optional["TILLIndex"] = None,  # noqa: F821 - forward ref
+) -> bool:
+    """Some single-timestamp snapshot inside *interval* connects *u* → *v*.
+
+    Equivalent to ``index.theta_reachable(u, v, interval, theta=1)``;
+    computed via snapshot BFS when no index is given.
+    """
+    window = as_interval(interval)
+    if graph.index_of(u) == graph.index_of(v):
+        return True
+    if index is not None:
+        return index.theta_reachable(u, v, window, theta=1)
+    ui, vi = graph.index_of(u), graph.index_of(v)
+    for t in range(window.start, window.end + 1):
+        if project(graph, (t, t)).reaches(ui, vi):
+            return True
+    return False
+
+
+def conjunctive_reachable(
+    graph: TemporalGraph, u: Vertex, v: Vertex, interval: IntervalLike
+) -> bool:
+    """*Every* single-timestamp snapshot inside *interval* connects
+    *u* → *v* — the strictest historical model."""
+    window = as_interval(interval)
+    if graph.index_of(u) == graph.index_of(v):
+        return True
+    ui, vi = graph.index_of(u), graph.index_of(v)
+    return all(
+        project(graph, (t, t)).reaches(ui, vi)
+        for t in range(window.start, window.end + 1)
+    )

@@ -1,0 +1,162 @@
+"""Public testing utilities: oracles and Hypothesis strategies.
+
+Downstream users extending the library (a new ordering, a custom
+builder, an alternative query path) need the same machinery our own
+suite uses: ground-truth oracles and random temporal-graph generation.
+This module packages both behind a stable import path.
+
+Hypothesis is an optional dependency of this module only — importing
+:mod:`repro.testing` without Hypothesis installed still gives the
+oracles; the strategy factories raise a clear error.
+
+Example
+-------
+
+>>> from repro import TILLIndex
+>>> from repro.testing import assert_index_correct, random_temporal_graph
+>>> g = random_temporal_graph(seed=7, num_vertices=12, num_edges=40)
+>>> assert_index_correct(TILLIndex.build(g), samples=50)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.index import TILLIndex
+from repro.graph.projection import (
+    span_reaches_bruteforce,
+    theta_reaches_bruteforce,
+)
+from repro.graph.temporal_graph import TemporalGraph
+
+__all__ = [
+    "span_reaches_bruteforce",
+    "theta_reaches_bruteforce",
+    "random_temporal_graph",
+    "assert_index_correct",
+    "temporal_graphs",
+    "query_windows",
+]
+
+
+def random_temporal_graph(
+    seed: int,
+    num_vertices: int = 10,
+    num_edges: int = 30,
+    max_time: int = 10,
+    directed: bool = True,
+) -> TemporalGraph:
+    """A reproducible uniform random temporal graph with **all**
+    vertices present (isolated ones included), frozen and query-ready.
+
+    The exact generator our own property tests use — uniform endpoints,
+    uniform timestamps in ``1..max_time``.
+    """
+    rng = random.Random(seed)
+    graph = TemporalGraph(directed=directed)
+    for v in range(num_vertices):
+        graph.add_vertex(v)
+    for _ in range(num_edges):
+        graph.add_edge(
+            rng.randrange(num_vertices),
+            rng.randrange(num_vertices),
+            rng.randint(1, max_time),
+        )
+    return graph.freeze()
+
+
+def assert_index_correct(
+    index: TILLIndex,
+    samples: int = 200,
+    seed: int = 0,
+    theta_samples: int = 0,
+) -> None:
+    """Cross-check *index* against the brute-force oracles.
+
+    Raises ``AssertionError`` with the offending query on the first
+    disagreement.  ``theta_samples > 0`` additionally samples
+    θ-reachability queries.  Respects a build-time ϑ cap by only
+    drawing supported windows.
+    """
+    graph = index.graph
+    n = graph.num_vertices
+    if n < 2 or graph.min_time is None:
+        return
+    rng = random.Random(seed)
+    lo, hi = graph.min_time, graph.max_time
+    max_len = index.vartheta if index.vartheta is not None else graph.lifetime
+    for _ in range(samples):
+        u = graph.label_of(rng.randrange(n))
+        v = graph.label_of(rng.randrange(n))
+        start = rng.randint(lo, hi)
+        end = min(hi, start + rng.randint(0, max(0, max_len - 1)))
+        window = (start, end)
+        got = index.span_reachable(u, v, window)
+        want = span_reaches_bruteforce(graph, u, v, window)
+        assert got == want, (
+            f"span query disagrees with oracle: {u!r} -> {v!r} in {window}: "
+            f"index={got}, oracle={want}"
+        )
+    for _ in range(theta_samples):
+        u = graph.label_of(rng.randrange(n))
+        v = graph.label_of(rng.randrange(n))
+        start = rng.randint(lo, hi)
+        end = rng.randint(start, hi)
+        theta = rng.randint(1, min(max_len, end - start + 1))
+        got = index.theta_reachable(u, v, (start, end), theta)
+        want = theta_reaches_bruteforce(graph, u, v, (start, end), theta)
+        assert got == want, (
+            f"theta query disagrees with oracle: {u!r} -> {v!r} in "
+            f"[{start}, {end}], theta={theta}: index={got}, oracle={want}"
+        )
+
+
+def _require_hypothesis():
+    try:
+        from hypothesis import strategies as st
+    except ImportError as exc:  # pragma: no cover - env without hypothesis
+        raise ImportError(
+            "repro.testing's strategy factories need the 'hypothesis' "
+            "package; install it or use random_temporal_graph() instead"
+        ) from exc
+    return st
+
+
+def temporal_graphs(
+    max_vertices: int = 12,
+    max_edges: int = 40,
+    max_time: int = 12,
+    directed: Optional[bool] = None,
+):
+    """A Hypothesis strategy producing frozen random temporal graphs.
+
+    ``directed=None`` draws both kinds; pass ``True``/``False`` to pin.
+    """
+    st = _require_hypothesis()
+    directed_strategy = (
+        st.booleans() if directed is None else st.just(directed)
+    )
+
+    return st.builds(
+        random_temporal_graph,
+        seed=st.integers(0, 2**32 - 1),
+        num_vertices=st.integers(2, max_vertices),
+        num_edges=st.integers(1, max_edges),
+        max_time=st.integers(1, max_time),
+        directed=directed_strategy,
+    )
+
+
+def query_windows(min_time: int = 1, max_time: int = 12):
+    """A Hypothesis strategy for valid ``(start, end)`` query windows
+    within ``[min_time, max_time]``."""
+    st = _require_hypothesis()
+
+    def _sorted_pair(pair):
+        a, b = pair
+        return (min(a, b), max(a, b))
+
+    return st.tuples(
+        st.integers(min_time, max_time), st.integers(min_time, max_time)
+    ).map(_sorted_pair)

@@ -1,0 +1,17 @@
+"""Query workload generation — the paper's Section VI protocol."""
+
+from repro.workloads.queries import (
+    QueryWorkload,
+    SpanQuery,
+    ThetaQuery,
+    make_span_workload,
+    make_theta_workload,
+)
+
+__all__ = [
+    "QueryWorkload",
+    "SpanQuery",
+    "ThetaQuery",
+    "make_span_workload",
+    "make_theta_workload",
+]

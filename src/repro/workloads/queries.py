@@ -1,0 +1,153 @@
+"""Span- and θ-reachability query workloads.
+
+Section VI-A of the paper describes the evaluation protocol precisely:
+
+    *"we randomly pick 100 vertex pairs in each graph.  For each vertex
+    pair, we randomly generate subintervals of* ``[1, ϑ_G]`` *and only
+    keep intervals if the conditions in Lemma 9 and Lemma 10 are
+    satisfied.  We repeat this step until 10 intervals are found.  [...]
+    As a result, we fully prepare 1000 span-reachability queries."*
+
+Lemma 9/10 require the source to have an out-edge and the target an
+in-edge inside the window — without them every algorithm answers
+``False`` immediately, so unfiltered random intervals would benchmark
+the prefilter instead of the algorithms.
+
+Section VI-C reuses the same pairs/intervals for θ-reachability,
+setting θ to a fraction of each interval's length (10%–90%).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.core.intervals import Interval
+from repro.errors import ExperimentError
+from repro.graph.temporal_graph import TemporalGraph, Vertex
+
+
+@dataclass(frozen=True)
+class SpanQuery:
+    """One span-reachability query instance."""
+
+    u: Vertex
+    v: Vertex
+    interval: Interval
+
+
+@dataclass(frozen=True)
+class ThetaQuery:
+    """One θ-reachability query instance."""
+
+    u: Vertex
+    v: Vertex
+    interval: Interval
+    theta: int
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A reproducible batch of queries over one graph."""
+
+    queries: Tuple
+    seed: int
+
+    def __iter__(self) -> Iterator:
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def _prefilters_pass(
+    graph: TemporalGraph, ui: int, vi: int, window: Interval
+) -> bool:
+    """The Lemma 9/10 conditions the paper uses to keep an interval."""
+    return graph.has_out_edge_in(ui, window.start, window.end) and \
+        graph.has_in_edge_in(vi, window.start, window.end)
+
+
+def make_span_workload(
+    graph: TemporalGraph,
+    num_pairs: int = 100,
+    intervals_per_pair: int = 10,
+    seed: int = 0,
+    max_attempts_per_interval: int = 2000,
+) -> QueryWorkload:
+    """Generate the Section VI-A workload for *graph*.
+
+    Random vertex pairs (``u ≠ v``), then per pair random subintervals
+    of ``[min_time, max_time]`` kept only when the Lemma 9/10 prechecks
+    pass.  Pairs for which no interval passes within
+    ``max_attempts_per_interval`` draws are redrawn; a graph too sparse
+    to yield any workload raises :class:`ExperimentError`.
+    """
+    if graph.num_vertices < 2 or graph.min_time is None:
+        raise ExperimentError("workload generation needs >= 2 vertices and edges")
+    if not graph.frozen:
+        graph.freeze()
+    rng = random.Random(seed)
+    lo, hi = graph.min_time, graph.max_time
+    queries: List[SpanQuery] = []
+    n = graph.num_vertices
+    pair_attempts = 0
+    pairs_done = 0
+    while pairs_done < num_pairs:
+        pair_attempts += 1
+        if pair_attempts > 50 * num_pairs:
+            raise ExperimentError(
+                "could not generate the requested workload: graph appears too "
+                "sparse for the Lemma 9/10 filters"
+            )
+        ui = rng.randrange(n)
+        vi = rng.randrange(n)
+        if ui == vi:
+            continue
+        found: List[Interval] = []
+        for _ in range(max_attempts_per_interval):
+            if len(found) == intervals_per_pair:
+                break
+            a = rng.randint(lo, hi)
+            b = rng.randint(lo, hi)
+            window = Interval(min(a, b), max(a, b))
+            if _prefilters_pass(graph, ui, vi, window):
+                found.append(window)
+        if len(found) < intervals_per_pair:
+            continue  # redraw the pair, as the paper's protocol implies
+        u, v = graph.label_of(ui), graph.label_of(vi)
+        queries.extend(SpanQuery(u, v, w) for w in found)
+        pairs_done += 1
+    return QueryWorkload(queries=tuple(queries), seed=seed)
+
+
+def make_theta_workload(
+    graph: TemporalGraph,
+    theta_fraction: float,
+    num_pairs: int = 100,
+    intervals_per_pair: int = 10,
+    seed: int = 0,
+) -> QueryWorkload:
+    """The Section VI-C workload: the span workload with θ set to
+    ``theta_fraction`` of each interval's length (at least 1)."""
+    if not 0.0 < theta_fraction <= 1.0:
+        raise ExperimentError(
+            f"theta_fraction must be in (0, 1], got {theta_fraction}"
+        )
+    base = make_span_workload(
+        graph,
+        num_pairs=num_pairs,
+        intervals_per_pair=intervals_per_pair,
+        seed=seed,
+    )
+    queries = tuple(
+        ThetaQuery(
+            q.u,
+            q.v,
+            q.interval,
+            max(1, int(q.interval.length * theta_fraction)),
+        )
+        for q in base
+    )
+    return QueryWorkload(queries=queries, seed=seed)

@@ -1,0 +1,196 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.experiments.charts import (
+    _bar,
+    bar_chart,
+    chart_for,
+    grouped_bar_chart,
+    line_series,
+)
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import fmt_time
+
+
+def _result(rows, name="Figure X"):
+    return ExperimentResult(experiment=name, description="test", rows=rows)
+
+
+class TestBar:
+    def test_empty_at_zero(self):
+        assert _bar(0.0, 10) == ""
+
+    def test_full_at_one(self):
+        assert _bar(1.0, 10) == "█" * 10
+
+    def test_clamps_out_of_range(self):
+        assert _bar(2.0, 10) == "█" * 10
+        assert _bar(-1.0, 10) == ""
+
+    def test_partial_blocks(self):
+        half = _bar(0.5, 10)
+        assert 4 <= len(half) <= 6
+
+
+class TestBarChart:
+    def test_each_item_gets_a_line(self):
+        text = bar_chart(
+            [("a", 0.1), ("b", 0.01)],
+            value_of=lambda p: p[1],
+            label_of=lambda p: p[0],
+        )
+        assert len(text.splitlines()) == 2
+        assert "a" in text and "b" in text
+
+    def test_dnf_renders_without_bar(self):
+        text = bar_chart(
+            [("ok", 1.0), ("dnf", None)],
+            value_of=lambda p: p[1],
+            label_of=lambda p: p[0],
+        )
+        dnf_line = next(l for l in text.splitlines() if l.startswith("dnf"))
+        assert "DNF" in dnf_line
+        assert "█" not in dnf_line
+
+    def test_log_scale_keeps_small_bars_visible(self):
+        text = bar_chart(
+            [("big", 100.0), ("small", 0.001)],
+            value_of=lambda p: p[1],
+            label_of=lambda p: p[0],
+            log_scale=True,
+        )
+        small_line = next(l for l in text.splitlines() if l.startswith("small"))
+        assert "█" in small_line or "▏" in small_line
+
+    def test_linear_scale(self):
+        text = bar_chart(
+            [("big", 10.0), ("half", 5.0)],
+            value_of=lambda p: p[1],
+            label_of=lambda p: p[0],
+            log_scale=False,
+        )
+        big, half = text.splitlines()
+        assert big.count("█") > half.count("█")
+
+    def test_all_none(self):
+        text = bar_chart(
+            [("x", None)], value_of=lambda p: p[1], label_of=lambda p: p[0]
+        )
+        assert "DNF" in text
+
+
+class TestGroupedBarChart:
+    def test_group_label_printed_once(self):
+        result = _result([
+            {"Dataset": "chess", "a_s": 0.5, "b_s": 0.05},
+            {"Dataset": "enron", "a_s": 0.7, "b_s": 0.07},
+        ])
+        text = grouped_bar_chart(result, "Dataset", ["a_s", "b_s"])
+        assert text.count("chess") == 1
+        assert text.count("enron") == 1
+        assert len(text.splitlines()) == 4
+
+    def test_missing_value_is_dnf(self):
+        result = _result([{"Dataset": "x", "a_s": None, "b_s": 0.5}])
+        text = grouped_bar_chart(result, "Dataset", ["a_s", "b_s"])
+        assert "DNF" in text
+
+
+class TestLineSeries:
+    def test_one_line_per_group(self):
+        result = _result([
+            {"Dataset": "a", "x": 0.2, "y": 1.0},
+            {"Dataset": "a", "x": 0.4, "y": 2.0},
+            {"Dataset": "b", "x": 0.2, "y": 3.0},
+        ])
+        text = line_series(result, "x", "y", "Dataset")
+        assert len(text.splitlines()) == 2
+
+    def test_sorted_by_x(self):
+        result = _result([
+            {"x": 0.9, "y": 8.0},
+            {"x": 0.1, "y": 1.0},
+        ])
+        text = line_series(result, "x", "y")
+        assert "x: 0.1, 0.9" in text
+        marks = text.split()[0]
+        assert marks[0] < marks[1]  # sparkline levels ascend with y
+
+    def test_no_data(self):
+        assert line_series(_result([]), "x", "y") == "(no data)"
+
+    def test_none_points_render_dot(self):
+        result = _result([{"x": 1, "y": None}, {"x": 2, "y": 5.0}])
+        text = line_series(result, "x", "y")
+        assert "·" in text
+
+
+class TestChartFor:
+    def test_fig4_chart(self):
+        result = _result([
+            {"Dataset": "chess", "online_reach_s": 0.05, "span_reach_s": 0.001},
+        ])
+        text = chart_for("fig4", result)
+        assert "online_reach_s" in text
+
+    def test_fig5_uses_byte_format(self):
+        result = _result([
+            {"Dataset": "chess", "graph_bytes": 2048, "index_bytes": 1024},
+        ])
+        text = chart_for("fig5", result)
+        assert "KB" in text
+
+    def test_fig7_two_panels(self):
+        result = _result([
+            {"Dataset": "enron", "vartheta_ratio": 0.2, "build_s": 0.5,
+             "index_bytes": 100},
+            {"Dataset": "enron", "vartheta_ratio": 1.0, "build_s": 0.9,
+             "index_bytes": 150},
+        ])
+        text = chart_for("fig7", result)
+        assert "build time:" in text and "index size:" in text
+
+    def test_fig9_splits_algorithms(self):
+        result = _result([
+            {"Dataset": "enron", "theta_fraction": 0.1,
+             "es_reach_s": 0.2, "es_reach_star_s": 0.05},
+        ])
+        text = chart_for("fig9", result)
+        assert "enron/naive" in text and "enron/star" in text
+
+    def test_unknown_experiment_none(self):
+        assert chart_for("table2", _result([])) is None
+
+    @pytest.mark.parametrize("name", ["fig6", "fig8", "ablation-ordering",
+                                      "ablation-pruning"])
+    def test_other_charts_render_without_error(self, name):
+        rows = {
+            "fig6": [{"Dataset": "x", "till_construct_s": None,
+                      "till_construct_star_s": 0.1}],
+            "fig8": [{"Dataset": "x", "mode": "vertex", "ratio": 0.5,
+                      "build_s": 0.3}],
+            "ablation-ordering": [{"Dataset": "x", "build_s": 0.2,
+                                   "query_batch_s": 0.01}],
+            "ablation-pruning": [{"regime": "filtered",
+                                  "prefilter_on_s": 0.1,
+                                  "prefilter_off_s": 0.1}],
+        }[name]
+        assert chart_for(name, _result(rows))
+
+
+class TestCliChartFlag:
+    def test_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "fig5", "--datasets", "chess",
+                     "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "index_bytes" in out
+
+    def test_chart_flag_no_renderer(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "table2", "--datasets", "chess",
+                     "--chart"]) == 0
+        assert "no chart renderer" in capsys.readouterr().out

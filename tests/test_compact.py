@@ -1,0 +1,79 @@
+"""Tests for the typed-array compaction of label storage."""
+
+from array import array
+
+import pytest
+
+from repro import TemporalGraph, TILLIndex
+from repro.graph.projection import span_reaches_bruteforce
+
+from tests.conftest import random_graph
+
+
+class TestCompact:
+    def test_compact_preserves_all_answers(self):
+        g = random_graph(13, num_vertices=12, num_edges=40, max_time=10)
+        index = TILLIndex.build(g)
+        before = {
+            (u, v, w): index.span_reachable(u, v, w)
+            for u in range(0, 12, 2)
+            for v in range(1, 12, 2)
+            for w in [(1, 4), (3, 8), (5, 5), (1, 10)]
+        }
+        index.compact()
+        for (u, v, w), want in before.items():
+            assert index.span_reachable(u, v, w) == want
+
+    def test_compact_returns_self(self):
+        g = random_graph(0, num_vertices=6, num_edges=15)
+        index = TILLIndex.build(g)
+        assert index.compact() is index
+
+    def test_arrays_are_typed_after_compaction(self):
+        g = random_graph(1, num_vertices=8, num_edges=20)
+        index = TILLIndex.build(g).compact()
+        label = index.labels.out_labels[0]
+        assert isinstance(label.hub_ranks, array)
+        assert isinstance(label.starts, array)
+
+    def test_theta_queries_after_compaction(self):
+        g = random_graph(2, num_vertices=10, num_edges=30, max_time=8)
+        index = TILLIndex.build(g)
+        want = [
+            index.theta_reachable(u, v, (1, 8), theta)
+            for u in (0, 3) for v in (5, 7) for theta in (1, 3)
+        ]
+        index.compact()
+        got = [
+            index.theta_reachable(u, v, (1, 8), theta)
+            for u in (0, 3) for v in (5, 7) for theta in (1, 3)
+        ]
+        assert got == want
+
+    def test_compact_requires_finalized(self):
+        from repro.core.labels import LabelSet
+
+        label = LabelSet()
+        label.append(0, 1, 2)
+        with pytest.raises(AssertionError):
+            label.compact()
+        label.finalize()
+        label.compact()  # fine now
+
+    def test_save_load_after_compaction(self, tmp_path):
+        g = random_graph(3, num_vertices=8, num_edges=20)
+        index = TILLIndex.build(g).compact()
+        path = tmp_path / "c.till"
+        index.save(path)
+        loaded = TILLIndex.load(path, g)
+        loaded.verify(samples=200)
+
+    def test_verify_after_compaction(self, paper_graph):
+        index = TILLIndex.build(paper_graph).compact()
+        index.verify(samples=300)
+
+    def test_negative_times_survive_compaction(self):
+        g = TemporalGraph.from_edges([("a", "b", -100), ("b", "c", -50)])
+        index = TILLIndex.build(g).compact()
+        assert index.span_reachable("a", "c", (-100, -50))
+        assert not index.span_reachable("a", "c", (-99, -50))

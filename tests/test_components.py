@@ -1,0 +1,119 @@
+"""Tests for span-connectivity components."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TemporalGraph
+from repro.graph.components import (
+    largest_component_fraction,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+
+from tests.conftest import random_graph
+
+
+class TestWeakComponents:
+    def test_partition_covers_all_vertices(self, paper_graph):
+        comps = weakly_connected_components(paper_graph, (1, 8))
+        assert sum(len(c) for c in comps) == paper_graph.num_vertices
+        union = set().union(*comps)
+        assert union == set(paper_graph.vertices())
+
+    def test_window_splits_components(self):
+        g = TemporalGraph.from_edges(
+            [("a", "b", 1), ("b", "c", 5), ("x", "y", 5)]
+        )
+        early = weakly_connected_components(g, (1, 1))
+        assert {"a", "b"} in early
+        assert {"c"} in early and {"x"} in early
+        late = weakly_connected_components(g, (5, 5))
+        assert {"b", "c"} in late and {"x", "y"} in late
+
+    def test_sorted_largest_first(self):
+        g = TemporalGraph.from_edges(
+            [("a", "b", 1), ("b", "c", 1), ("x", "y", 1)]
+        )
+        comps = weakly_connected_components(g, (1, 1))
+        sizes = [len(c) for c in comps]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_direction_ignored(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("c", "b", 1)])
+        comps = weakly_connected_components(g, (1, 1))
+        assert comps[0] == {"a", "b", "c"}
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx(self, seed):
+        g = random_graph(seed, num_vertices=10, num_edges=20, max_time=6)
+        window = (2, 5)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(10))
+        for u, v, t in g.edges():
+            if 2 <= t <= 5:
+                nxg.add_edge(u, v)
+        ours = {frozenset(c) for c in weakly_connected_components(g, window)}
+        theirs = {frozenset(c) for c in nx.connected_components(nxg)}
+        assert ours == theirs
+
+
+class TestStrongComponents:
+    def test_cycle_is_one_scc(self, triangle):
+        comps = strongly_connected_components(triangle, (3, 5))
+        assert comps[0] == {"a", "b", "c"}
+
+    def test_chain_is_singletons(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 1)])
+        comps = strongly_connected_components(g, (1, 1))
+        assert all(len(c) == 1 for c in comps)
+        assert len(comps) == 3
+
+    def test_window_breaks_cycle(self, triangle):
+        comps = strongly_connected_components(triangle, (3, 4))
+        assert all(len(c) == 1 for c in comps)
+
+    def test_undirected_equals_weak(self):
+        g = random_graph(3, num_vertices=10, num_edges=20, max_time=5,
+                         directed=False)
+        weak = {frozenset(c) for c in weakly_connected_components(g, (1, 5))}
+        strong = {
+            frozenset(c) for c in strongly_connected_components(g, (1, 5))
+        }
+        assert weak == strong
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx(self, seed):
+        g = random_graph(seed, num_vertices=10, num_edges=25, max_time=6)
+        window = (2, 5)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(10))
+        for u, v, t in g.edges():
+            if 2 <= t <= 5:
+                nxg.add_edge(u, v)
+        ours = {frozenset(c) for c in strongly_connected_components(g, window)}
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(nxg)}
+        assert ours == theirs
+
+    def test_deep_graph_no_recursion_error(self):
+        from repro.graph.generators import path_temporal_graph
+
+        g = path_temporal_graph(5000, timestamps=[1] * 4999)
+        comps = strongly_connected_components(g, (1, 1))
+        assert len(comps) == 5000
+
+
+class TestLargestComponentFraction:
+    def test_empty_graph(self):
+        assert largest_component_fraction(TemporalGraph(), (1, 1)) == 0.0
+
+    def test_fully_connected_window(self, triangle):
+        assert largest_component_fraction(triangle, (3, 5)) == 1.0
+
+    def test_quiet_window(self, triangle):
+        assert largest_component_fraction(triangle, (99, 99)) == pytest.approx(
+            1 / 3
+        )

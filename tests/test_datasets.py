@@ -1,0 +1,94 @@
+"""Tests for the Table II dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    REGISTRY,
+    REPRESENTATIVE,
+    SPECS,
+    clear_cache,
+    dataset_names,
+    get_spec,
+    load_dataset,
+)
+from repro.errors import DatasetError
+from repro.graph.statistics import graph_stats
+
+
+class TestRegistryShape:
+    def test_seventeen_datasets(self):
+        assert len(SPECS) == 17
+        assert len(dataset_names()) == 17
+
+    def test_names_unique(self):
+        names = dataset_names()
+        assert len(set(names)) == len(names)
+
+    def test_representative_subset_matches_paper(self):
+        # Figures 7-9 use Enron, Youtube, DBLP and Flickr.
+        assert set(REPRESENTATIVE) == {"enron", "youtube", "dblp", "flickr"}
+        assert set(REPRESENTATIVE) <= set(dataset_names())
+
+    def test_sizes_ordered_smallest_to_largest(self):
+        edges = [spec.num_edges for spec in SPECS]
+        assert edges[0] == min(edges)
+        assert edges[-1] == max(edges)
+
+    def test_mixed_directedness(self):
+        kinds = {spec.directed for spec in SPECS}
+        assert kinds == {True, False}
+
+    def test_paper_named_datasets_present(self):
+        for name in ("chess", "enron", "youtube", "dblp", "flickr"):
+            assert name in REGISTRY
+
+    def test_dblp_is_undirected_coauthorship(self):
+        spec = get_spec("dblp")
+        assert not spec.directed
+        assert spec.category == "co-authorship"
+
+
+class TestLoading:
+    def test_load_matches_spec(self):
+        spec = get_spec("chess")
+        g = load_dataset("chess")
+        assert g.num_vertices == spec.num_vertices
+        assert g.num_edges == spec.num_edges
+        assert g.directed == spec.directed
+        assert g.lifetime <= spec.lifetime
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            get_spec("imaginary")
+        with pytest.raises(DatasetError):
+            load_dataset("imaginary")
+
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        a = load_dataset("chess")
+        b = load_dataset("chess")
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = load_dataset("chess")
+        b = load_dataset("chess", cache=False)
+        assert a is not b
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_clear_cache(self):
+        a = load_dataset("chess")
+        clear_cache()
+        assert load_dataset("chess") is not a
+
+    def test_deterministic_generation(self):
+        a = load_dataset("enron", cache=False)
+        b = load_dataset("enron", cache=False)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_every_dataset_loads_and_is_frozen(self, name):
+        g = load_dataset(name)
+        assert g.frozen
+        assert g.num_edges > 0
+        stats = graph_stats(g, name=name)
+        assert stats.kind == ("D" if g.directed else "U")

@@ -1,0 +1,25 @@
+"""Docstring examples must stay executable — they are the first code a
+new user copies."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.incremental
+import repro.graph.temporal_graph
+
+MODULES_WITH_EXAMPLES = [
+    repro,
+    repro.graph.temporal_graph,
+    repro.core.incremental,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_EXAMPLES, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0

@@ -1,0 +1,201 @@
+"""Degenerate and boundary inputs across the whole API surface.
+
+Empty graphs, single vertices, graphs with no edges, extreme
+timestamps, and pathological topologies — each exercised through
+build, query, persistence and the analysis layers.
+"""
+
+import pytest
+
+from repro import (
+    TemporalGraph,
+    TILLIndex,
+    Interval,
+    online_span_reachable,
+)
+from repro.core.incremental import IncrementalTILLIndex
+from repro.core.label_stats import anatomy_report, index_anatomy
+from repro.core.windows import minimal_windows
+from repro.graph.components import weakly_connected_components
+from repro.graph.paths import span_path
+from repro.graph.projection import project
+from repro.graph.statistics import graph_stats
+from repro.workloads import make_span_workload
+from repro.errors import ExperimentError
+
+
+@pytest.fixture
+def edgeless():
+    g = TemporalGraph(directed=True)
+    for name in ("a", "b", "c"):
+        g.add_vertex(name)
+    return g.freeze()
+
+
+@pytest.fixture
+def single_vertex():
+    g = TemporalGraph(directed=True)
+    g.add_vertex("only")
+    return g.freeze()
+
+
+class TestEmptyAndEdgeless:
+    def test_build_on_zero_vertex_graph(self):
+        g = TemporalGraph(directed=True)
+        g.freeze()
+        index = TILLIndex.build(g)
+        assert index.labels.total_entries() == 0
+        assert index.stats().num_vertices == 0
+
+    def test_build_on_edgeless_graph(self, edgeless):
+        index = TILLIndex.build(edgeless)
+        assert index.labels.total_entries() == 0
+        assert index.span_reachable("a", "a", (0, 0))
+        assert not index.span_reachable("a", "b", (0, 100))
+
+    def test_single_vertex_queries(self, single_vertex):
+        index = TILLIndex.build(single_vertex)
+        assert index.span_reachable("only", "only", (-5, 5))
+        assert index.theta_reachable("only", "only", (1, 10), 3)
+
+    def test_edgeless_save_load(self, tmp_path, edgeless):
+        index = TILLIndex.build(edgeless)
+        path = tmp_path / "e.till"
+        index.save(path)
+        loaded = TILLIndex.load(path, edgeless)
+        assert loaded.labels.total_entries() == 0
+
+    def test_edgeless_anatomy(self, edgeless):
+        index = TILLIndex.build(edgeless)
+        assert index_anatomy(index).total_entries == 0
+        assert "0 entries" in anatomy_report(index)
+
+    def test_edgeless_components_are_singletons(self, edgeless):
+        comps = weakly_connected_components(edgeless, (0, 10))
+        assert len(comps) == 3
+        assert all(len(c) == 1 for c in comps)
+
+    def test_edgeless_stats(self, edgeless):
+        stats = graph_stats(edgeless)
+        assert stats.num_edges == 0
+        assert stats.lifetime == 0
+        assert stats.mean_degree == 0.0
+
+    def test_edgeless_workload_rejected(self, edgeless):
+        with pytest.raises(ExperimentError):
+            make_span_workload(edgeless, num_pairs=2)
+
+    def test_edgeless_projection(self, edgeless):
+        assert project(edgeless, (0, 5)).num_edges == 0
+
+    def test_edgeless_verify_noop(self, edgeless):
+        TILLIndex.build(edgeless).verify(samples=50)
+
+
+class TestExtremeTimestamps:
+    HUGE = 2**62
+
+    def test_int64_boundary_roundtrip(self, tmp_path):
+        g = TemporalGraph.from_edges(
+            [("a", "b", -self.HUGE), ("b", "c", self.HUGE)]
+        )
+        index = TILLIndex.build(g)
+        assert index.span_reachable("a", "c", (-self.HUGE, self.HUGE))
+        path = tmp_path / "big.till"
+        index.save(path)
+        loaded = TILLIndex.load(path, g)
+        assert loaded.span_reachable("a", "c", (-self.HUGE, self.HUGE))
+
+    def test_huge_lifetime_online(self):
+        g = TemporalGraph.from_edges([("a", "b", 0), ("b", "c", self.HUGE)])
+        assert online_span_reachable(g, "a", "c", (0, self.HUGE))
+        assert not online_span_reachable(g, "a", "c", (1, self.HUGE))
+
+    def test_single_timestamp_graph(self):
+        g = TemporalGraph.from_edges([("a", "b", 7), ("b", "c", 7)])
+        index = TILLIndex.build(g)
+        assert g.lifetime == 1
+        assert index.span_reachable("a", "c", (7, 7))
+        assert not index.span_reachable("a", "c", (6, 6))
+
+    def test_minimal_windows_huge_span(self):
+        g = TemporalGraph.from_edges(
+            [("a", "b", -self.HUGE), ("b", "c", self.HUGE)]
+        )
+        index = TILLIndex.build(g)
+        assert minimal_windows(index, "a", "c") == [
+            Interval(-self.HUGE, self.HUGE)
+        ]
+
+
+class TestPathologicalTopologies:
+    def test_all_self_loops(self):
+        g = TemporalGraph.from_edges([(v, v, t) for v in "abc" for t in (1, 2)])
+        index = TILLIndex.build(g)
+        assert index.labels.total_entries() == 0
+        assert not index.span_reachable("a", "b", (1, 2))
+
+    def test_two_vertex_ping_pong(self):
+        edges = [("a", "b", t) if t % 2 else ("b", "a", t) for t in range(1, 30)]
+        g = TemporalGraph.from_edges(edges)
+        index = TILLIndex.build(g)
+        index.verify(samples=200)
+
+    def test_wide_star_from_hub(self):
+        from repro.graph.generators import star_temporal_graph
+
+        g = star_temporal_graph(200)
+        index = TILLIndex.build(g)
+        assert index.span_reachable(0, 150, (150, 150))
+        assert not index.span_reachable(0, 150, (151, 200))
+        assert span_path(g, 0, 150, (1, 200)) == [(0, 150, 150)]
+
+    def test_dense_same_time_clique(self):
+        from repro.graph.generators import complete_temporal_graph
+
+        g = complete_temporal_graph(12, lifetime=1, seed=0)
+        index = TILLIndex.build(g)
+        # everything reaches everything in the single snapshot
+        assert all(
+            index.span_reachable(u, v, (1, 1))
+            for u in range(12) for v in range(12)
+        )
+
+    def test_incremental_on_edgeless_base(self):
+        g = TemporalGraph(directed=True)
+        g.add_vertex("seed")
+        g.freeze()
+        inc = IncrementalTILLIndex(g, rebuild_threshold=4)
+        inc.add_edge("x", "y", 1)
+        inc.add_edge("y", "z", 2)
+        assert inc.span_reachable("x", "z", (1, 2))
+
+    def test_duplicate_edges_mass(self):
+        g = TemporalGraph.from_edges([("a", "b", 5)] * 50)
+        index = TILLIndex.build(g)
+        # fifty copies collapse into one skyline entry
+        assert index.labels.total_entries() == 1
+        assert index.span_reachable("a", "b", (5, 5))
+
+
+class TestUnicodeAndExoticLabels:
+    def test_unicode_vertex_labels(self, tmp_path):
+        g = TemporalGraph.from_edges(
+            [("数学", "φυσική", 1), ("φυσική", "מדע", 2)]
+        )
+        index = TILLIndex.build(g)
+        assert index.span_reachable("数学", "מדע", (1, 2))
+        path = tmp_path / "u.till"
+        index.save(path)
+        loaded = TILLIndex.load(path, g)
+        assert loaded.span_reachable("数学", "מדע", (1, 2))
+
+    def test_mixed_int_str_labels(self):
+        g = TemporalGraph.from_edges([(1, "one", 1), ("one", 2, 2)])
+        index = TILLIndex.build(g)
+        assert index.span_reachable(1, 2, (1, 2))
+
+    def test_negative_int_labels(self):
+        g = TemporalGraph.from_edges([(-1, -2, 1)])
+        index = TILLIndex.build(g)
+        assert index.span_reachable(-1, -2, (1, 1))

@@ -1,0 +1,174 @@
+"""Cross-implementation equivalence: the library's strongest guarantee.
+
+For random graphs (directed and undirected, with and without a ϑ cap),
+every query must be answered identically by:
+
+1. brute force — explicit projection + BFS (Definition 1, the oracle);
+2. Online-Reach — Algorithm 1;
+3. Span-Reach on a basic-built index — Algorithms 2 + 4;
+4. Span-Reach on an optimized-built index — Algorithms 3 + 4;
+
+and for θ-reachability by:
+
+1. the window-sweep brute force (Definition 2);
+2. the online window sweep;
+3. ES-Reach (naive over the index);
+4. ES-Reach* (Algorithm 5).
+
+These tests are the executable statement of Theorems 1 and 4/5.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import TemporalGraph, TILLIndex
+from repro.core.online import online_span_reachable, online_theta_reachable
+from repro.graph.projection import (
+    span_reaches_bruteforce,
+    theta_reaches_bruteforce,
+)
+
+from tests.conftest import random_graph
+
+
+def _span_all_agree(g, idx_opt, idx_basic, u, v, window):
+    want = span_reaches_bruteforce(g, u, v, window)
+    ui, vi = g.index_of(u), g.index_of(v)
+    assert online_span_reachable(g, ui, vi, window) == want, (u, v, window)
+    assert idx_opt.span_reachable(u, v, window) == want, (u, v, window)
+    assert idx_basic.span_reachable(u, v, window) == want, (u, v, window)
+    return want
+
+
+graph_params = st.tuples(
+    st.integers(0, 10_000),   # seed
+    st.integers(2, 10),       # vertices
+    st.integers(1, 35),       # edges
+    st.integers(1, 10),       # max time
+    st.booleans(),            # directed
+)
+
+
+class TestSpanEquivalence:
+    @given(graph_params)
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_four_way_agreement(self, params):
+        seed, n, m, tmax, directed = params
+        g = random_graph(seed, num_vertices=n, num_edges=m, max_time=tmax,
+                         directed=directed)
+        idx_opt = TILLIndex.build(g, method="optimized")
+        idx_basic = TILLIndex.build(g, method="basic")
+        rng = random.Random(seed)
+        for _ in range(25):
+            u, v = rng.randrange(n), rng.randrange(n)
+            t1 = rng.randint(0, tmax)
+            window = (t1, t1 + rng.randint(0, tmax))
+            _span_all_agree(g, idx_opt, idx_basic, u, v, window)
+
+    @given(st.integers(0, 5000), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_agreement_under_vartheta(self, seed, cap):
+        g = random_graph(seed, num_vertices=9, num_edges=28, max_time=9)
+        idx = TILLIndex.build(g, vartheta=cap)
+        rng = random.Random(seed + 1)
+        for _ in range(20):
+            u, v = rng.randrange(9), rng.randrange(9)
+            t1 = rng.randint(1, 9)
+            t2 = min(9, t1 + rng.randint(0, cap - 1))
+            assert idx.span_reachable(u, v, (t1, t2)) == \
+                span_reaches_bruteforce(g, u, v, (t1, t2))
+
+
+class TestThetaEquivalence:
+    @given(st.integers(0, 5000), st.booleans(), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_four_way_agreement(self, seed, directed, theta):
+        g = random_graph(seed, num_vertices=8, num_edges=24, max_time=8,
+                         directed=directed)
+        idx = TILLIndex.build(g)
+        window = (1, 8)
+        rng = random.Random(seed + 2)
+        for _ in range(12):
+            u, v = rng.randrange(8), rng.randrange(8)
+            want = theta_reaches_bruteforce(g, u, v, window, theta)
+            assert online_theta_reachable(
+                g, g.index_of(u), g.index_of(v), window, theta
+            ) == want
+            assert idx.theta_reachable(u, v, window, theta) == want
+            assert idx.theta_reachable(
+                u, v, window, theta, algorithm="naive"
+            ) == want
+
+
+class TestDenseAndDegenerate:
+    def test_complete_graph_single_timestamp(self):
+        from repro.graph.generators import complete_temporal_graph
+
+        g = complete_temporal_graph(8, lifetime=1, seed=0)
+        idx = TILLIndex.build(g)
+        for u in range(8):
+            for v in range(8):
+                assert idx.span_reachable(u, v, (1, 1))
+
+    def test_edgeless_vertices(self):
+        g = TemporalGraph(directed=True)
+        for v in range(5):
+            g.add_vertex(v)
+        g.add_edge(0, 1, 3)
+        g.freeze()
+        idx = TILLIndex.build(g)
+        assert idx.span_reachable(0, 1, (3, 3))
+        assert not idx.span_reachable(2, 3, (1, 5))
+        assert idx.span_reachable(4, 4, (1, 5))
+
+    def test_self_loops_ignored_for_pairs(self):
+        g = TemporalGraph.from_edges([(0, 0, 1), (0, 1, 2), (1, 1, 3)])
+        idx = TILLIndex.build(g)
+        assert idx.span_reachable(0, 1, (2, 2))
+        assert not idx.span_reachable(0, 1, (1, 1))
+
+    def test_parallel_edges_many_timestamps(self):
+        edges = [("a", "b", t) for t in range(1, 20)]
+        g = TemporalGraph.from_edges(edges)
+        idx = TILLIndex.build(g)
+        for t in range(1, 20):
+            assert idx.span_reachable("a", "b", (t, t))
+
+    def test_two_cliques_bridged_at_one_time(self):
+        rng = random.Random(0)
+        g = TemporalGraph(directed=False)
+        left = [f"l{i}" for i in range(6)]
+        right = [f"r{i}" for i in range(6)]
+        for group, t0 in ((left, 1), (right, 20)):
+            for i, a in enumerate(group):
+                for b in group[i + 1:]:
+                    g.add_edge(a, b, t0 + rng.randint(0, 3))
+        g.add_edge("l0", "r0", 10)
+        g.freeze()
+        idx = TILLIndex.build(g)
+        assert not idx.span_reachable("l3", "r3", (1, 9))
+        assert not idx.span_reachable("l3", "r3", (10, 19))
+        assert idx.span_reachable("l3", "r3", (1, 23))
+
+    def test_long_path_full_window_only(self):
+        from repro.graph.generators import path_temporal_graph
+
+        n = 30
+        g = path_temporal_graph(n)  # edge i at time i+1
+        idx = TILLIndex.build(g)
+        assert idx.span_reachable(0, n - 1, (1, n - 1))
+        assert not idx.span_reachable(0, n - 1, (2, n - 1))
+        assert idx.span_reachable(5, 20, (6, 20))
+
+    def test_negative_and_huge_timestamps(self):
+        g = TemporalGraph.from_edges(
+            [("a", "b", -(10**9)), ("b", "c", 10**9)]
+        )
+        idx = TILLIndex.build(g)
+        assert idx.span_reachable("a", "c", (-(10**9), 10**9))
+        assert not idx.span_reachable("a", "c", (-(10**9), 10**9 - 1))

@@ -1,0 +1,31 @@
+"""Every shipped example must run end-to-end (examples are user-facing
+documentation; a broken example is a broken deliverable)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_expected_scripts():
+    names = {path.name for path in EXAMPLE_SCRIPTS}
+    assert {
+        "quickstart.py",
+        "transaction_monitoring.py",
+        "event_cohorts.py",
+        "protein_complexes.py",
+        "streaming_updates.py",
+    } <= names
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=lambda p: p.name
+)
+def test_example_runs_clean(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"

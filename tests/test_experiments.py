@@ -1,0 +1,242 @@
+"""Smoke and shape tests for every experiment module.
+
+Each experiment runs on a tiny configuration (subset of datasets, few
+queries) so the suite stays fast; shape assertions check the paper's
+qualitative claims where they are robust at small scale.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import harness
+from repro.experiments.report import (
+    fmt_bytes,
+    fmt_time,
+    format_table,
+    render,
+    speedup,
+)
+
+SMALL = ["chess", "college-msg"]
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _isolate_prepared_cache():
+    harness.clear_prepared()
+    yield
+    harness.clear_prepared()
+
+
+class TestRegistry:
+    def test_all_design_md_experiments_present(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "ablation-ordering", "ablation-pruning",
+            "ablation-optimizations", "extension-streaming",
+            "analysis-operations",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("fig99")
+
+
+class TestTable1:
+    def test_rows_cover_all_paper_vertices(self):
+        result = run_experiment("table1")
+        assert [row["Vertex"] for row in result.rows] == [
+            f"v{i}" for i in range(1, 13)
+        ]
+
+    def test_pinned_entry_present(self):
+        result = run_experiment("table1")
+        v6 = next(r for r in result.rows if r["Vertex"] == "v6")
+        assert v6["L_in"] == "(v1,2,2), (v1,7,7)"
+
+
+class TestTable2:
+    def test_row_per_dataset(self):
+        result = run_experiment("table2", datasets=SMALL)
+        assert len(result.rows) == 2
+        assert {"Dataset", "M", "n", "m", "theta_G"} <= set(result.rows[0])
+
+    def test_full_corpus(self):
+        result = run_experiment("table2")
+        assert len(result.rows) == 17
+
+
+class TestFig4:
+    def test_indexed_beats_online(self):
+        result = run_experiment("fig4", datasets=SMALL, num_pairs=20,
+                                intervals_per_pair=5, repeat=1)
+        for row in result.rows:
+            assert row["span_reach_s"] < row["online_reach_s"]
+            assert row["speedup"] > 1
+
+
+class TestFig5:
+    def test_reports_sizes(self):
+        result = run_experiment("fig5", datasets=SMALL)
+        for row in result.rows:
+            assert row["graph_bytes"] > 0
+            assert row["index_bytes"] > 0
+            assert row["ratio"] == pytest.approx(
+                row["index_bytes"] / row["graph_bytes"]
+            )
+
+
+class TestFig6:
+    def test_optimized_beats_basic(self):
+        result = run_experiment("fig6", datasets=["chess"],
+                                basic_budget_seconds=120)
+        row = result.rows[0]
+        assert row["till_construct_s"] > row["till_construct_star_s"]
+
+    def test_budget_produces_dnf(self):
+        result = run_experiment("fig6", datasets=["chess"],
+                                basic_budget_seconds=0.0)
+        row = result.rows[0]
+        assert row["till_construct_s"] is None
+        assert row["speedup"] is None
+
+
+class TestFig7:
+    def test_size_monotone_in_cap(self):
+        result = run_experiment("fig7", datasets=["chess"],
+                                ratios=(0.2, 0.6, 1.0))
+        entries = [row["index_entries"] for row in result.rows]
+        assert entries == sorted(entries)
+
+    def test_full_ratio_means_uncapped(self):
+        result = run_experiment("fig7", datasets=["chess"], ratios=(1.0,))
+        assert result.rows[0]["vartheta_ratio"] == 1.0
+
+
+class TestFig8:
+    def test_both_sampling_modes_reported(self):
+        result = run_experiment("fig8", datasets=["chess"],
+                                ratios=(0.5, 1.0))
+        modes = {row["mode"] for row in result.rows}
+        assert modes == {"vertex", "edge"}
+        assert len(result.rows) == 4
+
+    def test_sampled_sizes_grow_with_ratio(self):
+        result = run_experiment("fig8", datasets=["chess"],
+                                ratios=(0.2, 1.0))
+        by_mode = {}
+        for row in result.rows:
+            by_mode.setdefault(row["mode"], []).append(row["m"])
+        for mode, ms in by_mode.items():
+            assert ms == sorted(ms)
+
+
+class TestFig9:
+    def test_sliding_never_slower_shape(self):
+        result = run_experiment("fig9", datasets=["chess"],
+                                fractions=(0.3, 0.9), num_pairs=20,
+                                intervals_per_pair=5, repeat=1)
+        # at small scale allow jitter, but the naive sweep must not be
+        # dramatically faster anywhere
+        for row in result.rows:
+            assert row["es_reach_star_s"] < row["es_reach_s"] * 1.5
+
+
+class TestAblations:
+    def test_ordering_ablation_rows(self):
+        result = run_experiment("ablation-ordering", datasets=["chess"],
+                                strategies=("degree-product", "random"),
+                                num_pairs=10, repeat=1)
+        assert len(result.rows) == 2
+        by = {row["ordering"]: row for row in result.rows}
+        assert by["degree-product"]["index_entries"] <= \
+            by["random"]["index_entries"]
+
+    def test_pruning_ablation_rows(self):
+        result = run_experiment("ablation-pruning", datasets=["chess"],
+                                num_queries=100, repeat=1)
+        regimes = {row["regime"] for row in result.rows}
+        assert regimes == {"filtered", "unfiltered"}
+
+
+class TestExtensionStreaming:
+    def test_three_policies_per_dataset(self):
+        result = run_experiment(
+            "extension-streaming", datasets=["chess"], num_stream=30,
+            batch_every=10, queries_per_batch=2, rebuild_threshold=16,
+        )
+        policies = [row["policy"] for row in result.rows]
+        assert policies == ["incremental", "rebuild-per-edge", "online-only"]
+
+    def test_incremental_cheaper_than_rebuild(self):
+        result = run_experiment(
+            "extension-streaming", datasets=["chess"], num_stream=30,
+            batch_every=10, queries_per_batch=2, rebuild_threshold=16,
+        )
+        by = {row["policy"]: row for row in result.rows}
+        assert by["incremental"]["total_s"] < by["rebuild-per-edge"]["total_s"]
+        assert by["incremental"]["rebuilds"] < by["rebuild-per-edge"]["rebuilds"]
+
+
+class TestAnalysisOperations:
+    def test_outcome_accounting(self):
+        result = run_experiment(
+            "analysis-operations", datasets=["chess"], num_pairs=20,
+            intervals_per_pair=5,
+        )
+        row = result.rows[0]
+        assert row["queries"] == 100
+        positives = (
+            row["via_target_hub"] + row["via_source_hub"]
+            + row["via_common_hub"]
+        )
+        assert positives == row["positive"]
+        assert positives + row["unreachable"] == row["queries"]
+        assert row["mean_hubs_compared"] >= 0
+
+
+class TestReport:
+    def test_fmt_time_units(self):
+        assert fmt_time(2.5) == "2.50 s"
+        assert fmt_time(0.0025) == "2.50 ms"
+        assert fmt_time(2.5e-6) == "2.50 us"
+        assert fmt_time(None) == "DNF"
+
+    def test_fmt_bytes_units(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2048) == "2.00 KB"
+        assert fmt_bytes(3 << 20) == "3.00 MB"
+        assert fmt_bytes(None) == "-"
+
+    def test_speedup_none_propagation(self):
+        assert speedup(None, 1.0) is None
+        assert speedup(1.0, None) is None
+        assert speedup(4.0, 2.0) == 2.0
+
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "bb": "x"}, {"a": 22, "bb": "yy"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len({len(line) for line in lines if line}) <= 2
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_render_includes_notes(self):
+        result = run_experiment("table2", datasets=["chess"])
+        text = render(result)
+        assert "== Table II ==" in text
+        assert "note:" in text
+
+
+class TestAblationOptimizations:
+    def test_ladder_rows_and_identical_entries(self):
+        result = run_experiment(
+            "ablation-optimizations", datasets=["chess"], budget_seconds=120
+        )
+        row = result.rows[0]
+        assert row["index_entries"] > 0
+        # the full algorithm must be the fastest of the three ladders
+        times = [row["basic_s"], row["lemma7_only_s"], row["optimized_s"]]
+        assert all(t is not None for t in times)
+        assert row["optimized_s"] == min(times)

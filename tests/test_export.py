@@ -1,0 +1,80 @@
+"""Tests for dataset snapshot export/reload and the markdown renderer."""
+
+import json
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.export import MANIFEST_NAME, export_datasets, load_exported
+from repro.errors import DatasetError
+from repro.experiments.report import format_markdown
+
+
+class TestExport:
+    def test_export_writes_files_and_manifest(self, tmp_path):
+        written = export_datasets(tmp_path, names=["chess", "dblp"])
+        assert set(written) == {"chess", "dblp"}
+        assert (tmp_path / MANIFEST_NAME).exists()
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert manifest["chess"]["m"] == 1500
+        assert manifest["dblp"]["directed"] is False
+
+    def test_roundtrip_bit_identical(self, tmp_path):
+        export_datasets(tmp_path, names=["chess"])
+        reloaded = load_exported(tmp_path, "chess")
+        original = load_dataset("chess")
+        assert sorted(reloaded.edges()) == sorted(original.edges())
+        assert reloaded.directed == original.directed
+
+    def test_undirected_roundtrip(self, tmp_path):
+        export_datasets(tmp_path, names=["dblp"])
+        reloaded = load_exported(tmp_path, "dblp")
+        assert not reloaded.directed
+        assert reloaded.num_edges == load_dataset("dblp").num_edges
+
+    def test_uncompressed_export(self, tmp_path):
+        written = export_datasets(tmp_path, names=["chess"], compress=False)
+        assert written["chess"].suffix == ".txt"
+        assert load_exported(tmp_path, "chess").num_edges == 1500
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(DatasetError, match="manifest"):
+            load_exported(tmp_path, "chess")
+
+    def test_unknown_name_in_snapshot(self, tmp_path):
+        export_datasets(tmp_path, names=["chess"])
+        with pytest.raises(DatasetError, match="not in snapshot"):
+            load_exported(tmp_path, "flickr")
+
+    def test_corrupt_snapshot_detected(self, tmp_path):
+        written = export_datasets(tmp_path, names=["chess"], compress=False)
+        path = written["chess"]
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-5]) + "\n")  # drop 5 edges
+        with pytest.raises(DatasetError, match="corrupt"):
+            load_exported(tmp_path, "chess")
+
+    def test_cli_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "corpus"
+        assert main(["datasets", "--export", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "exported 17 datasets" in out
+        assert (target / MANIFEST_NAME).exists()
+
+
+class TestMarkdownRenderer:
+    def test_basic_table(self):
+        text = format_markdown([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | x |"
+
+    def test_missing_values_dash(self):
+        text = format_markdown([{"a": 1}], columns=["a", "b"])
+        assert text.splitlines()[2] == "| 1 | - |"
+
+    def test_empty(self):
+        assert format_markdown([]) == "(no rows)"

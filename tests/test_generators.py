@@ -1,0 +1,134 @@
+"""Tests for the synthetic temporal graph generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import generators
+from repro.graph.statistics import graph_stats
+
+
+ALL_RANDOM_MODELS = sorted(generators.GENERATORS)
+
+
+@pytest.mark.parametrize("model", ALL_RANDOM_MODELS)
+class TestRandomGeneratorsCommon:
+    def test_requested_shape(self, model):
+        g = generators.GENERATORS[model](100, 400, 50, seed=1)
+        assert g.num_vertices == 100
+        assert g.num_edges == 400
+        assert g.frozen
+
+    def test_timestamps_within_lifetime(self, model):
+        g = generators.GENERATORS[model](50, 200, 30, seed=2)
+        for _, _, t in g.edges():
+            assert 1 <= t <= 30
+
+    def test_deterministic_for_seed(self, model):
+        a = generators.GENERATORS[model](40, 150, 20, seed=7)
+        b = generators.GENERATORS[model](40, 150, 20, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self, model):
+        a = generators.GENERATORS[model](40, 150, 20, seed=7)
+        b = generators.GENERATORS[model](40, 150, 20, seed=8)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_directedness_flag(self, model):
+        g = generators.GENERATORS[model](30, 80, 10, directed=False, seed=3)
+        assert not g.directed
+
+    def test_rejects_nonpositive_sizes(self, model):
+        with pytest.raises(GraphError):
+            generators.GENERATORS[model](0, 10, 5)
+        with pytest.raises(GraphError):
+            generators.GENERATORS[model](10, 10, 0)
+
+
+class TestModelShapes:
+    def test_preferential_is_more_skewed_than_uniform(self):
+        uni = generators.uniform_temporal_graph(300, 1500, 100, seed=5)
+        pref = generators.preferential_attachment_temporal_graph(
+            300, 1500, 100, seed=5
+        )
+        assert (
+            graph_stats(pref).degree_gini > graph_stats(uni).degree_gini
+        ), "preferential attachment should concentrate degree mass"
+
+    def test_community_intra_probability_validated(self):
+        with pytest.raises(GraphError):
+            generators.community_temporal_graph(
+                50, 100, 20, intra_probability=1.5
+            )
+
+    def test_community_edges_mostly_internal(self):
+        g = generators.community_temporal_graph(
+            200, 1000, 60, communities=4, intra_probability=0.9, seed=9
+        )
+        # Rebuild membership exactly as the generator does.
+        import random
+
+        rng = random.Random(9)
+        membership = [rng.randrange(4) for _ in range(200)]
+        internal = sum(
+            1 for u, v, _ in g.edges() if membership[u] == membership[v]
+        )
+        assert internal / g.num_edges > 0.6
+
+    def test_cascade_produces_clustered_timestamps(self):
+        g = generators.cascade_temporal_graph(100, 600, 200, seed=4)
+        stats = graph_stats(g)
+        # cascades reuse the same few start slots per burst
+        assert stats.num_timestamps < 250
+
+
+class TestRegularTopologies:
+    def test_path_default_times(self):
+        g = generators.path_temporal_graph(4)
+        assert sorted(g.edges()) == [(0, 1, 1), (1, 2, 2), (2, 3, 3)]
+
+    def test_path_custom_times(self):
+        g = generators.path_temporal_graph(3, timestamps=[9, 2])
+        assert sorted(g.edges()) == [(0, 1, 9), (1, 2, 2)]
+
+    def test_path_wrong_times_count(self):
+        with pytest.raises(GraphError):
+            generators.path_temporal_graph(3, timestamps=[1])
+
+    def test_cycle_shape(self):
+        g = generators.cycle_temporal_graph(5)
+        assert g.num_edges == 5
+        assert g.out_degree(4) == 1
+        assert g.out_neighbors(4)[0][0] == 0
+
+    def test_star_out_and_in(self):
+        out_star = generators.star_temporal_graph(4, out=True)
+        assert out_star.out_degree(0) == 4
+        in_star = generators.star_temporal_graph(4, out=False)
+        assert in_star.in_degree(0) == 4
+
+    def test_complete_directed_edge_count(self):
+        g = generators.complete_temporal_graph(5, lifetime=3, seed=0)
+        assert g.num_edges == 5 * 4
+
+    def test_complete_undirected_edge_count(self):
+        g = generators.complete_temporal_graph(5, lifetime=3, directed=False, seed=0)
+        assert g.num_edges == 5 * 4 // 2
+
+
+class TestGeneratorProperties:
+    @given(
+        st.sampled_from(ALL_RANDOM_MODELS),
+        st.integers(2, 40),
+        st.integers(1, 120),
+        st.integers(1, 50),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_parameters_yield_valid_graph(self, model, n, m, lifetime, seed):
+        g = generators.GENERATORS[model](n, m, lifetime, seed=seed)
+        assert g.num_vertices == n
+        assert g.num_edges == m
+        assert g.min_time is None or g.min_time >= 1
+        assert g.max_time is None or g.max_time <= lifetime

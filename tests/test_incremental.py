@@ -1,0 +1,282 @@
+"""Tests for the streaming/incremental extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TemporalGraph, TILLIndex, InvalidIntervalError
+from repro.core.incremental import IncrementalTILLIndex
+from repro.graph.projection import (
+    span_reaches_bruteforce,
+    theta_reaches_bruteforce,
+)
+
+from tests.conftest import random_graph
+
+
+def _mirror(base_edges, delta_edges, num_vertices, directed=True):
+    g = TemporalGraph(directed=directed)
+    for v in range(num_vertices):
+        g.add_vertex(v)
+    for u, v, t in list(base_edges) + list(delta_edges):
+        g.add_edge(u, v, t)
+    return g.freeze()
+
+
+class TestBasics:
+    def test_initial_state_matches_static_index(self):
+        g = random_graph(0, num_vertices=10, num_edges=30, max_time=9)
+        inc = IncrementalTILLIndex(g)
+        static = TILLIndex.build(g)
+        for u in range(0, 10, 2):
+            for v in range(1, 10, 2):
+                assert inc.span_reachable(u, v, (2, 7)) == \
+                    static.span_reachable(u, v, (2, 7))
+
+    def test_new_edge_visible_immediately(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g)
+        assert not inc.span_reachable("a", "c", (1, 2))
+        inc.add_edge("b", "c", 2)
+        assert inc.span_reachable("a", "c", (1, 2))
+        assert not inc.span_reachable("a", "c", (1, 1))
+
+    def test_new_vertices_via_delta_only(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g)
+        inc.add_edge("x", "y", 5)
+        assert inc.span_reachable("x", "y", (5, 5))
+        assert not inc.span_reachable("a", "x", (1, 5))
+
+    def test_chain_of_delta_edges(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g, rebuild_threshold=100)
+        inc.add_edge("b", "c", 2)
+        inc.add_edge("c", "d", 3)
+        inc.add_edge("d", "e", 2)
+        assert inc.span_reachable("a", "e", (1, 3))
+        assert not inc.span_reachable("a", "e", (1, 2))
+
+    def test_delta_bridging_base_segments(self):
+        # base: a->b and c->d; delta edge b->c bridges them
+        g = TemporalGraph.from_edges([("a", "b", 1), ("c", "d", 3)])
+        inc = IncrementalTILLIndex(g, rebuild_threshold=100)
+        inc.add_edge("b", "c", 2)
+        assert inc.span_reachable("a", "d", (1, 3))
+
+    def test_same_vertex(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g)
+        assert inc.span_reachable("q", "q", (1, 1))
+
+
+class TestRebuild:
+    def test_threshold_triggers_rebuild(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g, rebuild_threshold=3)
+        inc.add_edge("b", "c", 2)
+        inc.add_edge("c", "d", 3)
+        assert inc.rebuilds == 0
+        inc.add_edge("d", "e", 4)
+        assert inc.rebuilds == 1
+        assert inc.delta_size == 0
+        assert inc.span_reachable("a", "e", (1, 4))
+
+    def test_manual_rebuild(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g, rebuild_threshold=100)
+        inc.add_edge("b", "c", 2)
+        inc.rebuild()
+        assert inc.delta_size == 0
+        assert inc.num_edges == 2
+        assert inc.span_reachable("a", "c", (1, 2))
+
+    def test_rebuild_noop_when_empty(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g)
+        inc.rebuild()
+        assert inc.rebuilds == 0
+
+    def test_invalid_threshold(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        with pytest.raises(InvalidIntervalError):
+            IncrementalTILLIndex(g, rebuild_threshold=0)
+
+
+class TestTheta:
+    def test_theta_with_delta(self):
+        g = TemporalGraph.from_edges([("a", "b", 3)])
+        inc = IncrementalTILLIndex(g, rebuild_threshold=100)
+        inc.add_edge("b", "c", 5)
+        assert inc.theta_reachable("a", "c", (1, 9), 3)
+        assert not inc.theta_reachable("a", "c", (1, 9), 2)
+
+    def test_theta_validation(self):
+        g = TemporalGraph.from_edges([("a", "b", 3)])
+        inc = IncrementalTILLIndex(g)
+        with pytest.raises(InvalidIntervalError):
+            inc.theta_reachable("a", "b", (1, 9), 0)
+        with pytest.raises(InvalidIntervalError):
+            inc.theta_reachable("a", "b", (1, 2), 5)
+
+
+class TestAgainstMirror:
+    @given(st.integers(0, 150), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_streamed_answers_match_rebuilt_index(self, seed, threshold_scale):
+        rng = random.Random(seed)
+        base_edges = [
+            (rng.randrange(8), rng.randrange(8), rng.randint(1, 10))
+            for _ in range(15)
+        ]
+        base = _mirror(base_edges, [], 10)
+        inc = IncrementalTILLIndex(base, rebuild_threshold=4 * threshold_scale)
+        delta = []
+        for _ in range(10):
+            e = (rng.randrange(10), rng.randrange(10), rng.randint(1, 10))
+            delta.append(e)
+            inc.add_edge(*e)
+            mirror = _mirror(base_edges, delta, 10)
+            u, v = rng.randrange(8), rng.randrange(8)
+            t1 = rng.randint(1, 9)
+            window = (t1, rng.randint(t1, 10))
+            assert inc.span_reachable(u, v, window) == \
+                span_reaches_bruteforce(mirror, u, v, window)
+
+    @given(st.integers(0, 80))
+    @settings(max_examples=15, deadline=None)
+    def test_streamed_theta_matches_bruteforce(self, seed):
+        rng = random.Random(seed)
+        base_edges = [
+            (rng.randrange(6), rng.randrange(6), rng.randint(1, 8))
+            for _ in range(10)
+        ]
+        base = _mirror(base_edges, [], 8)
+        inc = IncrementalTILLIndex(base, rebuild_threshold=100)
+        delta = []
+        for _ in range(6):
+            e = (rng.randrange(8), rng.randrange(8), rng.randint(1, 8))
+            delta.append(e)
+            inc.add_edge(*e)
+        mirror = _mirror(base_edges, delta, 10)
+        for u in range(0, 8, 3):
+            for v in range(1, 8, 3):
+                theta = rng.randint(1, 4)
+                got = inc.theta_reachable(u, v, (1, 8), theta)
+                want = theta_reaches_bruteforce(mirror, u, v, (1, 8), theta)
+                assert got == want
+
+
+class TestRemovals:
+    def test_remove_base_edge(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 2)])
+        inc = IncrementalTILLIndex(g, rebuild_threshold=100)
+        assert inc.span_reachable("a", "c", (1, 2))
+        inc.remove_edge("b", "c", 2)
+        assert not inc.span_reachable("a", "c", (1, 2))
+        assert inc.span_reachable("a", "b", (1, 1))
+        assert inc.num_edges == 1
+
+    def test_remove_buffered_delta_edge(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g, rebuild_threshold=100)
+        inc.add_edge("b", "c", 2)
+        assert inc.span_reachable("a", "c", (1, 2))
+        inc.remove_edge("b", "c", 2)
+        assert not inc.span_reachable("a", "c", (1, 2))
+        assert inc.delta_size == 0
+        assert inc.removed_size == 0
+
+    def test_remove_missing_edge_raises(self):
+        from repro.errors import GraphError
+
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g)
+        with pytest.raises(GraphError, match="no live instance"):
+            inc.remove_edge("a", "b", 9)
+        with pytest.raises(GraphError):
+            inc.remove_edge("b", "a", 1)  # wrong direction in digraph
+
+    def test_double_remove_raises(self):
+        from repro.errors import GraphError
+
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g, rebuild_threshold=100)
+        inc.remove_edge("a", "b", 1)
+        with pytest.raises(GraphError):
+            inc.remove_edge("a", "b", 1)
+
+    def test_multi_edge_removed_one_instance(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("a", "b", 1)])
+        inc = IncrementalTILLIndex(g, rebuild_threshold=100)
+        inc.remove_edge("a", "b", 1)
+        assert inc.span_reachable("a", "b", (1, 1))  # one instance left
+        inc.remove_edge("a", "b", 1)
+        assert not inc.span_reachable("a", "b", (1, 1))
+
+    def test_undirected_orientation_insensitive(self):
+        g = TemporalGraph.from_edges([("a", "b", 3)], directed=False)
+        inc = IncrementalTILLIndex(g, rebuild_threshold=100)
+        inc.remove_edge("b", "a", 3)  # opposite orientation
+        assert not inc.span_reachable("a", "b", (3, 3))
+
+    def test_removals_trigger_rebuild(self):
+        g = TemporalGraph.from_edges(
+            [("a", "b", 1), ("b", "c", 2), ("c", "d", 3)]
+        )
+        inc = IncrementalTILLIndex(g, rebuild_threshold=2)
+        inc.remove_edge("a", "b", 1)
+        assert inc.rebuilds == 0
+        inc.remove_edge("b", "c", 2)
+        assert inc.rebuilds == 1
+        assert inc.removed_size == 0
+        assert not inc.span_reachable("a", "c", (1, 3))
+        assert inc.span_reachable("c", "d", (3, 3))
+
+    def test_mixed_adds_and_removes(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 5)])
+        inc = IncrementalTILLIndex(g, rebuild_threshold=100)
+        inc.remove_edge("b", "c", 5)
+        inc.add_edge("b", "c", 2)
+        assert inc.span_reachable("a", "c", (1, 2))
+        assert not inc.span_reachable("a", "c", (3, 9))
+
+    def test_theta_with_removals(self):
+        g = TemporalGraph.from_edges([("a", "b", 3), ("b", "c", 4)])
+        inc = IncrementalTILLIndex(g, rebuild_threshold=100)
+        assert inc.theta_reachable("a", "c", (1, 9), 2)
+        inc.remove_edge("b", "c", 4)
+        inc.add_edge("b", "c", 8)
+        assert not inc.theta_reachable("a", "c", (1, 9), 2)
+        assert inc.theta_reachable("a", "c", (1, 9), 6)
+
+    @given(st.integers(0, 120))
+    @settings(max_examples=20, deadline=None)
+    def test_churn_matches_bruteforce(self, seed):
+        rng = random.Random(seed)
+        base_edges = [
+            (rng.randrange(7), rng.randrange(7), rng.randint(1, 8))
+            for _ in range(14)
+        ]
+        base = _mirror(base_edges, [], 9)
+        inc = IncrementalTILLIndex(base, rebuild_threshold=9)
+        live = list(base_edges)
+        for _ in range(12):
+            if live and rng.random() < 0.4:
+                victim = rng.choice(live)
+                live.remove(victim)
+                inc.remove_edge(*victim)
+            else:
+                edge = (rng.randrange(9), rng.randrange(9), rng.randint(1, 8))
+                live.append(edge)
+                inc.add_edge(*edge)
+            mirror = _mirror(live, [], 9)
+            u, v = rng.randrange(9), rng.randrange(9)
+            t1 = rng.randint(1, 8)
+            window = (t1, rng.randint(t1, 8))
+            assert inc.span_reachable(u, v, window) == \
+                span_reaches_bruteforce(mirror, u, v, window), (
+                    seed, live, u, v, window
+                )

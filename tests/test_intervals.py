@@ -1,0 +1,284 @@
+"""Unit and property tests for the interval algebra (Definition 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import (
+    Interval,
+    SkylineSet,
+    as_interval,
+    dominates,
+    dominates_or_equal,
+    first_contained,
+    skyline,
+)
+from repro.errors import InvalidIntervalError
+
+
+class TestInterval:
+    def test_length_single_timestamp(self):
+        assert Interval(5, 5).length == 1
+
+    def test_length_follows_paper_convention(self):
+        # te - ts + 1 (Section II)
+        assert Interval(3, 7).length == 5
+
+    def test_contains_subinterval(self):
+        assert Interval(1, 10).contains((3, 7))
+
+    def test_contains_itself(self):
+        assert Interval(3, 7).contains((3, 7))
+
+    def test_contains_rejects_overlap(self):
+        assert not Interval(1, 5).contains((3, 7))
+
+    def test_contains_time_bounds_inclusive(self):
+        iv = Interval(3, 7)
+        assert iv.contains_time(3)
+        assert iv.contains_time(7)
+        assert not iv.contains_time(2)
+        assert not iv.contains_time(8)
+
+    def test_intersects_touching(self):
+        assert Interval(1, 5).intersects((5, 9))
+
+    def test_intersects_disjoint(self):
+        assert not Interval(1, 4).intersects((5, 9))
+
+    def test_expand_grows_left(self):
+        assert Interval(5, 6).expand(2) == Interval(2, 6)
+
+    def test_expand_grows_right(self):
+        assert Interval(5, 6).expand(9) == Interval(5, 9)
+
+    def test_expand_inside_is_identity(self):
+        assert Interval(5, 8).expand(6) == Interval(5, 8)
+
+    def test_validated_rejects_inverted(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval.validated(5, 3)
+
+    def test_validated_rejects_non_integer(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval.validated(1.5, 3)
+
+    def test_str(self):
+        assert str(Interval(2, 9)) == "[2, 9]"
+
+    def test_negative_timestamps_allowed(self):
+        assert Interval.validated(-10, -3).length == 8
+
+
+class TestAsInterval:
+    def test_coerces_tuple(self):
+        assert as_interval((1, 4)) == Interval(1, 4)
+
+    def test_passes_through_interval(self):
+        iv = Interval(1, 4)
+        assert as_interval(iv) is iv
+
+    def test_rejects_inverted_tuple(self):
+        with pytest.raises(InvalidIntervalError):
+            as_interval((4, 1))
+
+    def test_rejects_inverted_interval_instance(self):
+        with pytest.raises(InvalidIntervalError):
+            as_interval(Interval(4, 1))
+
+    def test_rejects_garbage(self):
+        with pytest.raises(InvalidIntervalError):
+            as_interval("nope")
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(InvalidIntervalError):
+            as_interval((1, 2, 3))
+
+
+class TestDominance:
+    def test_proper_subinterval_dominates(self):
+        assert dominates((3, 5), (1, 8))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((3, 5), (3, 5))
+
+    def test_superinterval_does_not_dominate(self):
+        assert not dominates((1, 8), (3, 5))
+
+    def test_overlap_does_not_dominate(self):
+        assert not dominates((1, 5), (3, 8))
+
+    def test_shared_endpoint_dominates(self):
+        assert dominates((3, 5), (3, 8))
+        assert dominates((4, 8), (3, 8))
+
+    def test_dominates_or_equal_includes_equality(self):
+        assert dominates_or_equal((3, 5), (3, 5))
+        assert dominates_or_equal((3, 5), (1, 8))
+        assert not dominates_or_equal((1, 8), (3, 5))
+
+
+class TestSkylineSet:
+    def test_empty(self):
+        sky = SkylineSet()
+        assert len(sky) == 0
+        assert not sky.covered((1, 5))
+
+    def test_add_and_membership(self):
+        sky = SkylineSet()
+        assert sky.add((3, 5))
+        assert (3, 5) in sky
+
+    def test_duplicate_rejected(self):
+        sky = SkylineSet([(3, 5)])
+        assert not sky.add((3, 5))
+        assert len(sky) == 1
+
+    def test_dominated_candidate_rejected(self):
+        sky = SkylineSet([(3, 5)])
+        assert not sky.add((1, 8))
+        assert len(sky) == 1
+
+    def test_dominating_candidate_evicts(self):
+        sky = SkylineSet([(1, 8)])
+        assert sky.add((3, 5))
+        assert (1, 8) not in sky
+        assert (3, 5) in sky
+
+    def test_same_start_longer_member_evicted(self):
+        # Regression guard: member shares the candidate's start.
+        sky = SkylineSet([(3, 9)])
+        assert sky.add((3, 5))
+        assert list(sky) == [Interval(3, 5)]
+
+    def test_same_end_longer_member_evicted(self):
+        sky = SkylineSet([(1, 5)])
+        assert sky.add((3, 5))
+        assert list(sky) == [Interval(3, 5)]
+
+    def test_incomparable_members_coexist(self):
+        sky = SkylineSet([(1, 3), (2, 5)])
+        assert len(sky) == 2
+
+    def test_eviction_of_multiple_members(self):
+        sky = SkylineSet([(1, 10), (2, 12)])
+        assert sky.add((3, 9))
+        assert list(sky) == [Interval(3, 9)]
+
+    def test_covered_non_strict(self):
+        sky = SkylineSet([(3, 5)])
+        assert sky.covered((3, 5))
+        assert sky.covered((1, 9))
+        assert not sky.covered((4, 5))
+
+    def test_iteration_sorted_by_start(self):
+        sky = SkylineSet([(5, 9), (1, 3), (3, 6)])
+        starts = [iv.start for iv in sky]
+        assert starts == sorted(starts)
+
+    def test_min_length(self):
+        sky = SkylineSet([(1, 4), (6, 7)])
+        assert sky.min_length() == 2
+
+    def test_min_length_empty_raises(self):
+        with pytest.raises(ValueError):
+            SkylineSet().min_length()
+
+
+class TestSkylineFunction:
+    def test_skyline_of_chain(self):
+        result = skyline([(1, 10), (2, 9), (3, 8)])
+        assert result == [Interval(3, 8)]
+
+    def test_skyline_of_antichain_keeps_all(self):
+        items = [(1, 2), (2, 3), (3, 4)]
+        assert [tuple(iv) for iv in skyline(items)] == items
+
+    def test_skyline_empty(self):
+        assert skyline([]) == []
+
+
+intervals_strategy = st.tuples(
+    st.integers(-50, 50), st.integers(0, 30)
+).map(lambda p: (p[0], p[0] + p[1]))
+
+
+class TestSkylineProperties:
+    @given(st.lists(intervals_strategy, max_size=60))
+    def test_members_are_mutually_incomparable(self, items):
+        result = skyline(items)
+        for i, a in enumerate(result):
+            for b in result[i + 1:]:
+                assert not dominates_or_equal(tuple(a), tuple(b))
+                assert not dominates_or_equal(tuple(b), tuple(a))
+
+    @given(st.lists(intervals_strategy, max_size=60))
+    def test_every_input_covered_by_some_member(self, items):
+        result = skyline(items)
+        for item in items:
+            assert any(dominates_or_equal(tuple(m), item) for m in result)
+
+    @given(st.lists(intervals_strategy, max_size=60))
+    def test_members_drawn_from_input(self, items):
+        result = skyline(items)
+        as_tuples = {tuple(m) for m in result}
+        assert as_tuples <= set(items)
+
+    @given(st.lists(intervals_strategy, max_size=60))
+    def test_insertion_order_invariance(self, items):
+        forward = {tuple(iv) for iv in skyline(items)}
+        backward = {tuple(iv) for iv in skyline(reversed(items))}
+        assert forward == backward
+
+    @given(st.lists(intervals_strategy, max_size=40), intervals_strategy)
+    def test_covered_matches_linear_scan(self, items, probe):
+        sky = SkylineSet(items)
+        expected = any(dominates_or_equal(tuple(m), probe) for m in sky)
+        assert sky.covered(probe) == expected
+
+    @given(st.lists(intervals_strategy, max_size=40))
+    def test_start_and_end_arrays_both_sorted(self, items):
+        members = skyline(items)
+        starts = [m.start for m in members]
+        ends = [m.end for m in members]
+        assert starts == sorted(starts)
+        assert ends == sorted(ends)
+        # antichain => strictly increasing
+        assert len(set(starts)) == len(starts)
+        assert len(set(ends)) == len(ends)
+
+
+class TestFirstContained:
+    def test_finds_first_fit(self):
+        starts, ends = [1, 3, 6], [2, 5, 9]
+        assert first_contained(starts, ends, 0, 3, (3, 6)) == 1
+
+    def test_respects_slice_bounds(self):
+        starts, ends = [1, 3, 6], [2, 5, 9]
+        assert first_contained(starts, ends, 2, 3, (3, 6)) == -1
+
+    def test_no_fit(self):
+        starts, ends = [1, 3], [4, 8]
+        assert first_contained(starts, ends, 0, 2, (2, 3)) == -1
+
+    def test_window_equal_to_member(self):
+        starts, ends = [4], [7]
+        assert first_contained(starts, ends, 0, 1, (4, 7)) == 0
+
+    @given(
+        st.lists(intervals_strategy, min_size=1, max_size=30),
+        intervals_strategy,
+    )
+    def test_matches_linear_scan_on_skylines(self, items, window):
+        members = skyline(items)
+        starts = [m.start for m in members]
+        ends = [m.end for m in members]
+        got = first_contained(starts, ends, 0, len(members), window)
+        fits = [
+            i for i, m in enumerate(members)
+            if window[0] <= m.start and m.end <= window[1]
+        ]
+        if fits:
+            assert got == fits[0]
+        else:
+            assert got == -1

@@ -1,0 +1,266 @@
+"""Round-trip and error-path tests for graph I/O."""
+
+import gzip
+
+import pytest
+
+from repro import TemporalGraph
+from repro.errors import DatasetError
+from repro.graph.io import (
+    read_edgelist,
+    read_graph,
+    read_json,
+    read_konect,
+    write_edgelist,
+    write_json,
+)
+
+from tests.conftest import random_graph
+
+
+@pytest.fixture
+def sample_graph():
+    return TemporalGraph.from_edges(
+        [("a", "b", 3), ("b", "c", 5), ("a", "c", -2), (1, 2, 7)]
+    )
+
+
+class TestEdgelist:
+    def test_roundtrip(self, tmp_path, sample_graph):
+        path = tmp_path / "g.txt"
+        write_edgelist(sample_graph, path)
+        loaded = read_edgelist(path)
+        assert sorted(map(str, loaded.edges())) == sorted(
+            map(str, sample_graph.edges())
+        )
+
+    def test_roundtrip_gzip(self, tmp_path, sample_graph):
+        path = tmp_path / "g.txt.gz"
+        write_edgelist(sample_graph, path)
+        # really gzipped?
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("#")
+        loaded = read_edgelist(path)
+        assert loaded.num_edges == sample_graph.num_edges
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\na b 1\n   \nb c 2\n")
+        g = read_edgelist(path)
+        assert g.num_edges == 2
+
+    def test_integer_vertices_parsed_as_int(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 2 5\n")
+        g = read_edgelist(path)
+        assert 1 in g and "1" not in g
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b 1\nbroken line\n")
+        with pytest.raises(DatasetError, match="2"):
+            read_edgelist(path)
+
+    def test_non_integer_timestamp_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b soon\n")
+        with pytest.raises(DatasetError, match="timestamp"):
+            read_edgelist(path)
+
+    def test_undirected_flag(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b 1\n")
+        g = read_edgelist(path, directed=False)
+        assert not g.directed
+        assert g.out_neighbors("b") == [("a", 1)]
+
+
+class TestKonect:
+    def test_four_column_format(self, tmp_path):
+        path = tmp_path / "out.contact"
+        path.write_text("% konect header\n1 2 1 100\n2 3 1 200\n")
+        g = read_konect(path)
+        assert g.num_edges == 2
+        assert g.out_neighbors(1) == [(2, 100)]
+
+    def test_three_column_uses_third_as_time(self, tmp_path):
+        path = tmp_path / "out.x"
+        path.write_text("1 2 55\n")
+        g = read_konect(path)
+        assert g.out_neighbors(1) == [(2, 55)]
+
+    def test_two_column_defaults_time_1(self, tmp_path):
+        path = tmp_path / "out.x"
+        path.write_text("1 2\n")
+        g = read_konect(path)
+        assert g.out_neighbors(1) == [(2, 1)]
+
+    def test_float_epoch_truncated(self, tmp_path):
+        path = tmp_path / "out.x"
+        path.write_text("1 2 1 1234.0\n")
+        g = read_konect(path)
+        assert g.out_neighbors(1) == [(2, 1234)]
+
+    def test_bad_line_raises(self, tmp_path):
+        path = tmp_path / "out.x"
+        path.write_text("justone\n")
+        with pytest.raises(DatasetError):
+            read_konect(path)
+
+    def test_non_numeric_timestamp_raises(self, tmp_path):
+        path = tmp_path / "out.x"
+        path.write_text("1 2 1 tomorrow\n")
+        with pytest.raises(DatasetError, match="numeric"):
+            read_konect(path)
+
+
+class TestJson:
+    def test_roundtrip_preserves_isolated_vertices(self, tmp_path):
+        g = TemporalGraph(directed=False)
+        g.add_vertex("lonely")
+        g.add_edge("a", "b", 3)
+        g.freeze()
+        path = tmp_path / "g.json"
+        write_json(g, path)
+        loaded = read_json(path)
+        assert not loaded.directed
+        assert "lonely" in loaded
+        assert loaded.num_vertices == 3
+
+    def test_roundtrip_gzip(self, tmp_path, sample_graph):
+        path = tmp_path / "g.json.gz"
+        write_json(sample_graph, path)
+        loaded = read_json(path)
+        assert loaded.num_edges == sample_graph.num_edges
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text("{nope")
+        with pytest.raises(DatasetError, match="invalid JSON"):
+            read_json(path)
+
+    def test_missing_keys_raise(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text('{"edges": []}')
+        with pytest.raises(DatasetError, match="directed"):
+            read_json(path)
+
+    def test_malformed_edge_raises(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text('{"directed": true, "edges": [["a", "b"]]}')
+        with pytest.raises(DatasetError, match="malformed edge"):
+            read_json(path)
+
+
+class TestDispatch:
+    def test_guess_json(self, tmp_path, sample_graph):
+        path = tmp_path / "g.json"
+        write_json(sample_graph, path)
+        assert read_graph(path).num_edges == sample_graph.num_edges
+
+    def test_guess_json_gz(self, tmp_path, sample_graph):
+        path = tmp_path / "g.json.gz"
+        write_json(sample_graph, path)
+        assert read_graph(path).num_edges == sample_graph.num_edges
+
+    def test_guess_konect(self, tmp_path):
+        path = tmp_path / "out.friends"
+        path.write_text("1 2 1 7\n")
+        assert read_graph(path).out_neighbors(1) == [(2, 7)]
+
+    def test_guess_edgelist_default(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("a b 4\n")
+        assert read_graph(path).num_edges == 1
+
+    def test_unknown_format_raises(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("a b 4\n")
+        with pytest.raises(DatasetError, match="unknown graph format"):
+            read_graph(path, fmt="parquet")
+
+    def test_random_graph_full_roundtrip(self, tmp_path):
+        g = random_graph(99, num_vertices=12, num_edges=40, max_time=15)
+        path = tmp_path / "rt.json"
+        write_json(g, path)
+        loaded = read_graph(path)
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path, sample_graph):
+        from repro.graph.io import read_csv, write_csv
+
+        path = tmp_path / "g.csv"
+        write_csv(sample_graph, path)
+        loaded = read_csv(path)
+        assert sorted(map(str, loaded.edges())) == sorted(
+            map(str, sample_graph.edges())
+        )
+
+    def test_header_aliases(self, tmp_path):
+        from repro.graph.io import read_csv
+
+        path = tmp_path / "g.csv"
+        path.write_text("From,To,Date,amount\nalice,bob,17,99.5\n")
+        g = read_csv(path)
+        assert g.out_neighbors("alice") == [("bob", 17)]
+
+    def test_extra_columns_ignored(self, tmp_path):
+        from repro.graph.io import read_csv
+
+        path = tmp_path / "g.csv"
+        path.write_text("id,source,target,timestamp\n1,a,b,5\n")
+        assert read_csv(path).num_edges == 1
+
+    def test_float_timestamps_truncated(self, tmp_path):
+        from repro.graph.io import read_csv
+
+        path = tmp_path / "g.csv"
+        path.write_text("source,target,timestamp\na,b,12.0\n")
+        assert read_csv(path).out_neighbors("a") == [("b", 12)]
+
+    def test_blank_rows_skipped(self, tmp_path):
+        from repro.graph.io import read_csv
+
+        path = tmp_path / "g.csv"
+        path.write_text("source,target,timestamp\na,b,1\n\n ,,\nb,c,2\n")
+        assert read_csv(path).num_edges == 2
+
+    def test_missing_column_raises(self, tmp_path):
+        from repro.graph.io import read_csv
+
+        path = tmp_path / "g.csv"
+        path.write_text("source,weight\na,1\n")
+        with pytest.raises(DatasetError, match="lacks recognisable"):
+            read_csv(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        from repro.graph.io import read_csv
+
+        path = tmp_path / "g.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError, match="empty CSV"):
+            read_csv(path)
+
+    def test_malformed_row_raises(self, tmp_path):
+        from repro.graph.io import read_csv
+
+        path = tmp_path / "g.csv"
+        path.write_text("source,target,timestamp\na,b,soon\n")
+        with pytest.raises(DatasetError, match="malformed row"):
+            read_csv(path)
+
+    def test_guess_csv(self, tmp_path, sample_graph):
+        from repro.graph.io import write_csv
+
+        path = tmp_path / "g.csv"
+        write_csv(sample_graph, path)
+        assert read_graph(path).num_edges == sample_graph.num_edges
+
+    def test_guess_csv_gz(self, tmp_path, sample_graph):
+        from repro.graph.io import write_csv
+
+        path = tmp_path / "g.csv.gz"
+        write_csv(sample_graph, path)
+        assert read_graph(path).num_edges == sample_graph.num_edges

@@ -1,0 +1,137 @@
+"""Tests for the label store (paper Fig. 3 layout)."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.labels import BYTES_PER_HUB, BYTES_PER_INTERVAL, LabelSet, TILLLabels
+
+
+class TestLabelSetConstruction:
+    def test_empty(self):
+        label = LabelSet()
+        assert label.num_hubs == 0
+        assert label.num_entries == 0
+        assert label.offsets == [0]
+
+    def test_append_same_hub_grows_group(self):
+        label = LabelSet()
+        label.append(0, 5, 6)
+        label.append(0, 1, 3)
+        assert label.num_hubs == 1
+        assert label.num_entries == 2
+        assert label.offsets == [0, 2]
+
+    def test_append_new_hub_opens_group(self):
+        label = LabelSet()
+        label.append(0, 5, 6)
+        label.append(2, 1, 3)
+        assert label.hub_ranks == [0, 2]
+        assert label.offsets == [0, 1, 2]
+
+    def test_hubs_must_arrive_in_rank_order(self):
+        label = LabelSet()
+        label.append(3, 1, 2)
+        with pytest.raises(AssertionError):
+            label.append(1, 1, 2)
+
+    def test_len_counts_entries(self):
+        label = LabelSet()
+        label.append(0, 1, 1)
+        label.append(0, 3, 4)
+        assert len(label) == 2
+
+
+class TestFinalize:
+    def test_sorts_groups_chronologically(self):
+        label = LabelSet()
+        label.append(0, 5, 6)   # discovered shortest-first,
+        label.append(0, 1, 3)   # not chronological
+        label.finalize()
+        assert label.group_intervals(0) == [(1, 3), (5, 6)]
+
+    def test_finalize_idempotent(self):
+        label = LabelSet()
+        label.append(0, 5, 6)
+        label.append(0, 1, 3)
+        label.finalize()
+        first = label.group_intervals(0)
+        label.finalize()
+        assert label.group_intervals(0) == first
+
+    def test_finalize_only_sorts_within_groups(self):
+        label = LabelSet()
+        label.append(0, 9, 9)
+        label.append(2, 1, 1)
+        label.finalize()
+        assert label.hub_ranks == [0, 2]
+        assert label.group_intervals(0) == [(9, 9)]
+        assert label.group_intervals(1) == [(1, 1)]
+
+
+class TestLookup:
+    def _make(self):
+        label = LabelSet()
+        label.append(1, 4, 6)
+        label.append(1, 2, 5)
+        label.append(5, 7, 7)
+        label.finalize()
+        return label
+
+    def test_group_bounds_present(self):
+        label = self._make()
+        assert label.group_bounds(1) == (0, 2)
+        assert label.group_bounds(5) == (2, 3)
+
+    def test_group_bounds_absent(self):
+        assert self._make().group_bounds(3) is None
+
+    def test_has_interval_within_finalized(self):
+        label = self._make()
+        assert label.has_interval_within(1, Interval(2, 6))
+        assert label.has_interval_within(1, Interval(4, 9))
+        assert not label.has_interval_within(1, Interval(5, 6))
+        assert not label.has_interval_within(9, Interval(0, 100))
+
+    def test_has_interval_within_building(self):
+        label = LabelSet()
+        label.append(0, 5, 6)
+        label.append(0, 1, 3)  # unsorted mid-construction
+        assert label.has_interval_within(0, Interval(1, 4))
+        assert not label.has_interval_within(0, Interval(2, 4))
+
+    def test_entries_iteration(self):
+        label = self._make()
+        assert list(label.entries()) == [(1, 2, 5), (1, 4, 6), (5, 7, 7)]
+
+    def test_estimated_bytes(self):
+        label = self._make()
+        assert label.estimated_bytes() == 2 * BYTES_PER_HUB + 3 * BYTES_PER_INTERVAL
+
+
+class TestTILLLabels:
+    def test_directed_has_two_families(self):
+        labels = TILLLabels(3, directed=True)
+        assert labels.out_labels[0] is not labels.in_labels[0]
+
+    def test_undirected_shares_family(self):
+        labels = TILLLabels(3, directed=False)
+        assert labels.out_labels[0] is labels.in_labels[0]
+
+    def test_total_entries_directed_counts_both(self):
+        labels = TILLLabels(2, directed=True)
+        labels.out_labels[0].append(0, 1, 1)
+        labels.in_labels[1].append(0, 2, 2)
+        assert labels.total_entries() == 2
+
+    def test_total_entries_undirected_counts_once(self):
+        labels = TILLLabels(2, directed=False)
+        labels.out_labels[0].append(0, 1, 1)
+        assert labels.total_entries() == 1
+
+    def test_finalize_all(self):
+        labels = TILLLabels(2, directed=True)
+        labels.out_labels[0].append(0, 5, 6)
+        labels.out_labels[0].append(0, 1, 3)
+        labels.finalize()
+        assert labels.out_labels[0].finalized
+        assert labels.in_labels[1].finalized

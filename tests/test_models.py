@@ -1,0 +1,116 @@
+"""Tests for the related-work reachability models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TemporalGraph, TILLIndex
+from repro.graph.projection import project, span_reaches_bruteforce
+from repro.models import (
+    conjunctive_reachable,
+    disjunctive_reachable,
+    earliest_arrival,
+    time_respecting_reachable,
+)
+
+from tests.conftest import random_graph
+
+
+class TestTimeRespecting:
+    def test_increasing_chain(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 2)])
+        assert time_respecting_reachable(g, "a", "c", (1, 2))
+
+    def test_equal_times_allowed(self):
+        # non-decreasing, not strictly increasing
+        g = TemporalGraph.from_edges([("a", "b", 3), ("b", "c", 3)])
+        assert time_respecting_reachable(g, "a", "c", (3, 3))
+
+    def test_decreasing_chain_rejected(self):
+        g = TemporalGraph.from_edges([("a", "b", 5), ("b", "c", 2)])
+        assert not time_respecting_reachable(g, "a", "c", (1, 5))
+        # ...but span-reachability holds: the paper's key contrast
+        assert span_reaches_bruteforce(g, "a", "c", (2, 5))
+
+    def test_window_clips_edges(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 9)])
+        assert not time_respecting_reachable(g, "a", "c", (1, 5))
+        assert time_respecting_reachable(g, "a", "c", (1, 9))
+
+    def test_paper_intro_journey(self, paper_graph):
+        # Section I: v6 reaches v10 via times 5, 6, 8
+        assert time_respecting_reachable(paper_graph, "v6", "v10", (1, 8))
+
+    def test_same_vertex(self, paper_graph):
+        assert time_respecting_reachable(paper_graph, "v3", "v3", (1, 1))
+
+    def test_earliest_arrival_values(self):
+        g = TemporalGraph.from_edges(
+            [("a", "b", 2), ("a", "b", 7), ("b", "c", 4)]
+        )
+        arrivals = earliest_arrival(g, "a", (1, 9))
+        assert arrivals == {"a": 1, "b": 2, "c": 4}
+
+    def test_earliest_arrival_respects_order(self):
+        g = TemporalGraph.from_edges([("a", "b", 5), ("b", "c", 2)])
+        arrivals = earliest_arrival(g, "a", (1, 9))
+        assert "c" not in arrivals
+
+    def test_time_respecting_implies_span(self):
+        # journey reachability is strictly stronger (Lemma 1 territory)
+        for seed in range(8):
+            g = random_graph(seed, num_vertices=8, num_edges=22, max_time=8)
+            for u in range(0, 8, 2):
+                for v in range(1, 8, 2):
+                    if time_respecting_reachable(g, u, v, (2, 7)):
+                        assert span_reaches_bruteforce(g, u, v, (2, 7))
+
+
+class TestHistorical:
+    def test_disjunctive_single_snapshot(self):
+        g = TemporalGraph.from_edges(
+            [("a", "b", 3), ("b", "c", 3), ("a", "x", 5)]
+        )
+        assert disjunctive_reachable(g, "a", "c", (1, 5))
+        assert not disjunctive_reachable(g, "a", "c", (4, 5))
+
+    def test_disjunctive_rejects_mixed_times(self):
+        g = TemporalGraph.from_edges([("a", "b", 3), ("b", "c", 4)])
+        assert not disjunctive_reachable(g, "a", "c", (3, 4))
+
+    def test_disjunctive_via_index_matches_bruteforce(self):
+        for seed in range(6):
+            g = random_graph(seed, num_vertices=8, num_edges=25, max_time=6)
+            index = TILLIndex.build(g)
+            for u in range(0, 8, 2):
+                for v in range(1, 8, 2):
+                    assert disjunctive_reachable(g, u, v, (1, 6), index=index) \
+                        == disjunctive_reachable(g, u, v, (1, 6))
+
+    def test_conjunctive_requires_every_snapshot(self):
+        g = TemporalGraph.from_edges(
+            [("a", "b", 1), ("a", "b", 2), ("a", "b", 3)]
+        )
+        assert conjunctive_reachable(g, "a", "b", (1, 3))
+        assert not conjunctive_reachable(g, "a", "b", (1, 4))
+
+    def test_conjunctive_implies_disjunctive(self):
+        for seed in range(6):
+            g = random_graph(seed, num_vertices=7, num_edges=30, max_time=4)
+            for u in range(0, 7, 2):
+                for v in range(1, 7, 2):
+                    if conjunctive_reachable(g, u, v, (1, 4)):
+                        assert disjunctive_reachable(g, u, v, (1, 4))
+
+    def test_same_vertex(self, paper_graph):
+        assert disjunctive_reachable(paper_graph, "v2", "v2", (1, 8))
+        assert conjunctive_reachable(paper_graph, "v2", "v2", (1, 8))
+
+    @given(st.integers(0, 150), st.integers(0, 6), st.integers(0, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_disjunctive_equals_theta_one(self, seed, u, v):
+        g = random_graph(seed, num_vertices=7, num_edges=20, max_time=6)
+        index = TILLIndex.build(g)
+        window = (1, 6)
+        assert disjunctive_reachable(g, u, v, window) == \
+            index.theta_reachable(u, v, window, theta=1)

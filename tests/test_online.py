@@ -1,0 +1,120 @@
+"""Tests for the index-free Online-Reach baseline (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TemporalGraph
+from repro.core.online import online_span_reachable, online_theta_reachable
+from repro.graph.projection import (
+    span_reaches_bruteforce,
+    theta_reaches_bruteforce,
+)
+
+from tests.conftest import random_graph
+
+
+def _span(graph, u, v, window):
+    return online_span_reachable(
+        graph, graph.index_of(u), graph.index_of(v), window
+    )
+
+
+class TestOnlineSpan:
+    def test_same_vertex(self, triangle):
+        assert _span(triangle, "a", "a", (100, 100))
+
+    def test_direct_edge_in_window(self, triangle):
+        assert _span(triangle, "a", "b", (3, 3))
+
+    def test_direct_edge_outside_window(self, triangle):
+        assert not _span(triangle, "a", "b", (4, 9))
+
+    def test_two_hops_needs_both_edges(self, triangle):
+        assert _span(triangle, "a", "c", (3, 5))
+        assert not _span(triangle, "a", "c", (3, 4))
+
+    def test_order_free_within_window(self, diamond):
+        # y-route uses times 3 then 4; x-route 1 then 5 -- both fine,
+        # and the reversed-time route also counts:
+        g = TemporalGraph.from_edges([("p", "q", 9), ("q", "r", 2)])
+        assert _span(g, "p", "r", (2, 9))
+
+    def test_direction_respected(self, triangle):
+        assert _span(triangle, "a", "c", (1, 9))
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        assert not _span(g, "b", "a", (1, 9))
+
+    def test_undirected_symmetric(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 2)],
+                                     directed=False)
+        assert _span(g, "c", "a", (1, 2))
+
+    def test_disconnected(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("c", "d", 1)])
+        assert not _span(g, "a", "d", (1, 1))
+
+    def test_paper_example1(self, paper_graph):
+        assert _span(paper_graph, "v1", "v8", (3, 5))
+
+    def test_empty_window_edges(self, paper_graph):
+        assert not _span(paper_graph, "v1", "v8", (100, 200))
+
+
+class TestOnlineTheta:
+    def test_equals_span_when_theta_is_window(self, triangle):
+        assert online_theta_reachable(
+            triangle, triangle.index_of("a"), triangle.index_of("c"), (3, 5), 3
+        )
+
+    def test_finds_sliding_window(self, paper_graph):
+        ui = paper_graph.index_of("v1")
+        vi = paper_graph.index_of("v12")
+        assert online_theta_reachable(paper_graph, ui, vi, (1, 5), 3)
+
+    def test_rejects_bad_theta(self, triangle):
+        with pytest.raises(ValueError):
+            online_theta_reachable(
+                triangle, triangle.index_of("a"), triangle.index_of("c"),
+                (1, 9), 0,
+            )
+
+    def test_same_vertex(self, triangle):
+        assert online_theta_reachable(
+            triangle, triangle.index_of("a"), triangle.index_of("a"), (1, 9), 2
+        )
+
+
+class TestOnlineAgainstOracle:
+    @given(
+        st.integers(0, 400),
+        st.booleans(),
+        st.integers(0, 7),
+        st.integers(0, 7),
+        st.integers(1, 8),
+        st.integers(0, 4),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_span_matches_bruteforce(self, seed, directed, ui, vi, t1, dlen):
+        g = random_graph(
+            seed, num_vertices=8, num_edges=20, max_time=8, directed=directed
+        )
+        window = (t1, t1 + dlen)
+        assert _span(g, ui, vi, window) == span_reaches_bruteforce(
+            g, ui, vi, window
+        )
+
+    @given(
+        st.integers(0, 200),
+        st.integers(0, 7),
+        st.integers(0, 7),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_theta_matches_bruteforce(self, seed, ui, vi, theta):
+        g = random_graph(seed, num_vertices=8, num_edges=20, max_time=8)
+        window = (1, 8)
+        got = online_theta_reachable(
+            g, g.index_of(ui), g.index_of(vi), window, theta
+        )
+        assert got == theta_reaches_bruteforce(g, ui, vi, window, theta)

@@ -1,0 +1,116 @@
+"""Tests for vertex-ordering strategies (paper Section IV-A)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TemporalGraph
+from repro.core.ordering import (
+    ORDERINGS,
+    VertexOrder,
+    degree_product_order,
+    degree_sum_order,
+    identity_order,
+    make_order,
+    out_degree_order,
+    random_order,
+)
+from repro.errors import IndexBuildError
+
+from tests.conftest import random_graph
+
+
+class TestVertexOrder:
+    def test_rank_inverts_order(self):
+        vo = VertexOrder([2, 0, 1])
+        assert vo.rank[2] == 0
+        assert vo.rank[0] == 1
+        assert vo.rank[1] == 2
+
+    def test_len_and_iter(self):
+        vo = VertexOrder([1, 0])
+        assert len(vo) == 2
+        assert list(vo) == [1, 0]
+
+    def test_rejects_non_permutation_duplicate(self):
+        with pytest.raises(IndexBuildError):
+            VertexOrder([0, 0, 1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(IndexBuildError):
+            VertexOrder([0, 5])
+
+
+class TestDegreeProductOrder:
+    def test_paper_importance_formula(self):
+        # hub has deg_out=2, deg_in=1 -> importance (2+1)*(1+1)=6; others less
+        g = TemporalGraph.from_edges(
+            [("hub", "a", 1), ("hub", "b", 2), ("c", "hub", 3)]
+        )
+        order = degree_product_order(g)
+        assert order.order[0] == g.index_of("hub")
+
+    def test_tie_broken_by_smaller_id(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("c", "d", 1)])
+        order = degree_product_order(g)
+        # all degrees symmetric pairwise; first two internal ids first
+        assert order.rank[g.index_of("a")] < order.rank[g.index_of("c")]
+
+    def test_counts_temporal_multiplicity(self):
+        # multi-edges raise importance, as deg counts temporal edges
+        g = TemporalGraph.from_edges(
+            [("a", "x", 1), ("a", "x", 2), ("a", "x", 3), ("b", "y", 1)]
+        )
+        order = degree_product_order(g)
+        assert order.rank[g.index_of("a")] < order.rank[g.index_of("b")]
+
+
+class TestOtherOrders:
+    def test_degree_sum_prefers_busier_vertex(self):
+        g = TemporalGraph.from_edges(
+            [("a", "x", 1), ("a", "y", 2), ("z", "a", 3), ("b", "w", 4)]
+        )
+        order = degree_sum_order(g)
+        assert order.order[0] == g.index_of("a")
+
+    def test_out_degree_order(self):
+        g = TemporalGraph.from_edges(
+            [("fan", "a", 1), ("fan", "b", 2), ("sink", "fan", 3)]
+        )
+        order = out_degree_order(g)
+        assert order.order[0] == g.index_of("fan")
+
+    def test_identity_order(self):
+        g = random_graph(0, num_vertices=6)
+        assert list(identity_order(g)) == list(range(6))
+
+    def test_random_order_deterministic_by_seed(self):
+        g = random_graph(0, num_vertices=20)
+        assert list(random_order(g, seed=3)) == list(random_order(g, seed=3))
+        assert list(random_order(g, seed=3)) != list(random_order(g, seed=4))
+
+
+class TestMakeOrder:
+    @pytest.mark.parametrize("name", sorted(ORDERINGS))
+    def test_every_strategy_yields_permutation(self, name):
+        g = random_graph(7, num_vertices=15, num_edges=40)
+        order = make_order(g, name)
+        assert sorted(order.order) == list(range(15))
+        assert sorted(order.rank) == list(range(15))
+
+    def test_unknown_strategy(self):
+        g = random_graph(0)
+        with pytest.raises(IndexBuildError, match="unknown ordering"):
+            make_order(g, "alphabetical-by-zodiac")
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_degree_product_sorted_by_importance(self, seed):
+        g = random_graph(seed, num_vertices=12, num_edges=30)
+        order = degree_product_order(g)
+
+        def importance(v):
+            return (len(g.out_adj(v)) + 1) * (len(g.in_adj(v)) + 1)
+
+        scores = [importance(v) for v in order.order]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,126 @@
+"""Tests for projected graphs and the brute-force oracles (Definition 1)."""
+
+import pytest
+
+import networkx as nx
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import TemporalGraph
+from repro.graph.projection import (
+    StaticGraph,
+    connected_pairs,
+    project,
+    reachable_set,
+    span_reaches_bruteforce,
+    theta_reaches_bruteforce,
+)
+
+from tests.conftest import random_graph
+
+
+class TestProject:
+    def test_keeps_only_window_edges(self, diamond):
+        projected = project(diamond, (1, 3))
+        si = diamond.index_of("s")
+        assert projected.out[si] == {diamond.index_of("x"), diamond.index_of("y")}
+        xi = diamond.index_of("x")
+        assert projected.out[xi] == set()  # edge at t=5 excluded
+
+    def test_projection_keeps_all_vertices(self, diamond):
+        projected = project(diamond, (100, 200))
+        assert projected.num_vertices == diamond.num_vertices
+        assert projected.num_edges == 0
+
+    def test_parallel_edges_deduplicate(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("a", "b", 2)])
+        projected = project(g, (1, 2))
+        assert projected.num_edges == 1
+
+    def test_undirected_projection_symmetric(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)], directed=False)
+        projected = project(g, (1, 1))
+        ai, bi = g.index_of("a"), g.index_of("b")
+        assert bi in projected.out[ai]
+        assert ai in projected.out[bi]
+
+
+class TestStaticGraphReachability:
+    def test_reaches_self(self):
+        g = StaticGraph(3)
+        assert g.reaches(0, 0)
+
+    def test_two_hop(self):
+        g = StaticGraph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert g.reaches(0, 2)
+        assert not g.reaches(2, 0)
+
+    def test_reachable_from_includes_source(self):
+        g = StaticGraph(2)
+        assert g.reachable_from(0) == {0}
+
+    def test_undirected_static_graph(self):
+        g = StaticGraph(2, directed=False)
+        g.add_edge(0, 1)
+        assert g.reaches(1, 0)
+
+
+class TestBruteforceOracles:
+    def test_example1_of_paper(self, paper_graph):
+        # v1 ⇝[3,5] v8 via v5 (Example 1)
+        assert span_reaches_bruteforce(paper_graph, "v1", "v8", (3, 5))
+
+    def test_span_needs_window(self, paper_graph):
+        assert not span_reaches_bruteforce(paper_graph, "v5", "v4", (1, 5))
+        assert span_reaches_bruteforce(paper_graph, "v5", "v4", (4, 6))
+
+    def test_same_vertex_always_true(self, triangle):
+        assert span_reaches_bruteforce(triangle, "a", "a", (99, 100))
+
+    def test_theta_example2_of_paper(self, paper_graph):
+        # v1 3-reaches v12 in [1, 5] (Example 2)
+        assert theta_reaches_bruteforce(paper_graph, "v1", "v12", (1, 5), 3)
+
+    def test_theta_too_small(self, triangle):
+        # a -> c needs both t=3 and t=5 in one window
+        assert theta_reaches_bruteforce(triangle, "a", "c", (1, 9), 3)
+        assert not theta_reaches_bruteforce(triangle, "a", "c", (1, 9), 2)
+
+    def test_theta_validates_arguments(self, triangle):
+        with pytest.raises(ValueError):
+            theta_reaches_bruteforce(triangle, "a", "c", (1, 9), 0)
+        with pytest.raises(ValueError):
+            theta_reaches_bruteforce(triangle, "a", "c", (1, 2), 5)
+
+    def test_reachable_set(self, diamond):
+        assert reachable_set(diamond, "s", (1, 5)) == {"s", "x", "y", "t"}
+        assert reachable_set(diamond, "s", (3, 4)) == {"s", "y", "t"}
+        assert reachable_set(diamond, "s", (1, 2)) == {"s", "x"}
+
+    def test_connected_pairs_small(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 2)])
+        pairs = set(connected_pairs(g, (1, 2)))
+        assert pairs == {("a", "b"), ("a", "c"), ("b", "c")}
+
+
+class TestAgainstNetworkx:
+    """Independent oracle: project by hand and ask networkx."""
+
+    @given(st.integers(0, 300))
+    def test_projection_reachability_matches_networkx(self, seed):
+        g = random_graph(seed, num_vertices=8, num_edges=25, max_time=8)
+        window = (2, 6)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(g.num_vertices))
+        for u, v, t in g.edges():
+            if window[0] <= t <= window[1]:
+                nxg.add_edge(u, v)
+        for source in range(g.num_vertices):
+            ours = {
+                g.label_of(i)
+                for i in project(g, window).reachable_from(g.index_of(source))
+            }
+            theirs = nx.descendants(nxg, source) | {source}
+            assert ours == theirs

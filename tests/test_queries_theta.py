@@ -1,0 +1,110 @@
+"""Tests for θ-reachability query processing (Algorithm 5 + naive)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TemporalGraph, TILLIndex
+from repro.core.intervals import Interval
+from repro.core.queries import theta_reachable, theta_reachable_naive
+from repro.graph.projection import theta_reaches_bruteforce
+
+from tests.conftest import random_graph
+
+
+def _sliding(index, u, v, window, theta):
+    g = index.graph
+    return theta_reachable(
+        g, index.labels, index.order.rank,
+        g.index_of(u), g.index_of(v), Interval(*window), theta,
+    )
+
+
+def _naive(index, u, v, window, theta):
+    g = index.graph
+    return theta_reachable_naive(
+        g, index.labels, index.order.rank,
+        g.index_of(u), g.index_of(v), Interval(*window), theta,
+    )
+
+
+class TestThetaSemantics:
+    def test_example2(self, paper_index):
+        assert _sliding(paper_index, "v1", "v12", (1, 5), 3)
+
+    def test_lemma1_theta_implies_span(self, paper_index):
+        # theta-reach within I implies span-reach in I (Lemma 1)
+        for theta in (1, 2, 3):
+            if _sliding(paper_index, "v1", "v12", (1, 5), theta):
+                assert paper_index.span_reachable("v1", "v12", (1, 5))
+
+    def test_theta_equal_window_is_span(self, paper_index):
+        for u, v in [("v1", "v8"), ("v6", "v4"), ("v10", "v1")]:
+            window = (3, 5)
+            assert _sliding(paper_index, u, v, window, 3) == \
+                paper_index.span_reachable(u, v, window)
+
+    def test_theta_one_is_snapshot_reachability(self, paper_index):
+        # theta=1: a single-timestamp path must exist
+        assert _sliding(paper_index, "v5", "v8", (1, 8), 1)  # edge at t=4
+        assert not _sliding(paper_index, "v1", "v3", (1, 8), 1)
+
+    def test_monotone_in_theta(self, paper_index):
+        # larger windows can only help
+        hits = [
+            _sliding(paper_index, "v1", "v4", (1, 8), theta)
+            for theta in range(1, 9)
+        ]
+        assert hits == sorted(hits)  # False... then True...
+
+    def test_same_vertex(self, paper_index):
+        assert _sliding(paper_index, "v9", "v9", (1, 8), 2)
+
+
+class TestExample9:
+    def test_example9_of_paper(self, paper_index):
+        # 3-reachability from v6 to v4 in [1, 8] is true in the paper's
+        # Example 9 (via a common hub with close intervals).
+        assert _sliding(paper_index, "v6", "v4", (1, 8), 3)
+        assert _naive(paper_index, "v6", "v4", (1, 8), 3)
+
+
+class TestNaiveEquivalence:
+    @pytest.mark.parametrize("theta", [1, 2, 3, 5, 8])
+    def test_naive_matches_sliding_on_paper_graph(self, paper_index, theta):
+        vs = ["v1", "v2", "v4", "v5", "v6", "v8", "v10", "v12"]
+        for u in vs:
+            for v in vs:
+                assert _sliding(paper_index, u, v, (1, 8), theta) == \
+                    _naive(paper_index, u, v, (1, 8), theta)
+
+
+class TestThetaAgainstOracle:
+    @given(
+        st.integers(0, 400),
+        st.booleans(),
+        st.integers(0, 8),
+        st.integers(0, 8),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_all_three_agree_with_bruteforce(self, seed, directed, u, v, theta):
+        g = random_graph(
+            seed, num_vertices=9, num_edges=28, max_time=8, directed=directed
+        )
+        index = TILLIndex.build(g)
+        window = (1, 8)
+        want = theta_reaches_bruteforce(g, u, v, window, theta)
+        assert _sliding(index, u, v, window, theta) == want
+        assert _naive(index, u, v, window, theta) == want
+
+    @given(st.integers(0, 200), st.integers(1, 4), st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_correct_with_vartheta_cap(self, seed, theta, extra):
+        g = random_graph(seed, num_vertices=9, num_edges=28, max_time=8)
+        cap = theta + extra - 1  # cap >= theta, often barely
+        index = TILLIndex.build(g, vartheta=max(theta, cap))
+        window = (1, 8)
+        for u, v in [(0, 5), (3, 7), (8, 1)]:
+            want = theta_reaches_bruteforce(g, u, v, window, theta)
+            assert _sliding(index, u, v, window, theta) == want

@@ -1,0 +1,156 @@
+"""Tests for index persistence (save/load and corrupt-file handling)."""
+
+import io
+import struct
+
+import pytest
+
+from repro import TemporalGraph, TILLIndex, IndexBuildError, IndexFormatError
+from repro.core.serialization import MAGIC, dump_index, load_index
+
+from tests.conftest import random_graph
+
+
+class TestRoundtrip:
+    def test_save_load_answers_identically(self, tmp_path, paper_graph):
+        index = TILLIndex.build(paper_graph)
+        path = tmp_path / "x.till"
+        index.save(path)
+        loaded = TILLIndex.load(path, paper_graph)
+        for u in ["v1", "v5", "v6"]:
+            for v in ["v4", "v8", "v12"]:
+                for window in [(1, 4), (3, 5), (2, 8)]:
+                    assert loaded.span_reachable(u, v, window) == \
+                        index.span_reachable(u, v, window)
+
+    def test_metadata_preserved(self, tmp_path, paper_graph):
+        index = TILLIndex.build(paper_graph, vartheta=5, ordering="degree-sum")
+        path = tmp_path / "x.till"
+        index.save(path)
+        loaded = TILLIndex.load(path, paper_graph)
+        assert loaded.vartheta == 5
+        assert loaded.ordering_name == "degree-sum"
+        assert loaded.method == "optimized"
+        assert loaded.build_seconds == pytest.approx(index.build_seconds)
+
+    def test_undirected_roundtrip(self, tmp_path):
+        g = random_graph(3, num_vertices=10, num_edges=25, directed=False)
+        index = TILLIndex.build(g)
+        path = tmp_path / "u.till"
+        index.save(path)
+        loaded = TILLIndex.load(path, g)
+        assert loaded.labels.out_labels is loaded.labels.in_labels
+        loaded.verify(samples=200)
+
+    def test_negative_timestamps_roundtrip(self, tmp_path):
+        g = TemporalGraph.from_edges([("a", "b", -(10**12)), ("b", "c", 10**12)])
+        index = TILLIndex.build(g)
+        path = tmp_path / "n.till"
+        index.save(path)
+        loaded = TILLIndex.load(path, g)
+        assert loaded.span_reachable("a", "b", (-(10**12), 0))
+
+    def test_loaded_labels_are_finalized(self, tmp_path, paper_graph):
+        index = TILLIndex.build(paper_graph)
+        path = tmp_path / "x.till"
+        index.save(path)
+        loaded = TILLIndex.load(path, paper_graph)
+        assert all(l.finalized for l in loaded.labels.out_labels)
+
+
+class TestMismatchChecks:
+    def test_wrong_graph_vertex_count(self, tmp_path, paper_graph):
+        index = TILLIndex.build(paper_graph)
+        path = tmp_path / "x.till"
+        index.save(path)
+        other = random_graph(0, num_vertices=5)
+        with pytest.raises(IndexBuildError, match="vertices"):
+            TILLIndex.load(path, other)
+
+    def test_wrong_directedness(self, tmp_path):
+        g = random_graph(0, num_vertices=6, num_edges=12)
+        TILLIndex.build(g).save(tmp_path / "x.till")
+        und = random_graph(0, num_vertices=6, num_edges=12, directed=False)
+        with pytest.raises(IndexBuildError, match="directedness"):
+            TILLIndex.load(tmp_path / "x.till", und)
+
+    def test_wrong_edge_count(self, tmp_path):
+        g = random_graph(0, num_vertices=6, num_edges=12)
+        TILLIndex.build(g).save(tmp_path / "x.till")
+        g2 = random_graph(0, num_vertices=6, num_edges=13)
+        with pytest.raises(IndexBuildError, match="edge-count"):
+            TILLIndex.load(tmp_path / "x.till", g2)
+
+    def test_wrong_vertex_labels(self, tmp_path):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 2)])
+        TILLIndex.build(g).save(tmp_path / "x.till")
+        g2 = TemporalGraph.from_edges([("x", "y", 1), ("y", "z", 2)])
+        with pytest.raises(IndexBuildError, match="label mismatch"):
+            TILLIndex.load(tmp_path / "x.till", g2)
+
+    def test_unserializable_vertex_labels(self, tmp_path):
+        g = TemporalGraph.from_edges([(object(), "b", 1)], freeze=True)
+        index = TILLIndex.build(g)
+        with pytest.raises(IndexFormatError, match="JSON-serializable"):
+            index.save(tmp_path / "x.till")
+
+
+class TestCorruptFiles:
+    def _saved_bytes(self, paper_graph) -> bytes:
+        index = TILLIndex.build(paper_graph)
+        buf = io.BytesIO()
+        dump_index(
+            buf, index.labels, index.order.order,
+            list(paper_graph.vertices()), None, {},
+        )
+        return buf.getvalue()
+
+    def test_bad_magic(self):
+        with pytest.raises(IndexFormatError, match="bad magic"):
+            load_index(io.BytesIO(b"NOTANIDX" + b"\x00" * 32))
+
+    def test_truncated_header_length(self):
+        with pytest.raises(IndexFormatError, match="header length"):
+            load_index(io.BytesIO(MAGIC + b"\x01"))
+
+    def test_undecodable_header(self):
+        blob = MAGIC + struct.pack("<I", 4) + b"\xff\xfe{x"
+        with pytest.raises(IndexFormatError, match="header"):
+            load_index(io.BytesIO(blob))
+
+    def test_truncated_body(self, paper_graph):
+        blob = self._saved_bytes(paper_graph)
+        with pytest.raises(IndexFormatError, match="body"):
+            load_index(io.BytesIO(blob[: len(blob) - 10]))
+
+    def test_trailing_garbage(self, paper_graph):
+        blob = self._saved_bytes(paper_graph) + b"junk"
+        with pytest.raises(IndexFormatError, match="body"):
+            load_index(io.BytesIO(blob))
+
+    def test_single_bit_flip_detected(self, paper_graph):
+        """CRC catches bit rot anywhere in the label arrays."""
+        blob = bytearray(self._saved_bytes(paper_graph))
+        blob[-5] ^= 0x10  # flip one bit inside the body
+        with pytest.raises(IndexFormatError, match="checksum"):
+            load_index(io.BytesIO(bytes(blob)))
+
+    def test_every_body_byte_is_protected(self, paper_graph):
+        """Flip one bit at several positions across the body; every
+        corruption must be rejected, never silently loaded."""
+        blob = self._saved_bytes(paper_graph)
+        header_len = len(MAGIC) + 4 + struct.unpack(
+            "<I", blob[len(MAGIC):len(MAGIC) + 4]
+        )[0]
+        body_len = len(blob) - header_len
+        for offset in range(0, body_len, max(1, body_len // 16)):
+            mutated = bytearray(blob)
+            mutated[header_len + offset] ^= 0x01
+            with pytest.raises(IndexFormatError):
+                load_index(io.BytesIO(bytes(mutated)))
+
+    def test_clean_load(self, paper_graph):
+        blob = self._saved_bytes(paper_graph)
+        labels, header = load_index(io.BytesIO(blob))
+        assert header["num_vertices"] == 12
+        assert labels.total_entries() > 0

@@ -1,0 +1,255 @@
+"""Unit tests for the TemporalGraph substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import TemporalGraph
+from repro.errors import FrozenGraphError, GraphError, UnknownVertexError
+
+from tests.conftest import random_graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = TemporalGraph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.lifetime == 0
+        assert g.min_time is None and g.max_time is None
+
+    def test_add_edge_creates_vertices(self):
+        g = TemporalGraph()
+        g.add_edge("a", "b", 1)
+        assert g.num_vertices == 2
+        assert "a" in g and "b" in g
+
+    def test_add_vertex_idempotent(self):
+        g = TemporalGraph()
+        first = g.add_vertex("a")
+        second = g.add_vertex("a")
+        assert first == second
+        assert g.num_vertices == 1
+
+    def test_isolated_vertices_preserved(self):
+        g = TemporalGraph()
+        g.add_vertex("lonely")
+        g.add_edge("a", "b", 1)
+        assert g.num_vertices == 3
+
+    def test_from_edges_freezes_by_default(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        assert g.frozen
+
+    def test_from_edges_no_freeze(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)], freeze=False)
+        assert not g.frozen
+
+    def test_non_integer_timestamp_rejected(self):
+        g = TemporalGraph()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "b", 1.5)
+
+    def test_multi_edges_kept(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("a", "b", 1), ("a", "b", 2)])
+        assert g.num_edges == 3
+        assert len(g.out_neighbors("a")) == 3
+
+    def test_self_loop_allowed(self):
+        g = TemporalGraph.from_edges([("a", "a", 1)])
+        assert g.num_edges == 1
+        assert g.out_neighbors("a") == [("a", 1)]
+
+    def test_len_is_vertex_count(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 2)])
+        assert len(g) == 3
+
+    def test_repr_mentions_shape(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        text = repr(g)
+        assert "n=2" in text and "m=1" in text and "directed" in text
+
+
+class TestTimes:
+    def test_min_max_time(self):
+        g = TemporalGraph.from_edges([("a", "b", 5), ("b", "c", 2), ("c", "a", 9)])
+        assert g.min_time == 2
+        assert g.max_time == 9
+
+    def test_lifetime_paper_convention(self):
+        # theta_G = number of atomic units between min and max timestamps
+        g = TemporalGraph.from_edges([("a", "b", 2), ("b", "c", 9)])
+        assert g.lifetime == 8
+
+    def test_single_timestamp_lifetime(self):
+        g = TemporalGraph.from_edges([("a", "b", 7)])
+        assert g.lifetime == 1
+
+    def test_negative_timestamps(self):
+        g = TemporalGraph.from_edges([("a", "b", -5), ("b", "c", 5)])
+        assert g.min_time == -5
+        assert g.lifetime == 11
+
+
+class TestFreezing:
+    def test_freeze_idempotent(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        assert g.freeze() is g
+
+    def test_frozen_rejects_add_edge(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        with pytest.raises(FrozenGraphError):
+            g.add_edge("b", "c", 2)
+
+    def test_frozen_rejects_add_vertex(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        with pytest.raises(FrozenGraphError):
+            g.add_vertex("c")
+
+    def test_freeze_sorts_adjacency_by_time(self):
+        g = TemporalGraph()
+        g.add_edge("a", "x", 9)
+        g.add_edge("a", "y", 1)
+        g.add_edge("a", "z", 5)
+        g.freeze()
+        times = [t for _, t in g.out_neighbors("a")]
+        assert times == [1, 5, 9]
+
+
+class TestNeighborhoods:
+    def test_out_and_in_neighbors(self, triangle):
+        assert triangle.out_neighbors("a") == [("b", 3)]
+        assert triangle.in_neighbors("a") == [("c", 4)]
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree("s") == 2
+        assert diamond.in_degree("t") == 2
+        assert diamond.in_degree("s") == 0
+
+    def test_unknown_vertex_raises(self, triangle):
+        with pytest.raises(UnknownVertexError):
+            triangle.out_neighbors("zzz")
+
+    def test_unknown_vertex_error_is_keyerror(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.index_of("zzz")
+
+    def test_label_index_roundtrip(self, triangle):
+        for label in triangle.vertices():
+            assert triangle.label_of(triangle.index_of(label)) == label
+
+    def test_label_of_out_of_range(self, triangle):
+        with pytest.raises(UnknownVertexError):
+            triangle.label_of(99)
+
+    def test_adj_direction_dispatch(self, triangle):
+        ai = triangle.index_of("a")
+        assert triangle.adj(ai, "out") == triangle.out_adj(ai)
+        assert triangle.adj(ai, "in") == triangle.in_adj(ai)
+        with pytest.raises(ValueError):
+            triangle.adj(ai, "sideways")
+
+
+class TestWindows:
+    def test_out_adj_window_slices(self):
+        g = TemporalGraph.from_edges(
+            [("a", "b", 1), ("a", "c", 3), ("a", "d", 5), ("a", "e", 7)]
+        )
+        ai = g.index_of("a")
+        window = g.out_adj_window(ai, 2, 6)
+        assert sorted(t for _, t in window) == [3, 5]
+
+    def test_out_adj_window_empty(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        assert list(g.out_adj_window(g.index_of("a"), 5, 9)) == []
+
+    def test_in_adj_window(self):
+        g = TemporalGraph.from_edges([("a", "b", 2), ("c", "b", 8)])
+        bi = g.index_of("b")
+        assert [t for _, t in g.in_adj_window(bi, 1, 4)] == [2]
+
+    def test_window_unfrozen_fallback(self):
+        g = TemporalGraph(directed=True)
+        g.add_edge("a", "b", 1)
+        g.add_edge("a", "c", 4)
+        got = g.out_adj_window(g.index_of("a"), 2, 9)
+        assert [t for _, t in got] == [4]
+
+    def test_has_edge_in_prefilters(self):
+        g = TemporalGraph.from_edges([("a", "b", 3), ("c", "a", 8)])
+        ai = g.index_of("a")
+        assert g.has_out_edge_in(ai, 1, 5)
+        assert not g.has_out_edge_in(ai, 4, 9)
+        assert g.has_in_edge_in(ai, 8, 8)
+        assert not g.has_in_edge_in(ai, 1, 7)
+
+
+class TestUndirected:
+    def test_neighbors_symmetric(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)], directed=False)
+        assert g.out_neighbors("b") == [("a", 1)]
+        assert g.in_neighbors("a") == [("b", 1)]
+
+    def test_edge_counted_once(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)], directed=False)
+        assert g.num_edges == 1
+
+    def test_edges_iterates_once_per_edge(self):
+        g = TemporalGraph.from_edges(
+            [("a", "b", 1), ("b", "c", 2), ("a", "c", 3)], directed=False
+        )
+        assert len(list(g.edges())) == 3
+
+    def test_parallel_undirected_edges(self):
+        g = TemporalGraph.from_edges(
+            [("a", "b", 1), ("b", "a", 1)], directed=False
+        )
+        assert g.num_edges == 2
+        assert len(list(g.edges())) == 2
+
+    def test_undirected_self_loop(self):
+        g = TemporalGraph.from_edges([("a", "a", 4)], directed=False)
+        assert g.num_edges == 1
+        assert list(g.edges()) == [("a", "a", 4)]
+
+
+class TestCopy:
+    def test_copy_preserves_everything(self, paper_graph):
+        dup = paper_graph.copy()
+        assert dup.num_vertices == paper_graph.num_vertices
+        assert dup.num_edges == paper_graph.num_edges
+        assert sorted(dup.edges()) == sorted(paper_graph.edges())
+        assert list(dup.vertices()) == list(paper_graph.vertices())
+
+    def test_copy_is_independent(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)], freeze=False)
+        dup = g.copy(freeze=False)
+        dup.add_edge("b", "c", 2)
+        assert g.num_edges == 1
+        assert dup.num_edges == 2
+
+    def test_copy_reinterprets_directedness(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)], directed=False)
+        dg = g.copy(directed=True)
+        assert dg.directed
+        assert dg.num_edges == 1
+
+
+class TestRoundtripProperty:
+    @given(st.integers(0, 10_000))
+    def test_random_graph_edge_conservation(self, seed):
+        g = random_graph(seed, num_vertices=8, num_edges=20, max_time=9)
+        assert g.num_edges == 20
+        assert len(list(g.edges())) == 20
+
+    @given(st.integers(0, 10_000))
+    def test_undirected_random_graph_edge_conservation(self, seed):
+        g = random_graph(
+            seed, num_vertices=8, num_edges=20, max_time=9, directed=False
+        )
+        assert g.num_edges == 20
+        assert len(list(g.edges())) == 20
+        # each stored twice internally except self-loops
+        loops = sum(1 for u, v, _ in g.edges() if u == v)
+        internal = sum(len(g.out_adj(i)) for i in range(g.num_vertices))
+        assert internal == 2 * (20 - loops) + loops

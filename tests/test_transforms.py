@@ -1,0 +1,244 @@
+"""Tests for graph transforms, sampling and statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TemporalGraph
+from repro.errors import GraphError
+from repro.graph.projection import span_reaches_bruteforce
+from repro.graph.sampling import sample_edges, sample_vertices
+from repro.graph.statistics import graph_stats
+from repro.graph.transforms import (
+    coarsen_timestamps,
+    induced_subgraph,
+    normalize_timestamps,
+    relabel,
+    reverse,
+    time_slice,
+    to_undirected,
+)
+
+from tests.conftest import random_graph
+
+
+class TestNormalize:
+    def test_shifts_to_one(self):
+        g = TemporalGraph.from_edges([("a", "b", 100), ("b", "c", 150)])
+        out = normalize_timestamps(g)
+        assert out.min_time == 1
+        assert out.lifetime == g.lifetime
+
+    def test_negative_origin(self):
+        g = TemporalGraph.from_edges([("a", "b", -9), ("b", "c", 0)])
+        out = normalize_timestamps(g)
+        assert out.min_time == 1
+        assert out.max_time == 10
+
+    def test_empty_graph_copies(self):
+        g = TemporalGraph()
+        g.add_vertex("a")
+        out = normalize_timestamps(g)
+        assert out.num_vertices == 1
+
+    def test_input_not_mutated(self):
+        g = TemporalGraph.from_edges([("a", "b", 100)])
+        normalize_timestamps(g)
+        assert g.min_time == 100
+
+
+class TestCoarsen:
+    def test_buckets_of_width_unit(self):
+        g = TemporalGraph.from_edges(
+            [("a", "b", 0), ("b", "c", 86399), ("c", "d", 86400)]
+        )
+        out = coarsen_timestamps(g, 86400)
+        times = sorted(t for _, _, t in out.edges())
+        assert times == [1, 1, 2]
+
+    def test_unit_one_equals_normalize(self):
+        g = TemporalGraph.from_edges([("a", "b", 10), ("b", "c", 13)])
+        assert sorted(coarsen_timestamps(g, 1).edges()) == sorted(
+            normalize_timestamps(g).edges()
+        )
+
+    def test_invalid_unit(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        with pytest.raises(GraphError):
+            coarsen_timestamps(g, 0)
+
+
+class TestReverse:
+    def test_flips_edges(self):
+        g = TemporalGraph.from_edges([("a", "b", 5)])
+        out = reverse(g)
+        assert out.out_neighbors("b") == [("a", 5)]
+        assert out.out_neighbors("a") == []
+
+    def test_reverse_twice_identity(self, paper_graph):
+        back = reverse(reverse(paper_graph))
+        assert sorted(back.edges()) == sorted(paper_graph.edges())
+
+    def test_reachability_duality(self, paper_graph):
+        rev = reverse(paper_graph)
+        window = (3, 5)
+        for u in ["v1", "v5"]:
+            for v in ["v8", "v3"]:
+                assert span_reaches_bruteforce(
+                    paper_graph, u, v, window
+                ) == span_reaches_bruteforce(rev, v, u, window)
+
+    def test_undirected_reverse_is_copy(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)], directed=False)
+        assert sorted(reverse(g).edges()) == sorted(g.edges())
+
+
+class TestToUndirected:
+    def test_adds_symmetry(self):
+        g = TemporalGraph.from_edges([("a", "b", 2)])
+        out = to_undirected(g)
+        assert not out.directed
+        assert out.out_neighbors("b") == [("a", 2)]
+
+    def test_edge_count_preserved(self, paper_graph):
+        assert to_undirected(paper_graph).num_edges == paper_graph.num_edges
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, paper_graph):
+        sub = induced_subgraph(paper_graph, ["v1", "v5", "v8"])
+        assert sub.num_vertices == 3
+        edges = set(sub.edges())
+        assert ("v1", "v5", 5) in edges
+        assert all(u in {"v1", "v5", "v8"} and v in {"v1", "v5", "v8"}
+                   for u, v, _ in edges)
+
+    def test_unknown_vertices_ignored(self, triangle):
+        sub = induced_subgraph(triangle, ["a", "b", "ghost"])
+        assert sub.num_vertices == 2
+
+
+class TestTimeSlice:
+    def test_keeps_timestamps(self, diamond):
+        sliced = time_slice(diamond, 3, 5)
+        times = sorted(t for _, _, t in sliced.edges())
+        assert times == [3, 4, 5]
+
+    def test_invalid_slice(self, diamond):
+        with pytest.raises(GraphError):
+            time_slice(diamond, 5, 3)
+
+
+class TestRelabel:
+    def test_default_densifies(self):
+        g = TemporalGraph.from_edges([("x", "y", 1)])
+        out = relabel(g)
+        assert set(out.vertices()) == {0, 1}
+
+    def test_explicit_mapping(self, triangle):
+        out = relabel(triangle, {"a": "A", "b": "B", "c": "C"})
+        assert ("A", "B", 3) in set(out.edges())
+
+    def test_partial_mapping_rejected(self, triangle):
+        with pytest.raises(GraphError, match="misses"):
+            relabel(triangle, {"a": "A"})
+
+    def test_non_injective_rejected(self, triangle):
+        with pytest.raises(GraphError, match="injective"):
+            relabel(triangle, {"a": "X", "b": "X", "c": "C"})
+
+    def test_reachability_invariant(self):
+        g = random_graph(5, num_vertices=8, num_edges=25, max_time=6)
+        mapping = {v: f"node-{v}" for v in g.vertices()}
+        out = relabel(g, mapping)
+        for u in [0, 3, 7]:
+            for v in [1, 4]:
+                assert span_reaches_bruteforce(g, u, v, (2, 5)) == \
+                    span_reaches_bruteforce(out, mapping[u], mapping[v], (2, 5))
+
+
+class TestSampling:
+    def test_vertex_sample_ratio(self):
+        g = random_graph(1, num_vertices=50, num_edges=200, max_time=10)
+        sub = sample_vertices(g, 0.5, seed=0)
+        assert sub.num_vertices == 25
+        assert sub.num_edges <= g.num_edges
+
+    def test_vertex_sample_is_induced(self):
+        g = random_graph(2, num_vertices=30, num_edges=100, max_time=10)
+        sub = sample_vertices(g, 0.4, seed=1)
+        kept = set(sub.vertices())
+        expected = sum(
+            1 for u, v, _ in g.edges() if u in kept and v in kept
+        )
+        assert sub.num_edges == expected
+
+    def test_edge_sample_ratio_and_incident_vertices(self):
+        g = random_graph(3, num_vertices=40, num_edges=100, max_time=10)
+        sub = sample_edges(g, 0.3, seed=2)
+        assert sub.num_edges == 30
+        incident = set()
+        for u, v, _ in sub.edges():
+            incident.add(u)
+            incident.add(v)
+        assert set(sub.vertices()) == incident
+
+    def test_ratio_one_copies(self, paper_graph):
+        assert sample_vertices(paper_graph, 1.0).num_edges == paper_graph.num_edges
+        assert sample_edges(paper_graph, 1.0).num_edges == paper_graph.num_edges
+
+    def test_invalid_ratios(self, paper_graph):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(GraphError):
+                sample_vertices(paper_graph, bad)
+            with pytest.raises(GraphError):
+                sample_edges(paper_graph, bad)
+
+    def test_sampling_deterministic(self):
+        g = random_graph(4, num_vertices=30, num_edges=80, max_time=10)
+        a = sample_edges(g, 0.5, seed=9)
+        b = sample_edges(g, 0.5, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestStatistics:
+    def test_table2_row_fields(self, paper_graph):
+        stats = graph_stats(paper_graph, name="fig1")
+        row = stats.as_row()
+        assert row == {
+            "Dataset": "fig1",
+            "M": "D",
+            "n": 12,
+            "m": 15,
+            "theta_G": 8,
+        }
+
+    def test_static_edges_deduplicate(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("a", "b", 2), ("b", "a", 3)])
+        assert graph_stats(g).num_static_edges == 2
+
+    def test_undirected_static_edges_orientation_free(self):
+        g = TemporalGraph.from_edges(
+            [("a", "b", 1), ("b", "a", 2)], directed=False
+        )
+        stats = graph_stats(g)
+        assert stats.num_static_edges == 1
+        assert stats.kind == "U"
+
+    def test_gini_bounds(self):
+        uniform = TemporalGraph.from_edges(
+            [("a", "b", 1), ("b", "c", 1), ("c", "a", 1)]
+        )
+        assert graph_stats(uniform).degree_gini == pytest.approx(0.0)
+
+    def test_empty_graph_stats(self):
+        stats = graph_stats(TemporalGraph())
+        assert stats.num_vertices == 0
+        assert stats.mean_degree == 0.0
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_transform_pipeline_preserves_edge_count(self, seed):
+        g = random_graph(seed, num_vertices=12, num_edges=30, max_time=20)
+        out = normalize_timestamps(reverse(to_undirected(g)))
+        assert out.num_edges == g.num_edges

@@ -1,0 +1,150 @@
+"""Tests for minimal-window (pair skyline) enumeration."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TemporalGraph, TILLIndex
+from repro.core.intervals import Interval, dominates_or_equal, skyline
+from repro.core.windows import earliest_window, minimal_windows, tightest_window
+from repro.graph.projection import span_reaches_bruteforce
+
+from tests.conftest import random_graph
+
+
+def _bruteforce_skyline(graph, u, v):
+    """Reference: every reachable window, reduced to its skyline."""
+    lo, hi = graph.min_time, graph.max_time
+    reachable = [
+        (a, b)
+        for a in range(lo, hi + 1)
+        for b in range(a, hi + 1)
+        if span_reaches_bruteforce(graph, u, v, (a, b))
+    ]
+    return skyline(reachable)
+
+
+class TestMinimalWindows:
+    def test_direct_edge(self, triangle):
+        index = TILLIndex.build(triangle)
+        assert minimal_windows(index, "a", "b") == [Interval(3, 3)]
+
+    def test_two_hop_hull(self, triangle):
+        index = TILLIndex.build(triangle)
+        assert minimal_windows(index, "a", "c") == [Interval(3, 5)]
+
+    def test_unreachable_pair_empty(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("c", "d", 2)])
+        index = TILLIndex.build(g)
+        assert minimal_windows(index, "a", "d") == []
+
+    def test_multiple_incomparable_windows(self):
+        # a->b at 2 and at 9: two minimal singleton windows
+        g = TemporalGraph.from_edges([("a", "b", 2), ("a", "b", 9)])
+        index = TILLIndex.build(g)
+        assert minimal_windows(index, "a", "b") == [
+            Interval(2, 2), Interval(9, 9)
+        ]
+
+    def test_same_vertex_rejected(self, triangle):
+        index = TILLIndex.build(triangle)
+        with pytest.raises(ValueError, match="u == v"):
+            minimal_windows(index, "a", "a")
+
+    def test_sorted_by_start(self, paper_index):
+        for u in ["v1", "v5", "v6"]:
+            for v in ["v4", "v8", "v12"]:
+                windows = minimal_windows(paper_index, u, v)
+                starts = [w.start for w in windows]
+                assert starts == sorted(starts)
+
+    def test_members_mutually_incomparable(self, paper_index):
+        windows = minimal_windows(paper_index, "v6", "v4")
+        for i, a in enumerate(windows):
+            for b in windows[i + 1:]:
+                assert not dominates_or_equal(tuple(a), tuple(b))
+                assert not dominates_or_equal(tuple(b), tuple(a))
+
+    def test_paper_example_pair(self, paper_graph, paper_index):
+        windows = minimal_windows(paper_index, "v1", "v8")
+        assert windows == _bruteforce_skyline(paper_graph, "v1", "v8")
+
+    @given(st.integers(0, 300), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_bruteforce_skyline(self, seed, directed):
+        g = random_graph(seed, num_vertices=7, num_edges=20, max_time=6,
+                         directed=directed)
+        index = TILLIndex.build(g)
+        rng = random.Random(seed)
+        for _ in range(5):
+            u, v = rng.randrange(7), rng.randrange(7)
+            if u == v:
+                continue
+            assert minimal_windows(index, u, v) == \
+                _bruteforce_skyline(g, u, v), (u, v)
+
+    def test_query_iff_contains_minimal_window(self):
+        g = random_graph(8, num_vertices=8, num_edges=25, max_time=7)
+        index = TILLIndex.build(g)
+        for u in range(0, 8, 2):
+            for v in range(1, 8, 2):
+                windows = minimal_windows(index, u, v)
+                for a in range(1, 8):
+                    for b in range(a, 8):
+                        expected = any(
+                            a <= w.start and w.end <= b for w in windows
+                        )
+                        assert index.span_reachable(u, v, (a, b)) == expected
+
+    def test_vartheta_cap_hull_still_correct(self):
+        # Two capped certificates can combine into a hull beyond the
+        # cap; the hull is a genuine reachability window and is kept.
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 9)])
+        capped = TILLIndex.build(g, vartheta=3)
+        assert minimal_windows(capped, "a", "c") == [Interval(1, 9)]
+
+    def test_vartheta_cap_complete_within_cap(self):
+        # Completeness guarantee: all minimal windows of length <= cap
+        # are enumerated by a capped index.
+        g = random_graph(21, num_vertices=8, num_edges=25, max_time=7)
+        cap = 3
+        capped = TILLIndex.build(g, vartheta=cap)
+        full = TILLIndex.build(g)
+        for u in range(0, 8, 2):
+            for v in range(1, 8, 2):
+                want = [
+                    w for w in minimal_windows(full, u, v)
+                    if w.length <= cap
+                ]
+                got = [
+                    w for w in minimal_windows(capped, u, v)
+                    if w.length <= cap
+                ]
+                assert got == want
+
+
+class TestConvenienceSelectors:
+    def test_earliest_window(self, paper_index):
+        windows = minimal_windows(paper_index, "v1", "v8")
+        assert earliest_window(paper_index, "v1", "v8") == windows[0]
+
+    def test_earliest_none_when_unreachable(self, paper_index):
+        assert earliest_window(paper_index, "v8", "v10") is None
+
+    def test_tightest_window(self):
+        # direct at [9,9] (length 1) vs two-hop hull [1,5] (length 5)
+        g = TemporalGraph.from_edges(
+            [("a", "x", 1), ("x", "b", 5), ("a", "b", 9)]
+        )
+        index = TILLIndex.build(g)
+        assert tightest_window(index, "a", "b") == Interval(9, 9)
+
+    def test_tightest_tie_breaks_earlier(self):
+        g = TemporalGraph.from_edges([("a", "b", 4), ("a", "b", 7)])
+        index = TILLIndex.build(g)
+        assert tightest_window(index, "a", "b") == Interval(4, 4)
+
+    def test_tightest_none_when_unreachable(self, paper_index):
+        assert tightest_window(paper_index, "v8", "v10") is None

@@ -1,0 +1,108 @@
+"""Tests for the Section VI query-workload generator."""
+
+import pytest
+
+from repro import TemporalGraph
+from repro.errors import ExperimentError
+from repro.workloads import (
+    SpanQuery,
+    ThetaQuery,
+    make_span_workload,
+    make_theta_workload,
+)
+
+from tests.conftest import random_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph(42, num_vertices=40, num_edges=200, max_time=30)
+
+
+class TestSpanWorkload:
+    def test_size_matches_protocol(self, graph):
+        wl = make_span_workload(graph, num_pairs=20, intervals_per_pair=10)
+        assert len(wl) == 200
+
+    def test_every_query_passes_prefilters(self, graph):
+        wl = make_span_workload(graph, num_pairs=20, intervals_per_pair=5)
+        for q in wl:
+            ui, vi = graph.index_of(q.u), graph.index_of(q.v)
+            assert graph.has_out_edge_in(ui, q.interval.start, q.interval.end)
+            assert graph.has_in_edge_in(vi, q.interval.start, q.interval.end)
+
+    def test_no_self_pairs(self, graph):
+        wl = make_span_workload(graph, num_pairs=30, intervals_per_pair=3)
+        assert all(q.u != q.v for q in wl)
+
+    def test_intervals_within_lifetime(self, graph):
+        wl = make_span_workload(graph, num_pairs=10, intervals_per_pair=5)
+        for q in wl:
+            assert graph.min_time <= q.interval.start
+            assert q.interval.end <= graph.max_time
+
+    def test_deterministic_by_seed(self, graph):
+        a = make_span_workload(graph, num_pairs=5, seed=1)
+        b = make_span_workload(graph, num_pairs=5, seed=1)
+        assert a.queries == b.queries
+
+    def test_seeds_differ(self, graph):
+        a = make_span_workload(graph, num_pairs=5, seed=1)
+        b = make_span_workload(graph, num_pairs=5, seed=2)
+        assert a.queries != b.queries
+
+    def test_ten_intervals_per_pair_grouped(self, graph):
+        wl = make_span_workload(graph, num_pairs=7, intervals_per_pair=10)
+        pairs = [(q.u, q.v) for q in wl]
+        # each pair appears in a contiguous run of exactly 10
+        seen = []
+        for pair in pairs:
+            if not seen or seen[-1][0] != pair:
+                seen.append([pair, 0])
+            seen[-1][1] += 1
+        assert all(count == 10 for _, count in seen)
+        assert len(seen) == 7
+
+    def test_too_small_graph_raises(self):
+        g = TemporalGraph.from_edges([("a", "a", 1)])
+        with pytest.raises(ExperimentError):
+            make_span_workload(g, num_pairs=2)
+
+    def test_impossible_filters_raise(self):
+        # only a self-loop plus an isolated vertex: no ordered pair of
+        # distinct vertices can ever pass the Lemma 9/10 filters
+        g = TemporalGraph(directed=True)
+        g.add_vertex("isolated")
+        g.add_edge("loop", "loop", 1)
+        g.freeze()
+        with pytest.raises(ExperimentError, match="sparse"):
+            make_span_workload(g, num_pairs=5, intervals_per_pair=5,
+                               max_attempts_per_interval=10)
+
+
+class TestThetaWorkload:
+    def test_theta_is_fraction_of_length(self, graph):
+        wl = make_theta_workload(graph, 0.5, num_pairs=10, intervals_per_pair=5)
+        for q in wl:
+            assert isinstance(q, ThetaQuery)
+            assert q.theta == max(1, int(q.interval.length * 0.5))
+
+    def test_theta_at_least_one(self, graph):
+        wl = make_theta_workload(graph, 0.1, num_pairs=10, intervals_per_pair=5)
+        assert all(q.theta >= 1 for q in wl)
+
+    def test_theta_never_exceeds_length(self, graph):
+        wl = make_theta_workload(graph, 0.9, num_pairs=10, intervals_per_pair=5)
+        assert all(q.theta <= q.interval.length for q in wl)
+
+    def test_invalid_fraction(self, graph):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ExperimentError):
+                make_theta_workload(graph, bad, num_pairs=2)
+
+    def test_same_intervals_as_span_workload(self, graph):
+        """Section VI-C reuses the Section VI-A protocol."""
+        span = make_span_workload(graph, num_pairs=5, seed=9)
+        theta = make_theta_workload(graph, 0.5, num_pairs=5, seed=9)
+        assert [(q.u, q.v, q.interval) for q in span] == \
+            [(q.u, q.v, q.interval) for q in theta]
