@@ -1,14 +1,32 @@
 # Convenience targets for the repro library.
 
 PYTHON ?= python
+# Make every target work from a plain checkout (no install needed).
+export PYTHONPATH := src
 
-.PHONY: install test bench experiments examples verify clean
+.PHONY: install test bench experiments examples verify fuzz-smoke fuzz clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
+# Tier-1 suite plus the deterministic differential smoke in one command.
 test:
 	$(PYTHON) -m pytest tests/
+	$(MAKE) fuzz-smoke
+
+# Fixed-seed differential fuzzing smoke stage (<30 s): every answer
+# path cross-checked on directed, undirected, and vartheta-capped
+# random graphs.  Deterministic — safe for CI.
+fuzz-smoke:
+	$(PYTHON) -m repro fuzz --profile small --seeds 20
+	$(PYTHON) -m repro fuzz --profile theta --seeds 6
+	$(PYTHON) -m repro fuzz --profile wide --seeds 3
+
+# Longer randomized campaign for local soak testing.
+fuzz:
+	$(PYTHON) -m repro fuzz --profile small --seeds 200
+	$(PYTHON) -m repro fuzz --profile theta --seeds 60
+	$(PYTHON) -m repro fuzz --profile wide --seeds 25
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

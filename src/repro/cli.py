@@ -16,6 +16,11 @@ Subcommands
 ``repro experiment NAME [--datasets a,b,c]``
     Run one of the paper's experiments and print its table
     (``repro experiment list`` enumerates them).
+
+``repro fuzz [--seeds N] [--profile small|wide|theta]``
+    Differential fuzzing: random graphs across the configuration
+    space, every answer path cross-checked, failures shrunk to pytest
+    repros (see :mod:`repro.fuzz`).
 """
 
 from __future__ import annotations
@@ -149,10 +154,36 @@ def cmd_verify(args: argparse.Namespace) -> int:
         print(f"verification FAILED: {exc}", file=sys.stderr)
         return 1
     print(
-        f"verified {args.samples} random queries against the brute-force "
-        "oracle: all agree"
+        f"verified label invariants and {args.samples} random queries "
+        "across every answer path (index, online, brute force): all agree"
     )
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import PROFILES, run_fuzz
+
+    if args.profile not in PROFILES:
+        known = ", ".join(sorted(PROFILES))
+        print(f"error: unknown fuzz profile {args.profile!r}; known "
+              f"profiles: {known}", file=sys.stderr)
+        return 2
+    log = (lambda msg: print(msg)) if args.verbose else None
+    report = run_fuzz(
+        profile=args.profile,
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        shrink=not args.no_shrink,
+        fail_fast=args.fail_fast,
+        log=log,
+    )
+    print(report.summary())
+    if report.ok:
+        return 0
+    for failure in report.failures:
+        print()
+        print(failure.report(), file=sys.stderr)
+    return 1
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -238,6 +269,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--undirected", action="store_true")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: cross-check every answer path on "
+             "random graphs",
+    )
+    p.add_argument("--seeds", type=int, default=25,
+                   help="number of random cases to draw (default 25)")
+    p.add_argument("--profile", default="small",
+                   help="fuzz profile: small (default), wide, or theta")
+    p.add_argument("--base-seed", type=int, default=0,
+                   help="first case seed (campaigns are deterministic)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip failure minimization")
+    p.add_argument("--fail-fast", action="store_true",
+                   help="stop at the first failing case")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="log each case as it runs")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("name", help="experiment id, or 'list'")

@@ -14,7 +14,6 @@ statistics.  Typical use::
 
 from __future__ import annotations
 
-import random
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -30,7 +29,6 @@ from repro.errors import (
     InvalidIntervalError,
     UnsupportedIntervalError,
 )
-from repro.graph.projection import span_reaches_bruteforce
 from repro.graph.temporal_graph import TemporalGraph, Vertex
 
 
@@ -250,17 +248,31 @@ class TILLIndex:
         pairs,
         interval: IntervalLike,
         prefilter: bool = True,
+        fallback: Optional[str] = None,
     ) -> List[bool]:
         """Batch span queries over one window.
 
         Validates and resolves the window once; each pair costs only the
         label merge.  ``pairs`` is an iterable of ``(u, v)``.
+
+        ``fallback="online"`` answers a window wider than the build-time
+        ϑ cap with the index-free Algorithm 1 per pair — the same escape
+        hatch as :meth:`span_reachable` — instead of raising
+        :class:`UnsupportedIntervalError`.
         """
         window = self._window(interval)
-        self._check_support(window.length)
+        graph = self.graph
+        if self.vartheta is not None and window.length > self.vartheta:
+            if fallback == "online":
+                return [
+                    online.online_span_reachable(
+                        graph, graph.index_of(u), graph.index_of(v), window
+                    )
+                    for u, v in pairs
+                ]
+            self._check_support(window.length)
         rank = self.order.rank
         labels = self.labels
-        graph = self.graph
         return [
             queries.span_reachable(
                 graph, labels, rank,
@@ -374,30 +386,34 @@ class TILLIndex:
         )
 
     def verify(self, samples: int = 100, seed: int = 0) -> None:
-        """Spot-check the index against the brute-force oracle.
+        """Check the index against every independent answer path.
 
-        Draws random vertex pairs and windows; raises ``AssertionError``
-        on the first disagreement.  Intended for debugging and tests,
-        not production paths.
+        Delegates to the :mod:`repro.fuzz` harness: the structural label
+        invariants are validated first, then random queries (span with
+        prefilter on/off, θ sliding/naive/online, explain consistency,
+        batch, minimal windows) are cross-checked against the
+        brute-force oracle.  Window sampling deliberately exceeds a
+        build-time ϑ cap so the raise/``fallback="online"`` paths are
+        exercised too.  Raises ``AssertionError`` on the first
+        disagreement.  Intended for debugging and tests, not production
+        paths.
         """
-        rng = random.Random(seed)
-        g = self.graph
-        n = g.num_vertices
-        if n < 2 or g.min_time is None:
-            return
-        lo, hi = g.min_time, g.max_time
-        max_len = self.vartheta if self.vartheta is not None else g.lifetime
-        for _ in range(samples):
-            ui, vi = rng.randrange(n), rng.randrange(n)
-            length = rng.randint(1, max(1, max_len))
-            start = rng.randint(lo - 1, hi)
-            window = (start, min(hi + 1, start + length - 1))
-            u, v = g.label_of(ui), g.label_of(vi)
-            got = self.span_reachable(u, v, window)
-            want = span_reaches_bruteforce(g, u, v, window)
-            assert got == want, (
-                f"index disagrees with oracle: {u!r} -> {v!r} in {window}: "
-                f"index={got}, oracle={want}"
+        from repro.fuzz.differential import check_index
+        from repro.fuzz.invariants import label_invariant_violations
+
+        violations = label_invariant_violations(self)
+        if violations:
+            raise AssertionError(
+                f"label invariant violated: {violations[0]}"
+                + (f" (+{len(violations) - 1} more)" if len(violations) > 1
+                   else "")
+            )
+        mismatches = check_index(
+            self, samples=samples, seed=seed, first_failure=True
+        )
+        if mismatches:
+            raise AssertionError(
+                f"index disagrees with oracle: {mismatches[0]}"
             )
 
     def compact(self) -> "TILLIndex":

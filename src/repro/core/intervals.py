@@ -212,6 +212,27 @@ def skyline(intervals: Iterable[IntervalLike]) -> List[Interval]:
     return acc.intervals()
 
 
+def validate_theta_window(window: IntervalLike, theta: int) -> Interval:
+    """Validate a θ-reachability query: ``theta >= 1`` and a window of
+    at least ``theta`` timestamps.
+
+    Every θ algorithm (indexed, naive, online) shares this check so a
+    malformed query fails identically on all paths instead of silently
+    returning ``False`` where the sliding ``range`` happens to be empty.
+    Returns the validated window.
+    """
+    win = as_interval(window)
+    if theta < 1:
+        raise InvalidIntervalError(
+            f"theta must be a positive window length, got {theta}"
+        )
+    if win.length < theta:
+        raise InvalidIntervalError(
+            f"query interval {win} is shorter than theta={theta}"
+        )
+    return win
+
+
 def first_contained(
     starts: List[int], ends: List[int], lo: int, hi: int, window: IntervalLike
 ) -> int:

@@ -14,7 +14,12 @@ window, ``O((t2 - t1 - θ)(n + m))`` worst case.
 from __future__ import annotations
 
 from collections import deque
-from repro.core.intervals import Interval, IntervalLike, as_interval
+from repro.core.intervals import (
+    Interval,
+    IntervalLike,
+    as_interval,
+    validate_theta_window,
+)
 from repro.graph.temporal_graph import TemporalGraph
 
 
@@ -71,12 +76,16 @@ def online_theta_reachable(
     window: IntervalLike,
     theta: int,
 ) -> bool:
-    """θ-reachability without an index: Algorithm 1 per θ-length window."""
+    """θ-reachability without an index: Algorithm 1 per θ-length window.
+
+    Raises :class:`~repro.errors.InvalidIntervalError` (a ``ValueError``)
+    for ``theta < 1`` or a window shorter than ``theta`` (previously the
+    empty ``range`` silently returned ``False`` where the
+    :class:`~repro.core.index.TILLIndex` facade rejects the query).
+    """
+    win = validate_theta_window(window, theta)
     if ui == vi:
         return True
-    win = as_interval(window)
-    if theta < 1:
-        raise ValueError(f"theta must be a positive window length, got {theta}")
     for start in range(win.start, win.end - theta + 2):
         if online_span_reachable(graph, ui, vi, Interval(start, start + theta - 1)):
             return True

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 
-from repro.core.intervals import Interval, first_contained
+from repro.core.intervals import Interval, first_contained, validate_theta_window
 from repro.core.labels import LabelSet, TILLLabels
 from repro.graph.temporal_graph import TemporalGraph
 
@@ -197,7 +197,12 @@ def theta_reachable(
     ``u`` θ-reaches ``v`` in ``window`` iff some θ-length subwindow
     witnesses span-reachability (Definition 2).  Runs in
     ``O(|L_out(u)| + |L_in(v)|)``.
+
+    Raises :class:`~repro.errors.InvalidIntervalError` for ``theta < 1``
+    or a window shorter than ``theta`` — the same contract as the
+    :class:`~repro.core.index.TILLIndex` facade.
     """
+    window = validate_theta_window(window, theta)
     if ui == vi:
         return True
     if prefilter and not (
@@ -252,7 +257,13 @@ def theta_reachable_naive(
     prefilter: bool = True,
 ) -> bool:
     """The paper's ``ES-Reach`` baseline: slide a θ-length window over
-    the query interval and run ``Span-Reach`` for each position."""
+    the query interval and run ``Span-Reach`` for each position.
+
+    Raises :class:`~repro.errors.InvalidIntervalError` for ``theta < 1``
+    or a window shorter than ``theta`` (previously the empty ``range``
+    silently returned ``False`` where the facade rejects the query).
+    """
+    window = validate_theta_window(window, theta)
     if ui == vi:
         return True
     for start in range(window.start, window.end - theta + 2):

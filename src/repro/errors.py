@@ -52,6 +52,27 @@ class IndexBuildError(ReproError):
     """Index construction failed or was configured inconsistently."""
 
 
+class LabelInvariantError(ReproError):
+    """A built index violates a structural label invariant.
+
+    Raised by :func:`repro.fuzz.invariants.check_labels` when a
+    :class:`~repro.core.labels.LabelSet` breaks one of the properties
+    the query algorithms silently rely on (hub ranks ascending,
+    chronologically sorted antichain groups, consistent offsets, ...).
+    Signals either a construction bug or post-build corruption.
+    """
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        preview = "; ".join(self.violations[:3])
+        more = len(self.violations) - 3
+        if more > 0:
+            preview += f"; ... and {more} more"
+        super().__init__(
+            f"{len(self.violations)} label invariant violation(s): {preview}"
+        )
+
+
 class IndexFormatError(ReproError):
     """A serialized index file is corrupt or from an incompatible version."""
 

@@ -1,0 +1,61 @@
+"""Differential fuzzing and label-invariant validation.
+
+Hub-labeling bugs are silent wrong-answer bugs, not crashes: a broken
+merge or a mis-sorted label group simply returns the wrong boolean.
+This package is the repo's guard against that class of failure and the
+safety net that makes performance refactors of the query/construction
+layers possible:
+
+* :mod:`repro.fuzz.profiles` — random graph/configuration generation
+  (directed/undirected, multi-edge, negative timestamps, ϑ caps);
+* :mod:`repro.fuzz.differential` — every answer path for the same
+  query must agree (index, prefilter-off, online, brute force,
+  profiled, batch, explain, witness paths, minimal windows);
+* :mod:`repro.fuzz.invariants` — structural label properties the
+  query algorithms silently rely on;
+* :mod:`repro.fuzz.shrink` — delta-debugging minimizer emitting
+  ready-to-paste pytest repros;
+* :mod:`repro.fuzz.runner` — the deterministic campaign driver behind
+  ``repro fuzz`` and ``make fuzz-smoke``.
+
+Quickstart::
+
+    from repro.fuzz import run_fuzz
+
+    report = run_fuzz(profile="small", seeds=25)
+    assert report.ok, report.failures[0].report()
+"""
+
+from repro.fuzz.differential import (
+    Mismatch,
+    check_index,
+    check_pair_windows,
+    check_span_query,
+    check_theta_query,
+    replay,
+)
+from repro.fuzz.invariants import check_labels, label_invariant_violations
+from repro.fuzz.profiles import PROFILES, FuzzCase, FuzzProfile, make_case
+from repro.fuzz.runner import FuzzFailure, FuzzReport, run_fuzz
+from repro.fuzz.shrink import ShrunkFailure, emit_pytest, shrink_failure
+
+__all__ = [
+    "Mismatch",
+    "check_index",
+    "check_pair_windows",
+    "check_span_query",
+    "check_theta_query",
+    "replay",
+    "check_labels",
+    "label_invariant_violations",
+    "PROFILES",
+    "FuzzCase",
+    "FuzzProfile",
+    "make_case",
+    "FuzzFailure",
+    "FuzzReport",
+    "run_fuzz",
+    "ShrunkFailure",
+    "emit_pytest",
+    "shrink_failure",
+]

@@ -1,0 +1,387 @@
+"""Differential checking: every answer path must agree, always.
+
+The TILL-Index's correctness claim (Theorems 1-5) is *exact* agreement
+between the label merge and BFS over the projected graph.  This module
+enforces it by running every implementation of the same query and
+comparing answers:
+
+* span: :meth:`TILLIndex.span_reachable` (prefilter on **and** off),
+  :func:`online_span_reachable`, :func:`span_reaches_bruteforce`,
+  :func:`profile_span_query`, :meth:`TILLIndex.span_reachable_many`,
+  :meth:`TILLIndex.explain` and :meth:`TILLIndex.witness_path`;
+* θ: sliding (Algorithm 5) vs naive vs online vs brute force, plus
+  :meth:`TILLIndex.explain_theta`;
+* ϑ-capped indexes: over-cap windows must raise
+  :class:`UnsupportedIntervalError` without a fallback and agree with
+  brute force through ``fallback="online"`` (scalar and batch);
+* :func:`minimal_windows`: an antichain whose every member answers
+  ``True`` and whose one-timestamp shrinkings answer ``False`` (within
+  the documented ϑ completeness guarantee).
+
+Disagreements come back as :class:`Mismatch` records; :func:`replay`
+re-runs exactly the family of checks that produced a mismatch, which
+is what lets the shrinker test candidate subgraphs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.core.intervals import Interval, as_interval
+from repro.core.online import online_span_reachable, online_theta_reachable
+from repro.errors import UnsupportedIntervalError
+from repro.graph.projection import (
+    span_reaches_bruteforce,
+    theta_reaches_bruteforce,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.index import TILLIndex
+
+_POSITIVE_KINDS = frozenset(
+    {"same-vertex", "target-hub", "source-hub", "common-hub"}
+)
+_NEGATIVE_KINDS = frozenset({"prefilter", "unreachable"})
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One disagreement between two answer paths for the same query."""
+
+    check: str  # e.g. "span:online", "theta:naive", "windows:minimal"
+    detail: str
+    u: object = None
+    v: object = None
+    window: Optional[Tuple[int, int]] = None
+    theta: Optional[int] = None
+
+    def __str__(self) -> str:
+        query = ""
+        if self.u is not None or self.v is not None:
+            query = f" for {self.u!r} -> {self.v!r}"
+        if self.window is not None:
+            query += f" in [{self.window[0]}, {self.window[1]}]"
+        if self.theta is not None:
+            query += f" theta={self.theta}"
+        return f"[{self.check}]{query}: {self.detail}"
+
+
+def _mismatch(found, check, detail, u=None, v=None, window=None, theta=None):
+    w = None if window is None else (window[0], window[1])
+    found.append(Mismatch(check, detail, u=u, v=v, window=w, theta=theta))
+
+
+# ----------------------------------------------------------------------
+# span queries
+# ----------------------------------------------------------------------
+
+
+def check_span_query(
+    index: "TILLIndex", u, v, window: Tuple[int, int]
+) -> List[Mismatch]:
+    """Every span-query answer path for ``u -> v`` in *window*."""
+    win = as_interval(window)
+    graph = index.graph
+    found: List[Mismatch] = []
+    want = span_reaches_bruteforce(graph, u, v, win)
+    ui, vi = graph.index_of(u), graph.index_of(v)
+
+    got_online = online_span_reachable(graph, ui, vi, win)
+    if got_online != want:
+        _mismatch(found, "span:online",
+                  f"online={got_online}, oracle={want}", u, v, win)
+
+    over_cap = index.vartheta is not None and win.length > index.vartheta
+    if over_cap:
+        try:
+            index.span_reachable(u, v, win)
+            _mismatch(found, "span:cap-raise",
+                      f"window length {win.length} exceeds vartheta="
+                      f"{index.vartheta} but no UnsupportedIntervalError "
+                      "was raised", u, v, win)
+        except UnsupportedIntervalError:
+            pass
+        got = index.span_reachable(u, v, win, fallback="online")
+        if got != want:
+            _mismatch(found, "span:online-fallback",
+                      f"fallback={got}, oracle={want}", u, v, win)
+        batch = index.span_reachable_many([(u, v)], win, fallback="online")
+        if batch != [want]:
+            _mismatch(found, "span:batch-fallback",
+                      f"batch={batch[0]}, oracle={want}", u, v, win)
+        return found
+
+    got = index.span_reachable(u, v, win)
+    if got != want:
+        _mismatch(found, "span:index",
+                  f"index={got}, oracle={want}", u, v, win)
+    got_nopre = index.span_reachable(u, v, win, prefilter=False)
+    if got_nopre != want:
+        _mismatch(found, "span:prefilter-off",
+                  f"prefilter-off={got_nopre}, oracle={want}", u, v, win)
+    batch = index.span_reachable_many([(u, v)], win)
+    if batch != [want]:
+        _mismatch(found, "span:batch",
+                  f"batch={batch[0]}, oracle={want}", u, v, win)
+
+    from repro.core.profiling import profile_span_query
+
+    prof = profile_span_query(index, u, v, win)
+    if prof.answer != want:
+        _mismatch(found, "span:profiled",
+                  f"profiled={prof.answer} (outcome={prof.outcome}), "
+                  f"oracle={want}", u, v, win)
+
+    explanation = index.explain(u, v, win)
+    if explanation["reachable"] != want:
+        _mismatch(found, "span:explain",
+                  f"explain={explanation['reachable']}, oracle={want}",
+                  u, v, win)
+    kind = explanation["kind"]
+    expected_kinds = _POSITIVE_KINDS if explanation["reachable"] \
+        else _NEGATIVE_KINDS
+    if kind not in expected_kinds:
+        _mismatch(found, "span:explain-kind",
+                  f"kind {kind!r} inconsistent with "
+                  f"reachable={explanation['reachable']}", u, v, win)
+    for side in ("out_interval", "in_interval"):
+        iv = explanation[side]
+        if iv is not None and not win.contains(iv):
+            _mismatch(found, "span:explain-interval",
+                      f"{side} {iv} not contained in the query window",
+                      u, v, win)
+
+    path = index.witness_path(u, v, win)
+    if (path is not None) != want:
+        _mismatch(found, "span:witness-path",
+                  f"witness path {'found' if path is not None else 'missing'}"
+                  f" but oracle={want}", u, v, win)
+    elif path:
+        if any(not win.contains_time(t) for _a, _b, t in path):
+            _mismatch(found, "span:witness-path",
+                      f"witness path {path} uses an edge outside the window",
+                      u, v, win)
+        elif path[0][0] != u or path[-1][1] != v:
+            _mismatch(found, "span:witness-path",
+                      f"witness path {path} does not connect the endpoints",
+                      u, v, win)
+    return found
+
+
+# ----------------------------------------------------------------------
+# theta queries
+# ----------------------------------------------------------------------
+
+
+def check_theta_query(
+    index: "TILLIndex", u, v, window: Tuple[int, int], theta: int
+) -> List[Mismatch]:
+    """Every θ-query answer path for ``u -> v`` in *window*."""
+    win = as_interval(window)
+    graph = index.graph
+    found: List[Mismatch] = []
+    want = theta_reaches_bruteforce(graph, u, v, win, theta)
+    ui, vi = graph.index_of(u), graph.index_of(v)
+
+    got_online = online_theta_reachable(graph, ui, vi, win, theta)
+    if got_online != want:
+        _mismatch(found, "theta:online",
+                  f"online={got_online}, oracle={want}", u, v, win, theta)
+
+    if index.vartheta is not None and theta > index.vartheta:
+        try:
+            index.theta_reachable(u, v, win, theta)
+            _mismatch(found, "theta:cap-raise",
+                      f"theta={theta} exceeds vartheta={index.vartheta} but "
+                      "no UnsupportedIntervalError was raised",
+                      u, v, win, theta)
+        except UnsupportedIntervalError:
+            pass
+        return found
+
+    sliding = index.theta_reachable(u, v, win, theta)
+    if sliding != want:
+        _mismatch(found, "theta:sliding",
+                  f"sliding={sliding}, oracle={want}", u, v, win, theta)
+    naive = index.theta_reachable(u, v, win, theta, algorithm="naive")
+    if naive != want:
+        _mismatch(found, "theta:naive",
+                  f"naive={naive}, oracle={want}", u, v, win, theta)
+    nopre = index.theta_reachable(u, v, win, theta, prefilter=False)
+    if nopre != want:
+        _mismatch(found, "theta:prefilter-off",
+                  f"prefilter-off={nopre}, oracle={want}", u, v, win, theta)
+
+    explanation = index.explain_theta(u, v, win, theta)
+    if explanation["reachable"] != want:
+        _mismatch(found, "theta:explain",
+                  f"explain={explanation['reachable']}, oracle={want}",
+                  u, v, win, theta)
+    elif want and explanation["window"] is not None:
+        ws, we = explanation["window"]
+        if we - ws + 1 != theta or not win.contains((ws, we)):
+            _mismatch(found, "theta:explain-window",
+                      f"witness window [{ws}, {we}] is not a θ-length "
+                      "subwindow of the query", u, v, win, theta)
+        elif not span_reaches_bruteforce(graph, u, v, (ws, we)):
+            _mismatch(found, "theta:explain-window",
+                      f"witness window [{ws}, {we}] does not span-connect "
+                      "the pair", u, v, win, theta)
+    return found
+
+
+# ----------------------------------------------------------------------
+# minimal windows
+# ----------------------------------------------------------------------
+
+
+def check_pair_windows(index: "TILLIndex", u, v) -> List[Mismatch]:
+    """The pair-skyline contract of :func:`minimal_windows` for one pair.
+
+    Every member must be a true reachability window agreeing with both
+    the index and the brute-force oracle, the members must form an
+    antichain, and shrinking any member by one timestamp on either side
+    must lose reachability — the minimality half.  With a build-time ϑ
+    cap the minimality assertion only applies to shrunk windows of
+    length ≤ ϑ (see the completeness caveat in :mod:`repro.core.windows`).
+    """
+    from repro.core.windows import minimal_windows
+
+    graph = index.graph
+    found: List[Mismatch] = []
+    if graph.index_of(u) == graph.index_of(v):
+        return found
+    windows = minimal_windows(index, u, v)
+
+    prev: Optional[Interval] = None
+    for win in windows:
+        if prev is not None and (win.start <= prev.start or win.end <= prev.end):
+            _mismatch(found, "windows:antichain",
+                      f"members {prev} and {win} are not a sorted antichain",
+                      u, v)
+        prev = win
+
+    cap = index.vartheta
+    for win in windows:
+        if not span_reaches_bruteforce(graph, u, v, win):
+            _mismatch(found, "windows:member",
+                      f"member {win} is not a reachability window", u, v, win)
+            continue
+        if not index.span_reachable(u, v, win, fallback="online"):
+            _mismatch(found, "windows:member-index",
+                      f"index disagrees with its own minimal window {win}",
+                      u, v, win)
+        for shrunk in (
+            Interval(win.start + 1, win.end),
+            Interval(win.start, win.end - 1),
+        ):
+            if shrunk.start > shrunk.end:
+                continue
+            if cap is not None and shrunk.length > cap:
+                # Minimality is only guaranteed within the cap: the
+                # over-cap certificates that could witness the shrunk
+                # window were never indexed.
+                continue
+            if span_reaches_bruteforce(graph, u, v, shrunk):
+                _mismatch(found, "windows:minimal",
+                          f"member {win} is not minimal: {shrunk} still "
+                          "reaches", u, v, win)
+    return found
+
+
+# ----------------------------------------------------------------------
+# whole-index sweep
+# ----------------------------------------------------------------------
+
+
+def check_index(
+    index: "TILLIndex",
+    samples: int = 100,
+    seed: int = 0,
+    theta_samples: Optional[int] = None,
+    window_pairs: Optional[int] = None,
+    first_failure: bool = False,
+) -> List[Mismatch]:
+    """Randomized differential sweep over *index*.
+
+    Draws *samples* span queries (windows deliberately overshoot the
+    graph lifetime and any ϑ cap so the raise/fallback paths are
+    exercised), ``theta_samples`` θ queries and ``window_pairs``
+    minimal-window enumerations; returns every :class:`Mismatch` found
+    (or the first one when *first_failure* is set).
+    """
+    graph = index.graph
+    n = graph.num_vertices
+    if n < 2 or graph.min_time is None:
+        return []
+    if theta_samples is None:
+        theta_samples = max(1, samples // 4)
+    if window_pairs is None:
+        window_pairs = max(1, samples // 10)
+    rng = random.Random(seed)
+    lo, hi = graph.min_time, graph.max_time
+    lifetime = graph.lifetime
+    found: List[Mismatch] = []
+
+    def _sample_window(max_length: int) -> Interval:
+        length = rng.randint(1, max(1, max_length))
+        start = rng.randint(lo - 2, hi + 1)
+        return Interval(start, start + length - 1)
+
+    for _ in range(samples):
+        u = graph.label_of(rng.randrange(n))
+        v = graph.label_of(rng.randrange(n))
+        found.extend(check_span_query(index, u, v, _sample_window(lifetime + 2)))
+        if found and first_failure:
+            return found[:1]
+
+    for _ in range(theta_samples):
+        u = graph.label_of(rng.randrange(n))
+        v = graph.label_of(rng.randrange(n))
+        window = _sample_window(lifetime)
+        theta = rng.randint(1, window.length)
+        found.extend(check_theta_query(index, u, v, window, theta))
+        if found and first_failure:
+            return found[:1]
+
+    for _ in range(window_pairs):
+        ui = rng.randrange(n)
+        vi = rng.randrange(n)
+        if ui == vi:
+            continue
+        found.extend(
+            check_pair_windows(index, graph.label_of(ui), graph.label_of(vi))
+        )
+        if found and first_failure:
+            return found[:1]
+    return found
+
+
+def replay(index: "TILLIndex", mismatch: Mismatch) -> bool:
+    """Does *mismatch* still reproduce against *index*?
+
+    Re-runs exactly the check family that produced the mismatch and
+    reports whether the same check fails again — the predicate the
+    shrinker minimizes against.
+    """
+    from repro.fuzz.invariants import label_invariant_violations
+
+    if mismatch.check == "invariant":
+        return bool(label_invariant_violations(index))
+    graph = index.graph
+    for vertex in (mismatch.u, mismatch.v):
+        if vertex not in graph:
+            return False
+    if mismatch.check.startswith("span:"):
+        results = check_span_query(index, mismatch.u, mismatch.v, mismatch.window)
+    elif mismatch.check.startswith("theta:"):
+        results = check_theta_query(
+            index, mismatch.u, mismatch.v, mismatch.window, mismatch.theta
+        )
+    elif mismatch.check.startswith("windows:"):
+        results = check_pair_windows(index, mismatch.u, mismatch.v)
+    else:  # unknown family: be conservative, nothing to minimize against
+        return False
+    return any(m.check == mismatch.check for m in results)

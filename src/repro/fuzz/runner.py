@@ -1,0 +1,138 @@
+"""The fuzz campaign driver behind ``repro fuzz``.
+
+For each seed: draw a :class:`FuzzCase` from the profile, build the
+index, validate the label invariants, run the differential sweep, and
+— on failure — minimize the (graph, query) pair into a pytest repro.
+Everything is deterministic in ``(profile, base_seed, seeds)``, which
+is what makes the Makefile smoke stage reproducible in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.index import TILLIndex
+from repro.errors import LabelInvariantError
+from repro.fuzz.differential import Mismatch, check_index
+from repro.fuzz.invariants import check_labels
+from repro.fuzz.profiles import PROFILES, FuzzCase, FuzzProfile, make_case
+from repro.fuzz.shrink import ShrunkFailure, shrink_failure
+
+LogHook = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One failing case: the mismatch plus its minimized repro."""
+
+    case: FuzzCase
+    mismatch: Mismatch
+    shrunk: Optional[ShrunkFailure]
+
+    def report(self) -> str:
+        lines = [
+            f"FAIL {self.case.description}",
+            f"  {self.mismatch}",
+        ]
+        if self.shrunk is not None:
+            lines.append(
+                f"  shrunk to {len(self.shrunk.edges)} edge(s) / "
+                f"{len(self.shrunk.vertices)} vertex(ices); pytest repro:"
+            )
+            lines.append("")
+            lines.extend(
+                "    " + line for line in
+                self.shrunk.pytest_source.splitlines()
+            )
+        else:
+            lines.append(
+                "  (not reproducible from a clean rebuild — the failure "
+                "lives in mutated index state, not the algorithms)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    profile: str
+    base_seed: int
+    cases: int = 0
+    queries: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        return (
+            f"fuzz[{self.profile}]: {self.cases} case(s), "
+            f"~{self.queries} differential quer(ies): {status}"
+        )
+
+
+def run_fuzz(
+    profile: str = "small",
+    seeds: int = 25,
+    base_seed: int = 0,
+    shrink: bool = True,
+    fail_fast: bool = False,
+    log: Optional[LogHook] = None,
+) -> FuzzReport:
+    """Run a deterministic fuzz campaign; see the module docstring.
+
+    ``profile`` names an entry of :data:`repro.fuzz.profiles.PROFILES`
+    or is a :class:`FuzzProfile` instance; case seeds are
+    ``base_seed .. base_seed + seeds - 1``.
+    """
+    if isinstance(profile, FuzzProfile):
+        prof = profile
+    else:
+        try:
+            prof = PROFILES[profile]
+        except KeyError:
+            known = ", ".join(sorted(PROFILES))
+            raise ValueError(
+                f"unknown fuzz profile {profile!r}; known profiles: {known}"
+            ) from None
+    report = FuzzReport(profile=prof.name, base_seed=base_seed)
+    for seed in range(base_seed, base_seed + seeds):
+        case = make_case(prof, seed)
+        if log is not None:
+            log(f"case {case.description}")
+        index = TILLIndex.build(case.graph, vartheta=case.vartheta)
+        report.cases += 1
+
+        mismatches: List[Mismatch] = []
+        try:
+            check_labels(index)
+        except LabelInvariantError as exc:
+            mismatches.append(
+                Mismatch("invariant", "; ".join(exc.violations))
+            )
+        mismatches.extend(
+            check_index(
+                index,
+                samples=prof.span_queries,
+                seed=seed,
+                theta_samples=prof.theta_queries,
+                window_pairs=prof.window_pairs,
+            )
+        )
+        report.queries += (
+            prof.span_queries + prof.theta_queries + prof.window_pairs
+        )
+        if mismatches:
+            mismatch = mismatches[0]
+            shrunk = shrink_failure(case, mismatch) if shrink else None
+            failure = FuzzFailure(case=case, mismatch=mismatch, shrunk=shrunk)
+            report.failures.append(failure)
+            if log is not None:
+                log(failure.report())
+            if fail_fast:
+                break
+    return report

@@ -1,0 +1,174 @@
+"""Failure minimization: turn a fuzz hit into a tiny pytest repro.
+
+A raw fuzz failure names a random graph with dozens of edges — too big
+to reason about.  :func:`shrink_failure` minimizes it with greedy
+delta debugging: repeatedly drop chunks of edges (then single edges,
+then unused vertices) while the original mismatch keeps reproducing on
+a freshly rebuilt index.  The result carries a ready-to-paste pytest
+function that rebuilds the minimal graph and asserts the failing check
+family is clean.
+
+The reproduction predicate rebuilds the index from scratch each probe,
+so only *real* algorithmic failures shrink; a mismatch caused by
+mutating a live index (label corruption) will not survive the rebuild
+and is reported as non-reproducible instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.fuzz.differential import Mismatch, replay
+from repro.fuzz.profiles import FuzzCase, _rebuild
+
+Edge = Tuple[object, object, int]
+
+
+@dataclass(frozen=True)
+class ShrunkFailure:
+    """A minimized failing (graph, query) pair plus its pytest repro."""
+
+    edges: Tuple[Edge, ...]
+    vertices: Tuple[object, ...]
+    directed: bool
+    vartheta: Optional[int]
+    mismatch: Mismatch
+    rounds: int
+
+    @property
+    def pytest_source(self) -> str:
+        return emit_pytest(self)
+
+
+def _build_predicate(
+    mismatch: Mismatch, vartheta: Optional[int]
+) -> Callable[[Sequence[object], Sequence[Edge], bool], bool]:
+    """``True`` iff the mismatch reproduces on a candidate subgraph."""
+    from repro.core.index import TILLIndex
+
+    def still_fails(vertices, edges, directed) -> bool:
+        if not edges:
+            return False
+        try:
+            graph = _rebuild(vertices, edges, directed)
+            index = TILLIndex.build(graph, vartheta=vartheta)
+            return replay(index, mismatch)
+        except Exception:
+            # A candidate that fails *differently* (build error, missing
+            # vertex, ...) is not a reproduction of this mismatch.
+            return False
+
+    return still_fails
+
+
+def _required_vertices(mismatch: Mismatch) -> List[object]:
+    return [x for x in (mismatch.u, mismatch.v) if x is not None]
+
+
+def shrink_failure(
+    case: FuzzCase,
+    mismatch: Mismatch,
+    max_probes: int = 2000,
+) -> Optional[ShrunkFailure]:
+    """Minimize ``(case.graph, mismatch)``; ``None`` when the mismatch
+    does not reproduce on a clean rebuild of the full graph (the
+    failure lives in mutated index state, not in the algorithms)."""
+    still_fails = _build_predicate(mismatch, case.vartheta)
+    vertices: List[object] = list(case.graph.vertices())
+    edges: List[Edge] = list(case.graph.edges())
+    directed = case.graph.directed
+    if not still_fails(vertices, edges, directed):
+        return None
+
+    probes = rounds = 0
+
+    # Greedy delta debugging over the edge list: chunked removal first,
+    # halving the chunk until single-edge granularity is exhausted.
+    chunk = max(1, len(edges) // 2)
+    while chunk >= 1 and probes < max_probes:
+        i = 0
+        shrunk_this_pass = False
+        while i < len(edges) and probes < max_probes:
+            candidate = edges[:i] + edges[i + chunk:]
+            probes += 1
+            if candidate and still_fails(vertices, candidate, directed):
+                edges = candidate
+                shrunk_this_pass = True
+            else:
+                i += chunk
+        rounds += 1
+        if chunk == 1 and not shrunk_this_pass:
+            break
+        chunk = max(1, chunk // 2) if chunk > 1 else (1 if shrunk_this_pass else 0)
+
+    # Drop vertices that neither carry an edge nor appear in the query.
+    keep = set(_required_vertices(mismatch))
+    for u, v, _t in edges:
+        keep.add(u)
+        keep.add(v)
+    trimmed = [v for v in vertices if v in keep]
+    if trimmed != vertices and still_fails(trimmed, edges, directed):
+        vertices = trimmed
+
+    return ShrunkFailure(
+        edges=tuple(edges),
+        vertices=tuple(vertices),
+        directed=directed,
+        vartheta=case.vartheta,
+        mismatch=mismatch,
+        rounds=rounds,
+    )
+
+
+def _replay_call(mismatch: Mismatch) -> Tuple[str, str]:
+    """(import line, assertion call) re-running the failing check."""
+    if mismatch.check == "invariant":
+        return (
+            "from repro.fuzz.invariants import label_invariant_violations",
+            "assert label_invariant_violations(index) == []",
+        )
+    if mismatch.check.startswith("span:"):
+        return (
+            "from repro.fuzz.differential import check_span_query",
+            f"assert check_span_query(index, {mismatch.u!r}, {mismatch.v!r}, "
+            f"{mismatch.window!r}) == []",
+        )
+    if mismatch.check.startswith("theta:"):
+        return (
+            "from repro.fuzz.differential import check_theta_query",
+            f"assert check_theta_query(index, {mismatch.u!r}, {mismatch.v!r}, "
+            f"{mismatch.window!r}, {mismatch.theta!r}) == []",
+        )
+    return (
+        "from repro.fuzz.differential import check_pair_windows",
+        f"assert check_pair_windows(index, {mismatch.u!r}, {mismatch.v!r}) "
+        "== []",
+    )
+
+
+def emit_pytest(shrunk: ShrunkFailure) -> str:
+    """A self-contained pytest function reproducing the failure."""
+    import_line, assertion = _replay_call(shrunk.mismatch)
+    edge_lines = "\n".join(
+        f"        {edge!r}," for edge in shrunk.edges
+    )
+    slug = shrunk.mismatch.check.replace(":", "_").replace("-", "_")
+    return f'''\
+from repro import TemporalGraph, TILLIndex
+{import_line}
+
+
+def test_fuzz_regression_{slug}():
+    """Shrunk fuzz repro: {shrunk.mismatch}"""
+    graph = TemporalGraph(directed={shrunk.directed!r})
+    for vertex in {list(shrunk.vertices)!r}:
+        graph.add_vertex(vertex)
+    for u, v, t in [
+{edge_lines}
+    ]:
+        graph.add_edge(u, v, t)
+    graph.freeze()
+    index = TILLIndex.build(graph, vartheta={shrunk.vartheta!r})
+    {assertion}
+'''

@@ -24,6 +24,8 @@ import random
 from typing import Optional
 
 from repro.core.index import TILLIndex
+from repro.fuzz.differential import check_index
+from repro.fuzz.invariants import check_labels, label_invariant_violations
 from repro.graph.projection import (
     span_reaches_bruteforce,
     theta_reaches_bruteforce,
@@ -35,6 +37,10 @@ __all__ = [
     "theta_reaches_bruteforce",
     "random_temporal_graph",
     "assert_index_correct",
+    "assert_index_consistent",
+    "check_index",
+    "check_labels",
+    "label_invariant_violations",
     "temporal_graphs",
     "query_windows",
 ]
@@ -110,6 +116,26 @@ def assert_index_correct(
             f"theta query disagrees with oracle: {u!r} -> {v!r} in "
             f"[{start}, {end}], theta={theta}: index={got}, oracle={want}"
         )
+
+
+def assert_index_consistent(
+    index: TILLIndex, samples: int = 100, seed: int = 0
+) -> None:
+    """The full :mod:`repro.fuzz` consistency check as one assertion.
+
+    Stronger than :func:`assert_index_correct`: validates the
+    structural label invariants, then cross-checks *every* answer path
+    (prefilter on/off, online, profiled, batch, explain, witness paths,
+    θ sliding/naive/online, minimal windows, ϑ-cap fallbacks) against
+    the brute-force oracles.  Raises ``AssertionError`` with the first
+    offending query.
+    """
+    violations = label_invariant_violations(index)
+    assert not violations, f"label invariant violated: {violations[0]}"
+    mismatches = check_index(
+        index, samples=samples, seed=seed, first_failure=True
+    )
+    assert not mismatches, f"answer paths disagree: {mismatches[0]}"
 
 
 def _require_hypothesis():

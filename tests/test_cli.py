@@ -146,3 +146,39 @@ class TestAnatomyCommand:
         ipath = tmp_path / "c.till"
         assert main(["build", "chess", "-o", str(ipath)]) == 0
         assert main(["anatomy", "chess", "--index", str(ipath)]) == 0
+
+
+class TestFuzzCommand:
+    def test_clean_campaign_exit_zero(self, capsys):
+        assert main(["fuzz", "--seeds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz[small]" in out
+        assert "OK" in out
+
+    def test_profile_selection(self, capsys):
+        assert main(["fuzz", "--profile", "theta", "--seeds", "2"]) == 0
+        assert "fuzz[theta]" in capsys.readouterr().out
+
+    def test_unknown_profile_exit_two(self, capsys):
+        assert main(["fuzz", "--profile", "bogus"]) == 2
+        assert "unknown fuzz profile" in capsys.readouterr().err
+
+    def test_verbose_logs_cases(self, capsys):
+        assert main(["fuzz", "--seeds", "2", "--verbose"]) == 0
+        assert "case profile=small seed=0" in capsys.readouterr().out
+
+    def test_failure_exit_one_with_repro(self, capsys, monkeypatch):
+        import repro.core.queries as queries
+
+        real = queries.span_reachable
+
+        def broken(graph, labels, rank, ui, vi, window, prefilter=True):
+            return not real(graph, labels, rank, ui, vi, window,
+                            prefilter=prefilter)
+
+        monkeypatch.setattr(queries, "span_reachable", broken)
+        assert main(["fuzz", "--seeds", "2", "--fail-fast"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILURE" in captured.out
+        assert "FAIL profile=small" in captured.err
+        assert "test_fuzz_regression" in captured.err  # shrunk pytest repro

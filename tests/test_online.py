@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro import TemporalGraph
 from repro.core.online import online_span_reachable, online_theta_reachable
+from repro.errors import InvalidIntervalError
 from repro.graph.projection import (
     span_reaches_bruteforce,
     theta_reaches_bruteforce,
@@ -118,3 +119,34 @@ class TestOnlineAgainstOracle:
             g, g.index_of(ui), g.index_of(vi), window, theta
         )
         assert got == theta_reaches_bruteforce(g, ui, vi, window, theta)
+
+
+class TestOnlineThetaValidation:
+    """Regression: ``online_theta_reachable`` used to silently return
+    ``False`` when the window was shorter than theta (the sliding
+    ``range`` was empty); it now raises like the index facade."""
+
+    def test_rejects_window_shorter_than_theta(self, triangle):
+        with pytest.raises(InvalidIntervalError):
+            online_theta_reachable(
+                triangle, triangle.index_of("a"), triangle.index_of("c"),
+                (1, 2), 5,
+            )
+
+    def test_rejects_even_for_same_vertex(self, triangle):
+        ai = triangle.index_of("a")
+        with pytest.raises(InvalidIntervalError):
+            online_theta_reachable(triangle, ai, ai, (1, 2), 5)
+
+    def test_error_is_a_value_error(self, triangle):
+        # Compatible with callers catching the historical ValueError.
+        with pytest.raises(ValueError):
+            online_theta_reachable(
+                triangle, triangle.index_of("a"), triangle.index_of("c"),
+                (3, 4), 7,
+            )
+
+    def test_window_exactly_theta_still_answers(self, triangle):
+        assert online_theta_reachable(
+            triangle, triangle.index_of("a"), triangle.index_of("c"), (3, 5), 3
+        )

@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro import TemporalGraph, TILLIndex
 from repro.core.intervals import Interval
+from repro.errors import InvalidIntervalError
 from repro.core.queries import theta_reachable, theta_reachable_naive
 from repro.graph.projection import theta_reaches_bruteforce
 
@@ -108,3 +109,37 @@ class TestThetaAgainstOracle:
         for u, v in [(0, 5), (3, 7), (8, 1)]:
             want = theta_reaches_bruteforce(g, u, v, window, theta)
             assert _sliding(index, u, v, window, theta) == want
+
+
+class TestMalformedWindowRejected:
+    """Regression: a window shorter than theta used to fall through the
+    empty sliding ``range`` and silently return ``False``; the algorithm
+    layer now rejects it exactly like the :class:`TILLIndex` facade."""
+
+    def test_sliding_rejects_window_shorter_than_theta(self, paper_index):
+        with pytest.raises(InvalidIntervalError):
+            _sliding(paper_index, "v1", "v12", (1, 2), 5)
+
+    def test_naive_rejects_window_shorter_than_theta(self, paper_index):
+        with pytest.raises(InvalidIntervalError):
+            _naive(paper_index, "v1", "v12", (1, 2), 5)
+
+    def test_bad_theta_rejected(self, paper_index):
+        for bad in (0, -3):
+            with pytest.raises(InvalidIntervalError):
+                _sliding(paper_index, "v1", "v12", (1, 5), bad)
+            with pytest.raises(InvalidIntervalError):
+                _naive(paper_index, "v1", "v12", (1, 5), bad)
+
+    def test_validation_precedes_same_vertex_shortcut(self, paper_index):
+        # u == v answers True for any *valid* query, but a malformed
+        # window must still be rejected, matching the facade.
+        with pytest.raises(InvalidIntervalError):
+            _sliding(paper_index, "v1", "v1", (1, 2), 5)
+        with pytest.raises(InvalidIntervalError):
+            _naive(paper_index, "v1", "v1", (1, 2), 5)
+
+    def test_window_exactly_theta_is_valid(self, paper_index):
+        want = theta_reaches_bruteforce(paper_index.graph, "v1", "v12", (1, 3), 3)
+        assert _sliding(paper_index, "v1", "v12", (1, 3), 3) == want
+        assert _naive(paper_index, "v1", "v12", (1, 3), 3) == want

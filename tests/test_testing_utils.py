@@ -69,3 +69,27 @@ class TestStrategies:
     def test_windows_are_valid(self, window):
         start, end = window
         assert 1 <= start <= end <= 20
+
+
+class TestAssertIndexConsistent:
+    def test_passes_on_valid_index(self):
+        from repro.testing import assert_index_consistent
+
+        g = random_temporal_graph(seed=5, num_vertices=9, num_edges=28)
+        assert_index_consistent(TILLIndex.build(g), samples=40)
+
+    def test_passes_on_capped_index(self):
+        from repro.testing import assert_index_consistent
+
+        g = random_temporal_graph(seed=6, num_vertices=9, num_edges=28)
+        assert_index_consistent(TILLIndex.build(g, vartheta=3), samples=40)
+
+    def test_detects_invariant_break(self):
+        from repro.testing import assert_index_consistent
+
+        g = random_temporal_graph(seed=7, num_vertices=9, num_edges=28)
+        index = TILLIndex.build(g)
+        label = next(l for l in index.labels.out_labels if l.num_entries)
+        label.ends[0] = g.max_time + 3
+        with pytest.raises(AssertionError, match="label invariant"):
+            assert_index_consistent(index, samples=10)

@@ -148,3 +148,66 @@ class TestConvenienceSelectors:
 
     def test_tightest_none_when_unreachable(self, paper_index):
         assert tightest_window(paper_index, "v8", "v10") is None
+
+
+class TestMinimalWindowsPropertyContract:
+    """Satellite property test: every result of ``minimal_windows`` is a
+    true antichain that agrees with ``span_reachable`` on its members
+    and loses reachability under every one-timestamp shrinking —
+    including on ϑ-capped indexes (where minimality is only asserted
+    for shrunk windows back inside the cap)."""
+
+    @given(st.integers(0, 400), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_contract_uncapped(self, seed, directed):
+        g = random_graph(seed, num_vertices=7, num_edges=20, max_time=6,
+                         directed=directed)
+        index = TILLIndex.build(g)
+        rng = random.Random(seed)
+        for _ in range(4):
+            u, v = rng.randrange(7), rng.randrange(7)
+            if u == v:
+                continue
+            windows = minimal_windows(index, u, v)
+            # sorted antichain: starts AND ends strictly increase
+            for a, b in zip(windows, windows[1:]):
+                assert a.start < b.start and a.end < b.end
+            for w in windows:
+                assert index.span_reachable(u, v, w)
+                for shrunk in (Interval(w.start + 1, w.end),
+                               Interval(w.start, w.end - 1)):
+                    if shrunk.start <= shrunk.end:
+                        assert not index.span_reachable(u, v, shrunk)
+
+    @given(st.integers(0, 300), st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_contract_with_vartheta_cap(self, seed, cap):
+        g = random_graph(seed, num_vertices=7, num_edges=20, max_time=6)
+        index = TILLIndex.build(g, vartheta=cap)
+        rng = random.Random(seed + 1)
+        for _ in range(4):
+            u, v = rng.randrange(7), rng.randrange(7)
+            if u == v:
+                continue
+            windows = minimal_windows(index, u, v)
+            for a, b in zip(windows, windows[1:]):
+                assert a.start < b.start and a.end < b.end
+            for w in windows:
+                assert index.span_reachable(u, v, w, fallback="online")
+                for shrunk in (Interval(w.start + 1, w.end),
+                               Interval(w.start, w.end - 1)):
+                    if shrunk.start > shrunk.end or shrunk.length > cap:
+                        continue  # minimality holds only inside the cap
+                    assert not span_reaches_bruteforce(g, u, v, shrunk)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_harness_check_agrees(self, seed):
+        # the repro.fuzz harness encodes the same contract; both views
+        # must hold simultaneously
+        from repro.fuzz import check_pair_windows
+
+        g = random_graph(seed, num_vertices=7, num_edges=20, max_time=6)
+        index = TILLIndex.build(g, vartheta=3 if seed % 2 else None)
+        for u, v in [(0, 4), (2, 6), (5, 1)]:
+            assert check_pair_windows(index, u, v) == []
