@@ -4,15 +4,16 @@ PYTHON ?= python
 # Make every target work from a plain checkout (no install needed).
 export PYTHONPATH := src
 
-.PHONY: install test bench experiments examples verify fuzz-smoke fuzz clean
+.PHONY: install test bench bench-smoke experiments examples verify fuzz-smoke fuzz clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
-# Tier-1 suite plus the deterministic differential smoke in one command.
+# Tier-1 suite plus the deterministic smoke stages in one command.
 test:
 	$(PYTHON) -m pytest tests/
 	$(MAKE) fuzz-smoke
+	$(MAKE) bench-smoke
 
 # Fixed-seed differential fuzzing smoke stage (<30 s): every answer
 # path cross-checked on directed, undirected, and vartheta-capped
@@ -30,6 +31,13 @@ fuzz:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Seeded perf baseline (<60 s): build time, label size, scalar vs
+# batch vs cached query throughput, online fallback.  Writes
+# BENCH_PR2.json; gate a change against a recorded baseline with
+#   python -m repro bench --smoke --compare BENCH_PR2.json --max-regression 15
+bench-smoke:
+	$(PYTHON) -m repro bench --smoke -o BENCH_PR2.json
 
 experiments:
 	$(PYTHON) -m repro experiment table2

@@ -1,0 +1,56 @@
+"""Benchmarks of the serving layer (:mod:`repro.serve`).
+
+Not a paper artefact — these pin down the three throughput tiers the
+``repro bench`` harness reports: the scalar facade loop, the amortized
+batch path (cache disabled), and the warm result cache.  The serving
+workload is the hot-source shape from :mod:`repro.serve.bench`, not
+the paper's Section VI protocol.
+"""
+
+from repro.serve.bench import make_serving_batch
+from repro.serve.engine import QueryEngine
+
+from benchmarks.conftest import get_graph, get_index
+
+DATASET = "enron"
+BATCH_SIZE = 2000
+
+
+def _batch(graph):
+    return make_serving_batch(graph, BATCH_SIZE, hot_sources=12,
+                              target_pool=60, seed=0)
+
+
+def test_span_scalar_loop(benchmark):
+    graph = get_graph(DATASET)
+    index = get_index(DATASET)
+    batch = _batch(graph)
+    window = (graph.min_time, graph.max_time)
+    benchmark(lambda: [index.span_reachable(u, v, window)
+                       for u, v in batch])
+
+
+def test_span_batch_engine_uncached(benchmark):
+    graph = get_graph(DATASET)
+    engine = QueryEngine(get_index(DATASET), cache_size=0)
+    batch = _batch(graph)
+    window = (graph.min_time, graph.max_time)
+    benchmark(lambda: engine.span_many(batch, window))
+
+
+def test_span_batch_engine_warm_cache(benchmark):
+    graph = get_graph(DATASET)
+    engine = QueryEngine(get_index(DATASET), cache_size=4 * BATCH_SIZE)
+    batch = _batch(graph)
+    window = (graph.min_time, graph.max_time)
+    engine.span_many(batch, window)  # warm
+    benchmark(lambda: engine.span_many(batch, window))
+
+
+def test_theta_batch_engine(benchmark):
+    graph = get_graph(DATASET)
+    engine = QueryEngine(get_index(DATASET), cache_size=0)
+    batch = _batch(graph)
+    window = (graph.min_time, graph.max_time)
+    theta = max(1, graph.lifetime // 3)
+    benchmark(lambda: engine.theta_many(batch, window, theta))

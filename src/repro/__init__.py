@@ -23,6 +23,8 @@ Public surface
 * :class:`Interval` — closed integer time intervals.
 * :func:`online_span_reachable` / :func:`online_theta_reachable` — the
   index-free baselines (Algorithm 1).
+* :class:`QueryEngine` — batched query serving with result caching
+  (:mod:`repro.serve`).
 * :mod:`repro.graph.generators` — synthetic temporal graph models.
 * :mod:`repro.datasets` — the 17 Table II dataset stand-ins.
 * :mod:`repro.experiments` — the paper's tables and figures.
@@ -44,6 +46,7 @@ from repro.errors import (
     UnsupportedIntervalError,
 )
 from repro.graph.temporal_graph import TemporalGraph
+from repro.serve import EngineStats, QueryEngine
 
 
 def online_span_reachable(graph, u, v, interval):
@@ -70,6 +73,8 @@ __all__ = [
     "TemporalGraph",
     "TILLIndex",
     "IndexStats",
+    "QueryEngine",
+    "EngineStats",
     "Interval",
     "BuildBudgetExceeded",
     "online_span_reachable",

@@ -21,6 +21,12 @@ Subcommands
     Differential fuzzing: random graphs across the configuration
     space, every answer path cross-checked, failures shrunk to pytest
     repros (see :mod:`repro.fuzz`).
+
+``repro bench [--smoke] [-o FILE] [--compare BASELINE --max-regression P]``
+    Seeded perf suite (build time, label size, scalar/batch/cached
+    query throughput, online fallback); writes a ``BENCH_*.json``
+    results document and optionally gates on a recorded baseline
+    (see :mod:`repro.serve.bench`).
 """
 
 from __future__ import annotations
@@ -186,6 +192,52 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import (
+        compare_results,
+        format_results,
+        read_results,
+        run_suite,
+        write_results,
+    )
+
+    if args.input:
+        results = read_results(args.input)
+        wrote = None
+    else:
+        datasets = args.datasets.split(",") if args.datasets else None
+        results = run_suite(
+            smoke=args.smoke,
+            seed=args.seed,
+            datasets=datasets,
+            label=args.label,
+            batch_size=args.batch_size,
+            repeats=args.repeats,
+        )
+        wrote = args.output
+        write_results(results, wrote)
+    print(format_results(results))
+    if wrote:
+        print(f"wrote {wrote}")
+    if args.compare:
+        baseline = read_results(args.compare)
+        problems = compare_results(
+            results, baseline, max_regression_pct=args.max_regression
+        )
+        if problems:
+            print(
+                f"PERF REGRESSION vs {args.compare} "
+                f"({len(problems)} metric(s)):",
+                file=sys.stderr,
+            )
+            for line in problems:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.compare} "
+              f"(tolerance {args.max_regression:g}%)")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     if args.name == "list":
         for name in sorted(EXPERIMENTS):
@@ -288,6 +340,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true",
                    help="log each case as it runs")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "bench",
+        help="seeded perf suite; writes BENCH json, gates on a baseline",
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="small fixed suite (<60 s), suitable for CI")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed (default 0)")
+    p.add_argument("-o", "--output", default="BENCH_PR2.json",
+                   help="results file (default BENCH_PR2.json)")
+    p.add_argument("--label", default="PR2",
+                   help="label recorded in the results document")
+    p.add_argument("--datasets", help="comma-separated dataset override")
+    p.add_argument("--batch-size", type=int, default=2000,
+                   help="queries per serving batch (default 2000)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repetitions, best-of (default 3)")
+    p.add_argument("--compare", metavar="BASELINE.json",
+                   help="compare against a recorded baseline")
+    p.add_argument("--max-regression", type=float, default=10.0,
+                   help="tolerated per-metric regression in percent "
+                        "(default 10)")
+    p.add_argument("--input", metavar="RESULTS.json",
+                   help="compare an existing results file instead of "
+                        "running the suite")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("name", help="experiment id, or 'list'")

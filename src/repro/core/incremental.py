@@ -44,7 +44,7 @@ gracefully into periodic rebuilds rather than unbounded re-verification.
 from __future__ import annotations
 
 from collections import Counter, deque
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.index import TILLIndex
 from repro.core.intervals import IntervalLike, as_interval
@@ -80,6 +80,8 @@ class IncrementalTILLIndex:
         self.rebuild_threshold = rebuild_threshold
         self.vartheta = vartheta
         self._build_kwargs = build_kwargs
+        self._generation = 0
+        self._invalidation_hooks: List[Callable[[int], None]] = []
         self._delta: List[Tuple[Vertex, Vertex, int]] = []
         self._removed: Counter = Counter()  # tombstoned base edges
         self._rebuilds = 0
@@ -90,6 +92,25 @@ class IncrementalTILLIndex:
         )
 
     # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter bumped on every mutation (insert, remove,
+        rebuild).  Result caches key their entries on this value:
+        an answer computed at generation *g* is valid only while
+        ``generation == g`` (see :class:`repro.serve.QueryEngine`).
+        """
+        return self._generation
+
+    def subscribe_invalidation(self, hook: Callable[[int], None]) -> None:
+        """Register *hook* to be called (with the new generation) after
+        every mutation.  Used by caching layers to drop stale answers."""
+        self._invalidation_hooks.append(hook)
+
+    def _notify_mutation(self) -> None:
+        self._generation += 1
+        for hook in self._invalidation_hooks:
+            hook(self._generation)
 
     @property
     def delta_size(self) -> int:
@@ -115,6 +136,7 @@ class IncrementalTILLIndex:
     def add_edge(self, u: Vertex, v: Vertex, t: int) -> None:
         """Append a streamed temporal edge; may trigger a rebuild."""
         self._delta.append((u, v, t))
+        self._notify_mutation()
         if len(self._delta) + self.removed_size >= self.rebuild_threshold:
             self.rebuild()
 
@@ -144,9 +166,11 @@ class IncrementalTILLIndex:
         probe = (u, v, t)
         if probe in self._delta:
             self._delta.remove(probe)
+            self._notify_mutation()
             return
         if not self._base_graph.directed and (v, u, t) in self._delta:
             self._delta.remove((v, u, t))
+            self._notify_mutation()
             return
         key = self._base_key(u, v, t)
         if key is None:
@@ -155,6 +179,7 @@ class IncrementalTILLIndex:
                 "that temporal edge"
             )
         self._removed[key] += 1
+        self._notify_mutation()
         if len(self._delta) + self.removed_size >= self.rebuild_threshold:
             self.rebuild()
 
@@ -182,6 +207,7 @@ class IncrementalTILLIndex:
         self._delta.clear()
         self._removed.clear()
         self._rebuilds += 1
+        self._notify_mutation()
 
     # ------------------------------------------------------------------
 

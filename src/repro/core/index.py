@@ -66,6 +66,9 @@ class IndexStats:
     build_seconds: float
     max_label_entries: int = 0
     avg_label_entries: float = 0.0
+    #: Whether the label arrays are packed typed buffers — true after
+    #: :meth:`TILLIndex.compact` and for every loaded index.
+    compacted: bool = False
 
     def as_dict(self) -> Dict[str, Any]:
         return dict(self.__dict__)
@@ -243,6 +246,17 @@ class TILLIndex:
             f"unknown theta algorithm {algorithm!r}; use 'sliding' or 'naive'"
         )
 
+    def _batch_engine(self):
+        """The uncached :class:`repro.serve.QueryEngine` backing the
+        batch APIs (created lazily; caching stays opt-in — construct an
+        engine directly to memoize answers across calls)."""
+        engine = getattr(self, "_engine", None)
+        if engine is None:
+            from repro.serve.engine import QueryEngine
+
+            engine = self._engine = QueryEngine(self, cache_size=0)
+        return engine
+
     def span_reachable_many(
         self,
         pairs,
@@ -252,35 +266,34 @@ class TILLIndex:
     ) -> List[bool]:
         """Batch span queries over one window.
 
-        Validates and resolves the window once; each pair costs only the
-        label merge.  ``pairs`` is an iterable of ``(u, v)``.
+        Delegates to :class:`repro.serve.QueryEngine`: the window is
+        validated once, vertex ids are resolved and prefilter probes
+        computed once per distinct endpoint, and duplicate pairs are
+        answered once.  ``pairs`` is an iterable of ``(u, v)``.
 
         ``fallback="online"`` answers a window wider than the build-time
         ϑ cap with the index-free Algorithm 1 per pair — the same escape
         hatch as :meth:`span_reachable` — instead of raising
         :class:`UnsupportedIntervalError`.
         """
-        window = self._window(interval)
-        graph = self.graph
-        if self.vartheta is not None and window.length > self.vartheta:
-            if fallback == "online":
-                return [
-                    online.online_span_reachable(
-                        graph, graph.index_of(u), graph.index_of(v), window
-                    )
-                    for u, v in pairs
-                ]
-            self._check_support(window.length)
-        rank = self.order.rank
-        labels = self.labels
-        return [
-            queries.span_reachable(
-                graph, labels, rank,
-                graph.index_of(u), graph.index_of(v), window,
-                prefilter=prefilter,
-            )
-            for u, v in pairs
-        ]
+        return self._batch_engine().span_many(
+            pairs, interval, prefilter=prefilter, fallback=fallback
+        )
+
+    def theta_reachable_many(
+        self,
+        pairs,
+        interval: IntervalLike,
+        theta: int,
+        algorithm: str = "sliding",
+        prefilter: bool = True,
+    ) -> List[bool]:
+        """Batch θ queries over one window (validated once; delegates
+        to :class:`repro.serve.QueryEngine` like
+        :meth:`span_reachable_many`)."""
+        return self._batch_engine().theta_many(
+            pairs, interval, theta, algorithm=algorithm, prefilter=prefilter
+        )
 
     # ------------------------------------------------------------------
     # introspection
@@ -383,6 +396,7 @@ class TILLIndex:
             build_seconds=self.build_seconds,
             max_label_entries=max(per_vertex) if per_vertex else 0,
             avg_label_entries=(total / len(per_vertex)) if per_vertex else 0.0,
+            compacted=self.labels.is_compact,
         )
 
     def verify(self, samples: int = 100, seed: int = 0) -> None:

@@ -30,6 +30,7 @@ Algorithm 3.
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left
 from typing import Iterator, List, Optional, Tuple
 
@@ -95,6 +96,12 @@ class LabelSet:
         return len(self.hub_ranks)
 
     @property
+    def is_compact(self) -> bool:
+        """``True`` when the backing storage is typed :mod:`array` buffers
+        (after :meth:`compact`, or for any deserialized label set)."""
+        return isinstance(self.starts, array)
+
+    @property
     def num_entries(self) -> int:
         """Number of stored triplets (paper: label size ``|L(u)|``)."""
         return len(self.starts)
@@ -151,8 +158,6 @@ class LabelSet:
         paths (``bisect`` over the arrays, index access) work
         identically on ``array`` objects.
         """
-        from array import array
-
         assert self.finalized, "compact() requires a finalized label set"
         self.hub_ranks = array("i", self.hub_ranks)  # type: ignore[assignment]
         self.offsets = array("i", self.offsets)  # type: ignore[assignment]
@@ -180,6 +185,14 @@ class TILLLabels:
     @property
     def num_vertices(self) -> int:
         return len(self.out_labels)
+
+    @property
+    def is_compact(self) -> bool:
+        """``True`` when every label set stores typed array buffers."""
+        labels = list(self.out_labels)
+        if self.directed:
+            labels += self.in_labels
+        return bool(labels) and all(label.is_compact for label in labels)
 
     def finalize(self) -> None:
         for label in self.out_labels:

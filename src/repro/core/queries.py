@@ -24,7 +24,12 @@ from __future__ import annotations
 
 from bisect import bisect_left
 
-from repro.core.intervals import Interval, first_contained, validate_theta_window
+from repro.core.intervals import (
+    Interval,
+    as_interval,
+    first_contained,
+    validate_theta_window,
+)
 from repro.core.labels import LabelSet, TILLLabels
 from repro.graph.temporal_graph import TemporalGraph
 
@@ -103,7 +108,13 @@ def span_reachable(
     prefilter:
         Apply the Lemma 9/10 neighbor-timestamp prechecks (requires a
         frozen graph).  Disable for the pruning ablation.
+
+    Raises :class:`~repro.errors.InvalidIntervalError` for a malformed
+    window (e.g. reversed bounds) — the same contract as the
+    :class:`~repro.core.index.TILLIndex` facade, checked *before* the
+    ``ui == vi`` shortcut so a broken query never yields an answer.
     """
+    window = as_interval(window)
     if ui == vi:
         return True
     if prefilter and not (

@@ -29,6 +29,13 @@ Directed indexes store ``2 * n`` blocks (all out-labels, then all
 in-labels); undirected indexes store ``n`` blocks.  Timestamps are
 signed 64-bit so arbitrary integer epochs round-trip.
 
+Loading keeps the label arrays as the compact typed :mod:`array`
+buffers they were read into (the :meth:`LabelSet.compact`
+representation, ~4x smaller than boxed-int lists); every lookup path
+operates on them directly.  Offsets are validated for strict
+monotonicity at load time so a corrupt file fails loudly here instead
+of as an ``IndexError`` deep inside a query.
+
 Vertex labels are stored as JSON, which deliberately restricts them to
 JSON-representable values (str, int, float, bool, None) — a safe,
 pickle-free format.  Note that JSON round-trips tuples as lists; use
@@ -52,19 +59,17 @@ _U32 = struct.Struct("<I")
 
 
 def _write_array(fh: BinaryIO, typecode: str, values: List[int]) -> None:
-    arr = array(typecode, values)
-    if hasattr(arr, "tobytes"):
-        fh.write(arr.tobytes())
+    fh.write(array(typecode, values).tobytes())
 
 
-def _read_array(fh: BinaryIO, typecode: str, count: int) -> List[int]:
+def _read_array(fh: BinaryIO, typecode: str, count: int) -> array:
     arr = array(typecode)
     itemsize = arr.itemsize
     data = fh.read(itemsize * count)
     if len(data) != itemsize * count:
         raise IndexFormatError("truncated index file: array body too short")
     arr.frombytes(data)
-    return arr.tolist()
+    return arr
 
 
 def _write_label_set(fh: BinaryIO, label: LabelSet) -> None:
@@ -86,10 +91,24 @@ def _read_label_set(fh: BinaryIO) -> LabelSet:
     label.offsets = _read_array(fh, "i", num_hubs + 1)
     label.starts = _read_array(fh, "q", num_entries)
     label.ends = _read_array(fh, "q", num_entries)
-    if label.offsets and (label.offsets[0] != 0 or label.offsets[-1] != num_entries):
-        raise IndexFormatError("corrupt index file: inconsistent label offsets")
-    if not label.offsets:
+    offsets = label.offsets
+    if not len(offsets):
         raise IndexFormatError("corrupt index file: empty offsets array")
+    if offsets[0] != 0 or offsets[-1] != num_entries:
+        raise IndexFormatError("corrupt index file: inconsistent label offsets")
+    # Every hub group must be non-empty and the offsets strictly
+    # increasing; the query layer indexes the interval arrays with
+    # offsets[gi]..offsets[gi+1] unchecked, so a non-monotone array
+    # would surface much later as an IndexError deep inside a query.
+    prev = offsets[0]
+    for k in range(1, len(offsets)):
+        cur = offsets[k]
+        if cur <= prev:
+            raise IndexFormatError(
+                "corrupt index file: label offsets are not strictly "
+                f"increasing (offsets[{k - 1}]={prev}, offsets[{k}]={cur})"
+            )
+        prev = cur
     label.finalized = True
     return label
 

@@ -1,0 +1,23 @@
+"""Query serving: batched execution, result caching, benchmarking.
+
+The :mod:`repro.core` layer answers one query at a time; this package
+is the throughput layer above it:
+
+* :class:`QueryEngine` — batched span/θ execution with amortized
+  per-query overhead and an LRU result cache invalidated by the
+  incremental index's mutation generation;
+* :class:`EngineStats` — the engine's observability counters;
+* :mod:`repro.serve.bench` — the seeded perf suite behind the
+  ``repro bench`` CLI and the ``BENCH_*.json`` regression trajectory.
+"""
+
+from repro.serve.cache import MISS, GenerationalLRUCache
+from repro.serve.engine import OUTCOMES, EngineStats, QueryEngine
+
+__all__ = [
+    "QueryEngine",
+    "EngineStats",
+    "GenerationalLRUCache",
+    "MISS",
+    "OUTCOMES",
+]

@@ -1,0 +1,97 @@
+"""LRU result cache with generation-based invalidation.
+
+The serving layer memoizes boolean query answers keyed on
+``(u, v, window, theta)``.  An answer is only valid for the graph state
+it was computed against, so every entry is stamped with the cache's
+*generation* at insert time.  Invalidation is O(1): a mutation bumps
+the generation and stale entries are dropped lazily on their next
+lookup (or pushed out by normal LRU pressure), so an edge insert never
+pays a full-cache sweep on the hot path.
+
+Counters (hits / misses / evictions / stale drops) are plain attributes
+read by :class:`repro.serve.QueryEngine` for its observability surface.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Tuple
+
+#: Sentinel distinguishing "not cached" from a cached ``False`` answer.
+MISS = object()
+
+
+class GenerationalLRUCache:
+    """A bounded LRU mapping whose entries expire wholesale by generation.
+
+    ``capacity <= 0`` disables storage entirely (every ``get`` misses,
+    every ``put`` is a no-op) — used where batch dedup is wanted but
+    cross-call memoization is not.
+    """
+
+    __slots__ = (
+        "capacity", "generation",
+        "hits", "misses", "evictions", "stale_drops",
+        "_data",
+    )
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self.generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stale_drops = 0
+        self._data: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def bump_generation(self) -> int:
+        """Invalidate every current entry; returns the new generation."""
+        self.generation += 1
+        return self.generation
+
+    def get(self, key: Hashable) -> Any:
+        """The cached value for *key*, or :data:`MISS`.
+
+        Entries stamped with an older generation are treated as absent
+        and removed on the spot.
+        """
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            return MISS
+        gen, value = entry
+        if gen != self.generation:
+            del self._data[key]
+            self.stale_drops += 1
+            self.misses += 1
+            return MISS
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store *value* under *key* at the current generation."""
+        if self.capacity <= 0:
+            return
+        data = self._data
+        if key in data:
+            data[key] = (self.generation, value)
+            data.move_to_end(key)
+            return
+        data[key] = (self.generation, value)
+        if len(data) > self.capacity:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        self._data.clear()

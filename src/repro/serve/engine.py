@@ -1,0 +1,465 @@
+"""High-throughput batched query execution (the serving hot path).
+
+A scalar :meth:`repro.core.index.TILLIndex.span_reachable` call pays,
+per query: window validation, two vertex-id resolutions, two Lemma 9/10
+prefilter probes, and the label merge.  On a service answering batches
+of queries most of that overhead repeats — the same window, the same
+sources fanned out to many targets, the same (u, v) pair asked again a
+moment later.  :class:`QueryEngine` amortizes it:
+
+* the window is validated (and the ϑ-cap capability checked) **once per
+  batch**;
+* vertex ids are resolved **once per distinct vertex** and the Lemma
+  9/10 prefilter probes are computed **once per distinct endpoint**,
+  not once per query;
+* the batch is deduplicated and grouped by source vertex so each
+  ``L_out(u)`` is walked for all its targets consecutively (cache
+  locality on the label arrays);
+* answers land in a bounded LRU cache keyed ``(u, v, window, θ)`` with
+  **generation-based invalidation**: wrapping an
+  :class:`~repro.core.incremental.IncrementalTILLIndex`, the engine
+  subscribes to its mutation hook, so an edge insert or removal bumps
+  the generation and every cached answer computed before it is ignored.
+
+Observability: :meth:`QueryEngine.stats` exposes queries served, cache
+hit rate, and per-outcome tallies; :meth:`QueryEngine.profile_many`
+delegates to :mod:`repro.core.profiling` for the deep per-condition
+work counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import online, queries
+from repro.core.incremental import IncrementalTILLIndex
+from repro.core.index import TILLIndex
+from repro.core.intervals import (
+    Interval,
+    IntervalLike,
+    as_interval,
+    validate_theta_window,
+)
+from repro.errors import InvalidIntervalError, UnsupportedIntervalError
+from repro.serve.cache import MISS, GenerationalLRUCache
+
+Pair = Tuple[Any, Any]
+
+#: Outcome labels used by the fast-path tallies.  ``same-vertex``,
+#: ``prefilter`` and ``unreachable`` match the names used by
+#: :mod:`repro.core.profiling`; the engine adds ``cache-hit``,
+#: ``reachable`` (a positive answered by the label merge, condition not
+#: attributed) and ``online-fallback``.
+OUTCOMES = (
+    "cache-hit", "same-vertex", "prefilter", "reachable", "unreachable",
+    "online-fallback",
+)
+
+
+@dataclass
+class EngineStats:
+    """A point-in-time snapshot of the engine's counters."""
+
+    queries: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_stale_drops: int = 0
+    cache_entries: int = 0
+    cache_capacity: int = 0
+    generation: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of served queries answered straight from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = dict(self.__dict__)
+        out["outcomes"] = dict(self.outcomes)
+        out["hit_rate"] = self.hit_rate
+        return out
+
+
+class QueryEngine:
+    """Batched span-/θ-reachability execution with result caching.
+
+    Parameters
+    ----------
+    index:
+        A :class:`~repro.core.index.TILLIndex` or an
+        :class:`~repro.core.incremental.IncrementalTILLIndex`.  For the
+        latter the engine subscribes to the index's invalidation hook:
+        every edge insert/removal bumps the cache generation so stale
+        answers are never served.
+    cache_size:
+        Capacity of the LRU result cache; ``0`` disables cross-call
+        caching (batch-level dedup and amortization still apply).
+
+    Examples
+    --------
+    >>> from repro import TemporalGraph, TILLIndex
+    >>> g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 2)])
+    >>> engine = QueryEngine(TILLIndex.build(g))
+    >>> engine.span_many([("a", "b"), ("a", "c"), ("c", "a")], (1, 2))
+    [True, True, False]
+    >>> engine.stats().queries
+    3
+    """
+
+    def __init__(
+        self,
+        index: Any,
+        cache_size: int = 4096,
+    ):
+        self._incremental = isinstance(index, IncrementalTILLIndex)
+        self.index = index
+        self._cache = GenerationalLRUCache(cache_size)
+        self._queries = 0
+        self._batches = 0
+        self._outcomes: Dict[str, int] = {}
+        if self._incremental:
+            index.subscribe_invalidation(
+                lambda _gen: self._cache.bump_generation()
+            )
+
+    # ------------------------------------------------------------------
+    # public query API
+    # ------------------------------------------------------------------
+
+    def span_reachable(
+        self,
+        u: Any,
+        v: Any,
+        interval: IntervalLike,
+        prefilter: bool = True,
+        fallback: Optional[str] = None,
+    ) -> bool:
+        """One span query through the batch machinery (and the cache)."""
+        return self.span_many(
+            [(u, v)], interval, prefilter=prefilter, fallback=fallback
+        )[0]
+
+    def theta_reachable(
+        self, u: Any, v: Any, interval: IntervalLike, theta: int,
+        prefilter: bool = True,
+    ) -> bool:
+        """One θ query through the batch machinery (and the cache)."""
+        return self.theta_many([(u, v)], interval, theta,
+                               prefilter=prefilter)[0]
+
+    def span_many(
+        self,
+        pairs: Iterable[Pair],
+        interval: IntervalLike,
+        prefilter: bool = True,
+        fallback: Optional[str] = None,
+    ) -> List[bool]:
+        """Answer a batch of span queries over one window.
+
+        Semantics match :meth:`TILLIndex.span_reachable` per pair
+        (including ``fallback="online"`` for windows wider than a
+        build-time ϑ cap); overhead is amortized as described in the
+        module docstring.  Returns answers in input order.
+        """
+        batch = list(pairs)
+        window = as_interval(interval)
+        self._batches += 1
+        if self._incremental:
+            return self._run_batch(
+                batch, window, None,
+                lambda u, v: self.index.span_reachable(u, v, window),
+            )
+        index = self.index
+        if index.vartheta is not None and window.length > index.vartheta:
+            if fallback != "online":
+                # Same contract as the facade: an over-cap window
+                # without an explicit escape hatch is an error.
+                raise UnsupportedIntervalError(
+                    f"query needs interval length {window.length} but the "
+                    f"index was built with vartheta={index.vartheta}; rebuild "
+                    "with a larger cap or pass fallback='online'"
+                )
+            return self._span_batch_online(batch, window)
+        return self._span_batch_indexed(batch, window, prefilter)
+
+    def theta_many(
+        self,
+        pairs: Iterable[Pair],
+        interval: IntervalLike,
+        theta: int,
+        algorithm: str = "sliding",
+        prefilter: bool = True,
+    ) -> List[bool]:
+        """Answer a batch of θ queries over one window.
+
+        Per-pair semantics match :meth:`TILLIndex.theta_reachable`;
+        validation, capability checks and prefilter probes are
+        amortized across the batch.
+        """
+        batch = list(pairs)
+        window = validate_theta_window(interval, theta)
+        self._batches += 1
+        if self._incremental:
+            return self._run_batch(
+                batch, window, theta,
+                lambda u, v: self.index.theta_reachable(u, v, window, theta),
+            )
+        if algorithm == "sliding":
+            kernel = queries.theta_reachable
+        elif algorithm == "naive":
+            kernel = queries.theta_reachable_naive
+        else:
+            raise InvalidIntervalError(
+                f"unknown theta algorithm {algorithm!r}; use 'sliding' or "
+                "'naive'"
+            )
+        index = self.index
+        index._check_support(theta)
+        return self._theta_batch_indexed(batch, window, theta, kernel,
+                                         prefilter)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        """Current counters (queries, batches, cache, outcome tallies)."""
+        cache = self._cache
+        return EngineStats(
+            queries=self._queries,
+            batches=self._batches,
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+            cache_evictions=cache.evictions,
+            cache_stale_drops=cache.stale_drops,
+            cache_entries=len(cache),
+            cache_capacity=cache.capacity,
+            generation=cache.generation,
+            outcomes=dict(self._outcomes),
+        )
+
+    def reset_stats(self) -> None:
+        """Zero the counters (cached entries are kept)."""
+        cache = self._cache
+        cache.hits = cache.misses = cache.evictions = cache.stale_drops = 0
+        self._queries = self._batches = 0
+        self._outcomes = {}
+
+    def invalidate(self) -> None:
+        """Manually drop every cached answer (bumps the generation)."""
+        self._cache.bump_generation()
+
+    def profile_many(self, span_queries: Iterable[Tuple[Any, Any, IntervalLike]],
+                     prefilter: bool = True):
+        """Deep per-condition work counters for a span workload.
+
+        Delegates to :func:`repro.core.profiling.profile_workload` (the
+        instrumented, slower path); only meaningful over a plain
+        :class:`TILLIndex`.
+        """
+        from repro.core.profiling import profile_workload
+
+        if self._incremental:
+            raise TypeError(
+                "profile_many requires a plain TILLIndex backend"
+            )
+        return profile_workload(self.index, span_queries,
+                                prefilter=prefilter)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _tally(self, outcome: str, n: int = 1) -> None:
+        self._outcomes[outcome] = self._outcomes.get(outcome, 0) + n
+
+    def _run_batch(self, batch, window, theta, compute) -> List[bool]:
+        """Cache-and-dedup driver used by the incremental and online
+        paths, where per-pair computation is already encapsulated."""
+        self._queries += len(batch)
+        cache = self._cache
+        ws, we = window.start, window.end
+        results: List[Optional[bool]] = [None] * len(batch)
+        pending: Dict[Tuple, List[int]] = {}
+        for k, (u, v) in enumerate(batch):
+            key = (u, v, ws, we, theta)
+            hit = cache.get(key)
+            if hit is not MISS:
+                results[k] = hit
+                self._tally("cache-hit")
+            else:
+                pending.setdefault(key, []).append(k)
+        for key, slots in pending.items():
+            u, v = key[0], key[1]
+            answer = compute(u, v)
+            cache.put(key, answer)
+            outcome = "reachable" if answer else "unreachable"
+            if theta is None and u == v:
+                outcome = "same-vertex"
+            self._tally(outcome, len(slots))
+            for k in slots:
+                results[k] = answer
+        return results  # type: ignore[return-value]
+
+    def _span_batch_online(self, batch, window) -> List[bool]:
+        """Over-cap windows answered per pair by Algorithm 1."""
+        graph = self.index.graph
+
+        def compute(u, v):
+            self._tally("online-fallback")
+            return online.online_span_reachable(
+                graph, graph.index_of(u), graph.index_of(v), window
+            )
+
+        return self._run_batch(batch, window, None, compute)
+
+    def _span_batch_indexed(self, batch, window, prefilter) -> List[bool]:
+        """The amortized fast path over a plain TILLIndex."""
+        self._queries += len(batch)
+        index = self.index
+        graph = index.graph
+        labels = index.labels
+        rank = index.order.rank
+        cache = self._cache
+        ws, we = window.start, window.end
+        resolve: Dict[Any, int] = {}
+        out_ok: Dict[int, bool] = {}
+        in_ok: Dict[int, bool] = {}
+        results: List[Optional[bool]] = [None] * len(batch)
+        # Pass 1 — resolve ids once per distinct vertex, serve cache
+        # hits, and group the misses by (resolved) source vertex.
+        by_source: Dict[int, List[Tuple[Tuple, int, List[int]]]] = {}
+        pending: Dict[Tuple, Tuple[int, int, List[int]]] = {}
+        for k, (u, v) in enumerate(batch):
+            ui = resolve.get(u)
+            if ui is None:
+                ui = resolve[u] = graph.index_of(u)
+            vi = resolve.get(v)
+            if vi is None:
+                vi = resolve[v] = graph.index_of(v)
+            key = (u, v, ws, we, None)
+            entry = pending.get(key)
+            if entry is not None:  # duplicate within this batch
+                entry[2].append(k)
+                continue
+            hit = cache.get(key)
+            if hit is not MISS:
+                results[k] = hit
+                self._tally("cache-hit")
+                continue
+            slots = [k]
+            pending[key] = (ui, vi, slots)
+            by_source.setdefault(ui, []).append((key, vi, slots))
+        # Pass 2 — one source group at a time: the source-side prefilter
+        # probe and L_out(u) are shared by every target in the group.
+        for ui, group in by_source.items():
+            if prefilter:
+                src_ok = out_ok.get(ui)
+                if src_ok is None:
+                    src_ok = out_ok[ui] = graph.has_out_edge_in(ui, ws, we)
+            for key, vi, slots in group:
+                if ui == vi:
+                    answer, outcome = True, "same-vertex"
+                elif prefilter:
+                    if not src_ok:
+                        answer, outcome = False, "prefilter"
+                    else:
+                        dst_ok = in_ok.get(vi)
+                        if dst_ok is None:
+                            dst_ok = in_ok[vi] = graph.has_in_edge_in(
+                                vi, ws, we
+                            )
+                        if not dst_ok:
+                            answer, outcome = False, "prefilter"
+                        else:
+                            answer = queries.span_reachable(
+                                graph, labels, rank, ui, vi, window,
+                                prefilter=False,
+                            )
+                            outcome = "reachable" if answer else "unreachable"
+                else:
+                    answer = queries.span_reachable(
+                        graph, labels, rank, ui, vi, window, prefilter=False
+                    )
+                    outcome = "reachable" if answer else "unreachable"
+                cache.put(key, answer)
+                self._tally(outcome, len(slots))
+                for k in slots:
+                    results[k] = answer
+        return results  # type: ignore[return-value]
+
+    def _theta_batch_indexed(self, batch, window, theta, kernel,
+                             prefilter) -> List[bool]:
+        """Amortized θ batch over a plain TILLIndex."""
+        self._queries += len(batch)
+        index = self.index
+        graph = index.graph
+        labels = index.labels
+        rank = index.order.rank
+        cache = self._cache
+        ws, we = window.start, window.end
+        resolve: Dict[Any, int] = {}
+        out_ok: Dict[int, bool] = {}
+        in_ok: Dict[int, bool] = {}
+        results: List[Optional[bool]] = [None] * len(batch)
+        pending: Dict[Tuple, Tuple[int, int, List[int]]] = {}
+        by_source: Dict[int, List[Tuple[Tuple, int, List[int]]]] = {}
+        for k, (u, v) in enumerate(batch):
+            ui = resolve.get(u)
+            if ui is None:
+                ui = resolve[u] = graph.index_of(u)
+            vi = resolve.get(v)
+            if vi is None:
+                vi = resolve[v] = graph.index_of(v)
+            key = (u, v, ws, we, theta)
+            entry = pending.get(key)
+            if entry is not None:
+                entry[2].append(k)
+                continue
+            hit = cache.get(key)
+            if hit is not MISS:
+                results[k] = hit
+                self._tally("cache-hit")
+                continue
+            slots = [k]
+            pending[key] = (ui, vi, slots)
+            by_source.setdefault(ui, []).append((key, vi, slots))
+        for ui, group in by_source.items():
+            if prefilter:
+                src_ok = out_ok.get(ui)
+                if src_ok is None:
+                    src_ok = out_ok[ui] = graph.has_out_edge_in(ui, ws, we)
+            for key, vi, slots in group:
+                if ui == vi:
+                    answer, outcome = True, "same-vertex"
+                elif prefilter and not src_ok:
+                    answer, outcome = False, "prefilter"
+                else:
+                    if prefilter:
+                        dst_ok = in_ok.get(vi)
+                        if dst_ok is None:
+                            dst_ok = in_ok[vi] = graph.has_in_edge_in(
+                                vi, ws, we
+                            )
+                        if not dst_ok:
+                            answer, outcome = False, "prefilter"
+                            cache.put(key, answer)
+                            self._tally(outcome, len(slots))
+                            for k in slots:
+                                results[k] = answer
+                            continue
+                    answer = kernel(
+                        graph, labels, rank, ui, vi, window, theta,
+                        prefilter=False,
+                    )
+                    outcome = "reachable" if answer else "unreachable"
+                cache.put(key, answer)
+                self._tally(outcome, len(slots))
+                for k in slots:
+                    results[k] = answer
+        return results  # type: ignore[return-value]

@@ -1,0 +1,150 @@
+"""Tests for the perf suite and the ``repro bench`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve.bench import (
+    SCHEMA,
+    compare_results,
+    make_serving_batch,
+    run_suite,
+    write_results,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_results():
+    """One fast suite run shared by the module's tests."""
+    return run_suite(smoke=True, seed=0, datasets=["chess"],
+                     batch_size=60, repeats=1)
+
+
+def _key_tree(doc):
+    """The recursive key structure of a results document (values
+    stripped), used to assert schema determinism across runs."""
+    if isinstance(doc, dict):
+        return {k: _key_tree(v) for k, v in sorted(doc.items())}
+    return type(doc).__name__
+
+
+class TestSuite:
+    def test_schema_and_required_metrics(self, tiny_results):
+        assert tiny_results["schema"] == SCHEMA
+        assert tiny_results["suite"] == "smoke"
+        metrics = tiny_results["datasets"]["chess"]
+        for key in (
+            "build_seconds", "label_entries", "estimated_bytes",
+            "span_scalar_qps", "span_batch_qps", "span_batch_cached_qps",
+            "batch_speedup", "cached_speedup", "cache_hit_rate",
+            "theta_batch_qps", "online_span_qps",
+        ):
+            assert key in metrics, key
+        summary = tiny_results["summary"]
+        assert "min_batch_speedup" in summary
+        assert "mean_cache_hit_rate" in summary
+
+    def test_smoke_output_schema_is_deterministic(self, tiny_results):
+        """Two seeded runs must produce the identical document shape
+        and identical structural (machine-independent) metrics."""
+        again = run_suite(smoke=True, seed=0, datasets=["chess"],
+                          batch_size=60, repeats=1)
+        assert _key_tree(again) == _key_tree(tiny_results)
+        for key in ("label_entries", "estimated_bytes", "num_vertices",
+                    "num_edges", "batch_size", "theta"):
+            assert again["datasets"]["chess"][key] == \
+                tiny_results["datasets"]["chess"][key]
+        assert again["config"] == tiny_results["config"]
+
+    def test_results_are_json_serializable(self, tiny_results, tmp_path):
+        path = tmp_path / "r.json"
+        write_results(tiny_results, path)
+        assert json.loads(path.read_text())["schema"] == SCHEMA
+
+    def test_warm_cache_hit_rate_is_surfaced(self, tiny_results):
+        assert tiny_results["datasets"]["chess"]["cache_hit_rate"] == 1.0
+
+    def test_serving_batch_is_seeded(self):
+        from repro.datasets import load_dataset
+
+        g = load_dataset("chess")
+        a = make_serving_batch(g, 50, 8, 30, seed=3)
+        b = make_serving_batch(g, 50, 8, 30, seed=3)
+        c = make_serving_batch(g, 50, 8, 30, seed=4)
+        assert a == b
+        assert a != c
+
+
+class TestCompare:
+    def test_no_regression_against_self(self, tiny_results):
+        assert compare_results(tiny_results, tiny_results, 10.0) == []
+
+    def test_injected_throughput_regression_detected(self, tiny_results):
+        baseline = json.loads(json.dumps(tiny_results))
+        baseline["datasets"]["chess"]["span_batch_qps"] *= 2.0
+        problems = compare_results(tiny_results, baseline, 10.0)
+        assert any("span_batch_qps" in p for p in problems)
+
+    def test_injected_size_regression_detected(self, tiny_results):
+        baseline = json.loads(json.dumps(tiny_results))
+        baseline["datasets"]["chess"]["label_entries"] = int(
+            baseline["datasets"]["chess"]["label_entries"] * 0.5
+        )
+        problems = compare_results(tiny_results, baseline, 10.0)
+        assert any("label_entries" in p for p in problems)
+
+    def test_improvement_is_not_flagged(self, tiny_results):
+        baseline = json.loads(json.dumps(tiny_results))
+        baseline["datasets"]["chess"]["span_batch_qps"] *= 0.5
+        assert compare_results(tiny_results, baseline, 10.0) == []
+
+    def test_small_drift_within_tolerance(self, tiny_results):
+        baseline = json.loads(json.dumps(tiny_results))
+        baseline["datasets"]["chess"]["span_batch_qps"] *= 1.05
+        assert compare_results(tiny_results, baseline, 10.0) == []
+
+    def test_unknown_metrics_ignored(self, tiny_results):
+        baseline = json.loads(json.dumps(tiny_results))
+        baseline["datasets"]["chess"]["exotic_metric"] = 123.0
+        assert compare_results(tiny_results, baseline, 10.0) == []
+
+
+class TestCli:
+    def test_bench_writes_results_file(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_TEST.json"
+        assert main([
+            "bench", "--datasets", "chess", "--batch-size", "60",
+            "--repeats", "1", "-o", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == SCHEMA
+        stdout = capsys.readouterr().out
+        assert "batch" in stdout and "wrote" in stdout
+
+    def test_compare_gate_fails_on_injected_regression(
+        self, tiny_results, tmp_path, capsys
+    ):
+        current = tmp_path / "current.json"
+        baseline_path = tmp_path / "baseline.json"
+        write_results(tiny_results, current)
+        baseline = json.loads(json.dumps(tiny_results))
+        baseline["datasets"]["chess"]["span_batch_qps"] *= 3.0
+        write_results(baseline, baseline_path)
+        code = main([
+            "bench", "--input", str(current),
+            "--compare", str(baseline_path), "--max-regression", "10",
+        ])
+        assert code == 1
+        assert "PERF REGRESSION" in capsys.readouterr().err
+
+    def test_compare_gate_passes_within_tolerance(
+        self, tiny_results, tmp_path, capsys
+    ):
+        current = tmp_path / "current.json"
+        write_results(tiny_results, current)
+        assert main([
+            "bench", "--input", str(current),
+            "--compare", str(current), "--max-regression", "10",
+        ]) == 0
+        assert "no regressions" in capsys.readouterr().out

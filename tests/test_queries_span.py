@@ -139,3 +139,42 @@ class TestSpanAgainstOracle:
                 for window in [(1, 4), (3, 8), (5, 5)]:
                     assert _query(index, u, v, window) == \
                         span_reaches_bruteforce(g, u, v, window)
+
+
+class TestWindowValidatedAtAlgorithmLayer:
+    """A malformed window must raise identically at the algorithm layer
+    and the facade (previously ``queries.span_reachable`` silently
+    answered: ``True`` for ``ui == vi``, and whatever the prefilter or
+    label merge happened to produce otherwise)."""
+
+    def test_reversed_window_raises(self, paper_index):
+        from repro.errors import InvalidIntervalError
+
+        with pytest.raises(InvalidIntervalError):
+            _query(paper_index, "v1", "v8", (5, 1))
+
+    def test_reversed_window_same_vertex_raises(self, paper_index):
+        # The ui == vi shortcut must not outrun validation.
+        from repro.errors import InvalidIntervalError
+
+        with pytest.raises(InvalidIntervalError):
+            _query(paper_index, "v7", "v7", (60, 50))
+
+    def test_reversed_window_prefilter_off_raises(self, paper_index):
+        from repro.errors import InvalidIntervalError
+
+        with pytest.raises(InvalidIntervalError):
+            _query(paper_index, "v1", "v8", (5, 1), prefilter=False)
+
+    def test_facade_and_algorithm_agree_on_reversed_windows(
+        self, paper_index
+    ):
+        from repro.errors import InvalidIntervalError
+
+        with pytest.raises(InvalidIntervalError):
+            paper_index.span_reachable("v1", "v8", (5, 1))
+        with pytest.raises(InvalidIntervalError):
+            _query(paper_index, "v1", "v8", (5, 1))
+
+    def test_valid_window_still_answers(self, paper_index):
+        assert _query(paper_index, "v1", "v8", (3, 5))

@@ -154,3 +154,107 @@ class TestCorruptFiles:
         labels, header = load_index(io.BytesIO(blob))
         assert header["num_vertices"] == 12
         assert labels.total_entries() > 0
+
+
+class TestTypedArrayStorage:
+    """Loading must keep the compact typed-array representation
+    (previously ``_read_array`` exploded it back into Python lists at
+    ~4x the memory)."""
+
+    def test_load_preserves_typed_arrays(self, tmp_path, paper_graph):
+        from array import array
+
+        index = TILLIndex.build(paper_graph)
+        path = tmp_path / "x.till"
+        index.save(path)
+        loaded = TILLIndex.load(path, paper_graph)
+        for label in loaded.labels.out_labels:
+            assert isinstance(label.hub_ranks, array)
+            assert label.hub_ranks.typecode == "i"
+            assert isinstance(label.offsets, array)
+            assert isinstance(label.starts, array)
+            assert label.starts.typecode == "q"
+            assert isinstance(label.ends, array)
+        assert loaded.labels.is_compact
+
+    def test_loaded_index_reports_compaction_in_stats(
+        self, tmp_path, paper_graph
+    ):
+        index = TILLIndex.build(paper_graph)
+        assert index.stats().compacted is False
+        index.compact()
+        assert index.stats().compacted is True
+        path = tmp_path / "x.till"
+        index.save(path)
+        loaded = TILLIndex.load(path, paper_graph)
+        assert loaded.stats().compacted is True
+
+    def test_compact_index_roundtrips_answers(self, tmp_path):
+        g = random_graph(7, num_vertices=12, num_edges=40)
+        index = TILLIndex.build(g).compact()
+        path = tmp_path / "c.till"
+        index.save(path)
+        loaded = TILLIndex.load(path, g)
+        loaded.verify(samples=200)
+
+
+class TestWriteArrayIsLoud:
+    def test_unwritable_array_raises_instead_of_corrupting(
+        self, tmp_path, paper_graph, monkeypatch
+    ):
+        """The old ``hasattr(arr, "tobytes")`` guard silently wrote
+        *nothing* on its false branch, corrupting the file body; a
+        broken array type must now fail loudly at save time."""
+        import repro.core.serialization as ser
+
+        class BrokenArray:
+            def __init__(self, typecode, values=()):
+                pass
+
+        index = TILLIndex.build(paper_graph)
+        monkeypatch.setattr(ser, "array", BrokenArray)
+        with pytest.raises(AttributeError):
+            index.save(tmp_path / "broken.till")
+
+
+class TestCorruptOffsetsRejected:
+    def _blob_with_offsets(self, offsets, num_entries=2):
+        """A syntactically valid index file whose single label block
+        carries the given offsets array (CRC is consistent, so only
+        the offsets validation can reject it)."""
+        from repro.core.labels import LabelSet, TILLLabels
+
+        label = LabelSet()
+        label.hub_ranks = list(range(len(offsets) - 1))
+        label.offsets = list(offsets)
+        label.starts = list(range(1, num_entries + 1))
+        label.ends = list(range(1, num_entries + 1))
+        label.finalized = True
+        labels = TILLLabels(1, False)
+        labels.out_labels[0] = label
+        labels.in_labels = labels.out_labels
+        buf = io.BytesIO()
+        dump_index(buf, labels, order=[0], vertex_labels=["a"],
+                   vartheta=None, meta={})
+        return io.BytesIO(buf.getvalue())
+
+    def test_non_monotone_offsets_rejected_at_load(self):
+        # offsets[0] == 0 and offsets[-1] == num_entries both hold, so
+        # the old endpoint-only check let this through; queries then
+        # crashed with IndexError deep inside the merge-join.
+        with pytest.raises(IndexFormatError, match="strictly increasing"):
+            load_index(self._blob_with_offsets([0, 3, 2]))
+
+    def test_negative_offsets_rejected_at_load(self):
+        with pytest.raises(IndexFormatError, match="strictly increasing"):
+            load_index(self._blob_with_offsets([0, -1, 2]))
+
+    def test_empty_hub_group_rejected_at_load(self):
+        # A zero-width group means writer and reader disagree about
+        # the hub array; refuse it rather than serving odd answers.
+        with pytest.raises(IndexFormatError, match="strictly increasing"):
+            load_index(self._blob_with_offsets([0, 0, 2]))
+
+    def test_consistent_offsets_still_load(self):
+        labels, header = load_index(self._blob_with_offsets([0, 1, 2]))
+        assert labels.total_entries() == 2

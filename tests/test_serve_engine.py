@@ -1,0 +1,319 @@
+"""Tests for the batched query engine (:mod:`repro.serve`)."""
+
+import pytest
+
+from repro import TemporalGraph, TILLIndex
+from repro.core.incremental import IncrementalTILLIndex
+from repro.errors import (
+    InvalidIntervalError,
+    UnknownVertexError,
+    UnsupportedIntervalError,
+)
+from repro.serve import MISS, EngineStats, GenerationalLRUCache, QueryEngine
+
+from tests.conftest import random_graph
+
+
+def _all_pairs(graph):
+    vs = list(graph.vertices())
+    return [(u, v) for u in vs for v in vs]
+
+
+class TestBatchMatchesScalar:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_span_batch_equals_scalar_facade(self, seed, directed):
+        g = random_graph(seed, num_vertices=9, num_edges=35,
+                         directed=directed)
+        index = TILLIndex.build(g)
+        engine = QueryEngine(index)
+        pairs = _all_pairs(g)
+        for window in [(1, 10), (3, 7), (5, 5)]:
+            expected = [index.span_reachable(u, v, window) for u, v in pairs]
+            assert engine.span_many(pairs, window) == expected
+
+    def test_span_batch_prefilter_off_equals_scalar(self):
+        g = random_graph(4, num_vertices=8, num_edges=30)
+        index = TILLIndex.build(g)
+        engine = QueryEngine(index)
+        pairs = _all_pairs(g)
+        expected = [
+            index.span_reachable(u, v, (2, 8), prefilter=False)
+            for u, v in pairs
+        ]
+        assert engine.span_many(pairs, (2, 8), prefilter=False) == expected
+
+    @pytest.mark.parametrize("algorithm", ["sliding", "naive"])
+    def test_theta_batch_equals_scalar_facade(self, algorithm):
+        g = random_graph(5, num_vertices=8, num_edges=40)
+        index = TILLIndex.build(g)
+        engine = QueryEngine(index)
+        pairs = _all_pairs(g)
+        expected = [
+            index.theta_reachable(u, v, (1, 9), 4, algorithm=algorithm)
+            for u, v in pairs
+        ]
+        assert engine.theta_many(pairs, (1, 9), 4,
+                                 algorithm=algorithm) == expected
+
+    def test_duplicate_pairs_answered_once_but_all_filled(self):
+        g = random_graph(6, num_vertices=6, num_edges=25)
+        index = TILLIndex.build(g)
+        engine = QueryEngine(index, cache_size=0)  # dedup without cache
+        pairs = [(0, 1), (0, 1), (2, 3), (0, 1)]
+        answers = engine.span_many(pairs, (1, 10))
+        assert answers[0] == answers[1] == answers[3]
+        assert engine.stats().queries == 4
+
+    def test_results_in_input_order(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 2)])
+        engine = QueryEngine(TILLIndex.build(g))
+        assert engine.span_many(
+            [("c", "a"), ("a", "c"), ("a", "b")], (1, 2)
+        ) == [False, True, True]
+
+
+class TestCaching:
+    def test_repeat_batch_served_from_cache(self):
+        g = random_graph(1, num_vertices=8, num_edges=30)
+        engine = QueryEngine(TILLIndex.build(g))
+        pairs = _all_pairs(g)
+        first = engine.span_many(pairs, (1, 10))
+        engine.reset_stats()
+        second = engine.span_many(pairs, (1, 10))
+        assert second == first
+        stats = engine.stats()
+        assert stats.cache_hits == len(pairs)
+        assert stats.cache_misses == 0
+        assert stats.hit_rate == 1.0
+        assert stats.outcomes.get("cache-hit") == len(pairs)
+
+    def test_span_and_theta_keys_are_distinct(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 5)])
+        engine = QueryEngine(TILLIndex.build(g))
+        # span over (1, 5) is True; theta=2 over the same window is not
+        # (the union [1, 5] needs 5 timestamps).
+        assert engine.span_many([("a", "c")], (1, 5)) == [True]
+        assert engine.theta_many([("a", "c")], (1, 5), 2) == [False]
+
+    def test_cache_disabled_still_correct(self):
+        g = random_graph(2, num_vertices=7, num_edges=25)
+        index = TILLIndex.build(g)
+        engine = QueryEngine(index, cache_size=0)
+        pairs = _all_pairs(g)
+        expected = [index.span_reachable(u, v, (1, 9)) for u, v in pairs]
+        assert engine.span_many(pairs, (1, 9)) == expected
+        assert engine.span_many(pairs, (1, 9)) == expected
+        assert engine.stats().cache_hits == 0
+
+    def test_lru_eviction_is_bounded(self):
+        g = random_graph(3, num_vertices=10, num_edges=40)
+        engine = QueryEngine(TILLIndex.build(g), cache_size=4)
+        engine.span_many(_all_pairs(g), (1, 10))
+        stats = engine.stats()
+        assert stats.cache_entries <= 4
+        assert stats.cache_evictions > 0
+
+    def test_manual_invalidate_drops_answers(self):
+        g = random_graph(8, num_vertices=6, num_edges=20)
+        engine = QueryEngine(TILLIndex.build(g))
+        engine.span_many([(0, 1)], (1, 10))
+        engine.invalidate()
+        engine.reset_stats()
+        engine.span_many([(0, 1)], (1, 10))
+        assert engine.stats().cache_hits == 0
+
+
+class TestGenerationInvalidation:
+    def test_stale_answer_flips_after_insert(self):
+        """The ISSUE-2 acceptance scenario: a cached negative answer
+        must flip once an inserted edge creates the path."""
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g)
+        engine = QueryEngine(inc)
+        assert engine.span_many([("a", "c")], (1, 3)) == [False]
+        # Cached: a second ask hits.
+        assert engine.span_many([("a", "c")], (1, 3)) == [False]
+        assert engine.stats().cache_hits == 1
+        inc.add_edge("b", "c", 2)
+        assert engine.span_many([("a", "c")], (1, 3)) == [True]
+        assert engine.stats().cache_stale_drops >= 1
+
+    def test_stale_answer_flips_after_removal(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 2)])
+        inc = IncrementalTILLIndex(g)
+        engine = QueryEngine(inc)
+        assert engine.span_many([("a", "c")], (1, 2)) == [True]
+        inc.remove_edge("b", "c", 2)
+        assert engine.span_many([("a", "c")], (1, 2)) == [False]
+
+    def test_generation_counter_tracks_mutations(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g)
+        start = inc.generation
+        inc.add_edge("b", "c", 2)
+        assert inc.generation == start + 1
+        inc.remove_edge("b", "c", 2)
+        assert inc.generation == start + 2
+
+    def test_rebuild_bumps_generation(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g, rebuild_threshold=2)
+        before = inc.generation
+        inc.add_edge("b", "c", 2)
+        inc.add_edge("c", "d", 3)  # hits the threshold -> rebuild
+        assert inc.rebuilds == 1
+        assert inc.generation > before + 1
+
+    def test_theta_cache_invalidated_too(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g)
+        engine = QueryEngine(inc)
+        assert engine.theta_many([("a", "c")], (1, 3), 2) == [False]
+        inc.add_edge("b", "c", 2)
+        assert engine.theta_many([("a", "c")], (1, 3), 2) == [True]
+
+
+class TestVarthetaAndFallback:
+    def test_over_cap_raises_without_fallback(self):
+        g = random_graph(0, num_vertices=8, num_edges=30)
+        engine = QueryEngine(TILLIndex.build(g, vartheta=3))
+        with pytest.raises(UnsupportedIntervalError):
+            engine.span_many([(0, 1)], (1, 9))
+
+    def test_online_fallback_matches_facade(self):
+        g = random_graph(0, num_vertices=8, num_edges=30)
+        index = TILLIndex.build(g, vartheta=3)
+        engine = QueryEngine(index)
+        pairs = _all_pairs(g)
+        expected = index.span_reachable_many(pairs, (1, 9),
+                                             fallback="online")
+        assert engine.span_many(pairs, (1, 9),
+                                fallback="online") == expected
+        assert engine.stats().outcomes.get("online-fallback", 0) > 0
+
+    def test_within_cap_uses_index(self):
+        g = random_graph(0, num_vertices=8, num_edges=30)
+        index = TILLIndex.build(g, vartheta=5)
+        engine = QueryEngine(index)
+        expected = [index.span_reachable(u, v, (2, 5))
+                    for u, v in _all_pairs(g)]
+        assert engine.span_many(_all_pairs(g), (2, 5)) == expected
+
+
+class TestValidationAndErrors:
+    def test_reversed_window_raises(self):
+        g = random_graph(0, num_vertices=5, num_edges=15)
+        engine = QueryEngine(TILLIndex.build(g))
+        with pytest.raises(InvalidIntervalError):
+            engine.span_many([(0, 1)], (9, 1))
+
+    def test_bad_theta_raises(self):
+        g = random_graph(0, num_vertices=5, num_edges=15)
+        engine = QueryEngine(TILLIndex.build(g))
+        with pytest.raises(InvalidIntervalError):
+            engine.theta_many([(0, 1)], (1, 9), 0)
+        with pytest.raises(InvalidIntervalError):
+            engine.theta_many([(0, 1)], (1, 2), 5)
+
+    def test_unknown_theta_algorithm_raises(self):
+        g = random_graph(0, num_vertices=5, num_edges=15)
+        engine = QueryEngine(TILLIndex.build(g))
+        with pytest.raises(InvalidIntervalError):
+            engine.theta_many([(0, 1)], (1, 9), 2, algorithm="quantum")
+
+    def test_unknown_vertex_raises(self):
+        g = random_graph(0, num_vertices=5, num_edges=15)
+        engine = QueryEngine(TILLIndex.build(g))
+        with pytest.raises(UnknownVertexError):
+            engine.span_many([(0, "nope")], (1, 9))
+
+    def test_single_query_helpers(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 2)])
+        engine = QueryEngine(TILLIndex.build(g))
+        assert engine.span_reachable("a", "c", (1, 2)) is True
+        assert engine.theta_reachable("a", "c", (1, 2), 2) is True
+
+    def test_profile_many_requires_plain_index(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        engine = QueryEngine(IncrementalTILLIndex(g))
+        with pytest.raises(TypeError):
+            engine.profile_many([("a", "b", (1, 1))])
+
+    def test_profile_many_reuses_profiling_counters(self):
+        g = random_graph(0, num_vertices=6, num_edges=20)
+        index = TILLIndex.build(g)
+        engine = QueryEngine(index)
+        workload = [(u, v, (1, 10)) for u, v in _all_pairs(g)]
+        profile = engine.profile_many(workload)
+        assert profile.queries == len(workload)
+        assert set(profile.outcomes) <= {
+            "same-vertex", "prefilter", "target-hub", "source-hub",
+            "common-hub", "unreachable",
+        }
+
+
+class TestFacadeDelegation:
+    def test_span_reachable_many_delegates_to_engine(self):
+        g = random_graph(9, num_vertices=7, num_edges=25)
+        index = TILLIndex.build(g)
+        pairs = _all_pairs(g)
+        expected = [index.span_reachable(u, v, (1, 8)) for u, v in pairs]
+        assert index.span_reachable_many(pairs, (1, 8)) == expected
+        # The lazily created engine is uncached: facade semantics are
+        # pure (no cross-call memoization a user didn't opt into).
+        assert index._batch_engine().stats().cache_capacity == 0
+
+    def test_theta_reachable_many_matches_scalar(self):
+        g = random_graph(9, num_vertices=7, num_edges=30)
+        index = TILLIndex.build(g)
+        pairs = _all_pairs(g)
+        expected = [index.theta_reachable(u, v, (1, 9), 3)
+                    for u, v in pairs]
+        assert index.theta_reachable_many(pairs, (1, 9), 3) == expected
+
+
+class TestGenerationalLRUCache:
+    def test_miss_sentinel_distinguishes_false(self):
+        cache = GenerationalLRUCache(4)
+        assert cache.get("k") is MISS
+        cache.put("k", False)
+        assert cache.get("k") is False
+
+    def test_generation_bump_expires_lazily(self):
+        cache = GenerationalLRUCache(4)
+        cache.put("k", True)
+        cache.bump_generation()
+        assert cache.get("k") is MISS
+        assert cache.stale_drops == 1
+        assert len(cache) == 0
+
+    def test_lru_order_and_eviction(self):
+        cache = GenerationalLRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)  # evicts "b", the least recently used
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_zero_capacity_disables_storage(self):
+        cache = GenerationalLRUCache(0)
+        cache.put("k", True)
+        assert cache.get("k") is MISS
+        assert len(cache) == 0
+
+
+class TestEngineStats:
+    def test_as_dict_round_trip(self):
+        stats = EngineStats(queries=10, cache_hits=4, cache_misses=6,
+                            outcomes={"reachable": 5})
+        doc = stats.as_dict()
+        assert doc["queries"] == 10
+        assert doc["hit_rate"] == pytest.approx(0.4)
+        assert doc["outcomes"] == {"reachable": 5}
+
+    def test_hit_rate_zero_when_unused(self):
+        assert EngineStats().hit_rate == 0.0
