@@ -4,7 +4,7 @@ PYTHON ?= python
 # Make every target work from a plain checkout (no install needed).
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-smoke experiments examples verify fuzz-smoke fuzz clean
+.PHONY: install test bench bench-smoke experiments examples verify fuzz-smoke fuzz shard-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -13,6 +13,7 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 	$(MAKE) fuzz-smoke
+	$(MAKE) shard-smoke
 	$(MAKE) bench-smoke
 
 # Fixed-seed differential fuzzing smoke stage (<30 s): every answer
@@ -32,12 +33,21 @@ fuzz:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Sharded-index smoke stage (<60 s): sharded-vs-monolithic differential
+# fuzzing across every routing path (contained / stitch / fallback,
+# scalar and batch) plus one parallel (jobs=2) shard build.
+# Deterministic — safe for CI.
+shard-smoke:
+	$(PYTHON) -m repro fuzz --profile sharded --seeds 12
+	$(PYTHON) -m repro shard-build chess --shards 4 --jobs 2
+
 # Seeded perf baseline (<60 s): build time, label size, scalar vs
-# batch vs cached query throughput, online fallback.  Writes
-# BENCH_PR2.json; gate a change against a recorded baseline with
-#   python -m repro bench --smoke --compare BENCH_PR2.json --max-regression 15
+# batch vs cached query throughput, online fallback, and the
+# monolithic-vs-sharded build/query comparison.  Writes
+# BENCH_PR3.json; gate a change against a recorded baseline with
+#   python -m repro bench --smoke --compare BENCH_PR3.json --max-regression 15
 bench-smoke:
-	$(PYTHON) -m repro bench --smoke -o BENCH_PR2.json
+	$(PYTHON) -m repro bench --smoke -o BENCH_PR3.json
 
 experiments:
 	$(PYTHON) -m repro experiment table2

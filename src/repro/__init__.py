@@ -25,6 +25,8 @@ Public surface
   index-free baselines (Algorithm 1).
 * :class:`QueryEngine` — batched query serving with result caching
   (:mod:`repro.serve`).
+* :class:`ShardedTILLIndex` — time-sharded index with parallel shard
+  construction and cross-shard query routing (:mod:`repro.shard`).
 * :mod:`repro.graph.generators` — synthetic temporal graph models.
 * :mod:`repro.datasets` — the 17 Table II dataset stand-ins.
 * :mod:`repro.experiments` — the paper's tables and figures.
@@ -47,6 +49,7 @@ from repro.errors import (
 )
 from repro.graph.temporal_graph import TemporalGraph
 from repro.serve import EngineStats, QueryEngine
+from repro.shard import ShardedTILLIndex, TimePartitioner
 
 
 def online_span_reachable(graph, u, v, interval):
@@ -75,6 +78,8 @@ __all__ = [
     "IndexStats",
     "QueryEngine",
     "EngineStats",
+    "ShardedTILLIndex",
+    "TimePartitioner",
     "Interval",
     "BuildBudgetExceeded",
     "online_span_reachable",

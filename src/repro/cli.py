@@ -8,10 +8,20 @@ Subcommands
 
 ``repro build SOURCE [-o FILE] [--vartheta N] [--method M] [--ordering O]``
     Build a TILL-Index for a dataset name or a graph file and report
-    its statistics; optionally persist it.
+    its statistics; optionally persist it.  With ``--shards K`` (and
+    optionally ``--jobs N``) this builds a time-sharded index instead.
 
 ``repro query SOURCE U V T1 T2 [--theta N] [--index FILE] [--online]``
     Answer one span- (or θ-) reachability query.
+
+``repro shard-build SOURCE [-o DIR] [--shards K] [--policy P] [--jobs N]``
+    Build a time-sharded TILL index — one capped index per time slice,
+    in parallel worker processes when ``--jobs >= 2`` — and optionally
+    persist it as a shard directory (see ``docs/file_format.md``).
+
+``repro shard-query SOURCE U V T1 T2 [--theta N] [--index DIR]``
+    Answer one query through the cross-shard planner and print the
+    routing decision (contained / stitch / fallback).
 
 ``repro experiment NAME [--datasets a,b,c]``
     Run one of the paper's experiments and print its table
@@ -89,6 +99,14 @@ def cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def cmd_build(args: argparse.Namespace) -> int:
+    if getattr(args, "shards", None):
+        return _build_sharded(
+            args,
+            num_shards=args.shards,
+            policy="equal-edges",
+            jobs=args.jobs,
+            stitch_limit=64,
+        )
     graph = _load_source(args.source, directed=not args.undirected)
     index = TILLIndex.build(
         graph,
@@ -107,6 +125,81 @@ def cmd_build(args: argparse.Namespace) -> int:
         index.save(args.output)
         print(f"  saved to        {args.output}")
     return 0
+
+
+def _build_sharded(
+    args: argparse.Namespace,
+    num_shards: int,
+    policy: str,
+    jobs: int,
+    stitch_limit: int,
+) -> int:
+    from repro.shard import ShardedTILLIndex
+
+    graph = _load_source(args.source, directed=not args.undirected)
+    index = ShardedTILLIndex.build(
+        graph,
+        num_shards=num_shards,
+        policy=policy,
+        jobs=jobs,
+        vartheta=args.vartheta,
+        method=args.method,
+        ordering=args.ordering,
+        stitch_limit=stitch_limit,
+    )
+    stats = index.stats()
+    print(f"built sharded TILL-Index for {args.source}")
+    print(f"  vertices        {stats.num_vertices}")
+    print(f"  temporal edges  {stats.num_edges}")
+    print(f"  shards          {stats.num_shards} ({stats.policy})")
+    for shard_stats, s in zip(stats.shards, index.partition.slices):
+        print(
+            f"    slice {s.shard}  [{s.t_start}, {s.t_end}]  "
+            f"{s.num_edges} edges  {shard_stats.total_entries} entries  "
+            f"{fmt_time(shard_stats.build_seconds)}"
+        )
+    print(f"  label entries   {stats.total_entries}")
+    print(f"  index size      {fmt_bytes(stats.estimated_bytes)}")
+    print(f"  build time      {fmt_time(stats.build_seconds)} "
+          f"(jobs={stats.jobs})")
+    if args.output:
+        index.save(args.output)
+        print(f"  saved to        {args.output}")
+    return 0
+
+
+def cmd_shard_build(args: argparse.Namespace) -> int:
+    return _build_sharded(
+        args,
+        num_shards=args.shards,
+        policy=args.policy,
+        jobs=args.jobs,
+        stitch_limit=args.stitch_limit,
+    )
+
+
+def cmd_shard_query(args: argparse.Namespace) -> int:
+    from repro.shard import ShardedTILLIndex
+
+    graph = _load_source(args.source, directed=not args.undirected)
+    u, v = _parse_vertex(args.u), _parse_vertex(args.v)
+    window = (args.t1, args.t2)
+    if args.index:
+        index = ShardedTILLIndex.load(args.index, graph)
+    else:
+        index = ShardedTILLIndex.build(
+            graph, num_shards=args.shards, policy=args.policy, jobs=args.jobs
+        )
+    if args.theta is None:
+        plan = index.plan_span(window)
+        answer = index.span_reachable(u, v, window)
+    else:
+        plan = index.planner.plan_theta(window, args.theta)
+        answer = index.theta_reachable(u, v, window, args.theta)
+    kind = "span-reaches" if args.theta is None else f"{args.theta}-reaches"
+    print(f"{u!r} {kind} {v!r} in [{args.t1}, {args.t2}]: {answer}")
+    print(f"  plan: {plan.describe()}")
+    return 0 if answer else 1
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -286,6 +379,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ordering", default="degree-product")
     p.add_argument("--undirected", action="store_true",
                    help="treat an input file as undirected")
+    p.add_argument("--shards", type=int, default=None,
+                   help="build a time-sharded index with this many slices")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel shard-build workers (with --shards)")
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("query", help="answer one reachability query")
@@ -301,6 +398,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the index-free Algorithm 1")
     p.add_argument("--undirected", action="store_true")
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "shard-build",
+        help="build a time-sharded index (one capped index per slice)",
+    )
+    p.add_argument("source", help="dataset name or graph file")
+    p.add_argument("-o", "--output", metavar="DIR",
+                   help="write the index as a shard directory")
+    p.add_argument("--shards", type=int, default=4,
+                   help="number of time slices (default 4)")
+    p.add_argument("--policy", choices=("equal-edges", "equal-span"),
+                   default="equal-edges",
+                   help="slice-boundary policy (default equal-edges)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel build workers; 1 = sequential (default)")
+    p.add_argument("--vartheta", type=int, default=None,
+                   help="largest supported query-interval length")
+    p.add_argument("--stitch-limit", type=int, default=64,
+                   help="largest boundary set stitched before falling back "
+                        "to online BFS (default 64)")
+    p.add_argument("--method", choices=("optimized", "basic"),
+                   default="optimized")
+    p.add_argument("--ordering", default="degree-product")
+    p.add_argument("--undirected", action="store_true",
+                   help="treat an input file as undirected")
+    p.set_defaults(func=cmd_shard_build)
+
+    p = sub.add_parser(
+        "shard-query",
+        help="answer one query through the cross-shard planner",
+    )
+    p.add_argument("source", help="dataset name or graph file")
+    p.add_argument("u", help="source vertex")
+    p.add_argument("v", help="target vertex")
+    p.add_argument("t1", type=int, help="interval start")
+    p.add_argument("t2", type=int, help="interval end")
+    p.add_argument("--theta", type=int, default=None,
+                   help="answer theta-reachability instead of span")
+    p.add_argument("--index", metavar="DIR",
+                   help="load a saved shard directory instead of building")
+    p.add_argument("--shards", type=int, default=4,
+                   help="slices when building in-process (default 4)")
+    p.add_argument("--policy", choices=("equal-edges", "equal-span"),
+                   default="equal-edges")
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--undirected", action="store_true")
+    p.set_defaults(func=cmd_shard_query)
 
     p = sub.add_parser(
         "anatomy", help="distributional statistics of a built index"
@@ -330,7 +474,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=25,
                    help="number of random cases to draw (default 25)")
     p.add_argument("--profile", default="small",
-                   help="fuzz profile: small (default), wide, or theta")
+                   help="fuzz profile: small (default), wide, theta, or "
+                        "sharded")
     p.add_argument("--base-seed", type=int, default=0,
                    help="first case seed (campaigns are deterministic)")
     p.add_argument("--no-shrink", action="store_true",
@@ -349,9 +494,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small fixed suite (<60 s), suitable for CI")
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed (default 0)")
-    p.add_argument("-o", "--output", default="BENCH_PR2.json",
-                   help="results file (default BENCH_PR2.json)")
-    p.add_argument("--label", default="PR2",
+    p.add_argument("-o", "--output", default="BENCH_PR3.json",
+                   help="results file (default BENCH_PR3.json)")
+    p.add_argument("--label", default="PR3",
                    help="label recorded in the results document")
     p.add_argument("--datasets", help="comma-separated dataset override")
     p.add_argument("--batch-size", type=int, default=2000,

@@ -26,6 +26,7 @@ from repro.core.ordering import VertexOrder, make_order
 from repro.core.serialization import dump_index, load_index
 from repro.errors import (
     IndexBuildError,
+    IndexFormatError,
     InvalidIntervalError,
     UnsupportedIntervalError,
 )
@@ -478,8 +479,19 @@ class TILLIndex:
                 f"index has {header['num_vertices']} vertices but the graph "
                 f"has {graph.num_vertices}"
             )
-        if header["meta"].get("num_edges") not in (None, graph.num_edges):
-            raise IndexBuildError("index/graph edge-count mismatch")
+        stored_edges = header["meta"].get("num_edges")
+        if stored_edges is None:
+            # save() always writes the fingerprint; a header without it
+            # is malformed, not merely from an older writer.
+            raise IndexFormatError(
+                "index header is missing the num_edges fingerprint"
+            )
+        if stored_edges != graph.num_edges:
+            raise IndexBuildError(
+                f"index/graph edge-count mismatch: the index was built from "
+                f"a graph with {stored_edges} temporal edges but this graph "
+                f"has {graph.num_edges}"
+            )
         stored = header["vertex_labels"]
         current = list(graph.vertices())
         if stored != current:

@@ -16,7 +16,11 @@ comparing answers:
   brute force through ``fallback="online"`` (scalar and batch);
 * :func:`minimal_windows`: an antichain whose every member answers
   ``True`` and whose one-timestamp shrinkings answer ``False`` (within
-  the documented ϑ completeness guarantee).
+  the documented ϑ completeness guarantee);
+* sharded: every :class:`~repro.shard.ShardedTILLIndex` answer —
+  contained, stitched and fallback routes, scalar and batch — against
+  the monolithic index, the online BFS and the brute-force oracle
+  (:func:`check_sharded_index`).
 
 Disagreements come back as :class:`Mismatch` records; :func:`replay`
 re-runs exactly the family of checks that produced a mismatch, which
@@ -56,6 +60,9 @@ class Mismatch:
     v: object = None
     window: Optional[Tuple[int, int]] = None
     theta: Optional[int] = None
+    #: ``(num_shards, policy, stitch_limit)`` for ``shard:*`` checks —
+    #: what :func:`replay` needs to rebuild the sharded index.
+    shard_config: Optional[Tuple[int, str, int]] = None
 
     def __str__(self) -> str:
         query = ""
@@ -68,9 +75,11 @@ class Mismatch:
         return f"[{self.check}]{query}: {self.detail}"
 
 
-def _mismatch(found, check, detail, u=None, v=None, window=None, theta=None):
+def _mismatch(found, check, detail, u=None, v=None, window=None, theta=None,
+              shard_config=None):
     w = None if window is None else (window[0], window[1])
-    found.append(Mismatch(check, detail, u=u, v=v, window=w, theta=theta))
+    found.append(Mismatch(check, detail, u=u, v=v, window=w, theta=theta,
+                          shard_config=shard_config))
 
 
 # ----------------------------------------------------------------------
@@ -292,6 +301,226 @@ def check_pair_windows(index: "TILLIndex", u, v) -> List[Mismatch]:
 
 
 # ----------------------------------------------------------------------
+# sharded vs monolithic
+# ----------------------------------------------------------------------
+
+
+def _shard_cfg(sharded) -> Tuple[int, str, int]:
+    return (
+        sharded.partition.num_shards,
+        sharded.partition.policy,
+        sharded.stitch_limit,
+    )
+
+
+def check_sharded_span(
+    sharded, reference: "TILLIndex", u, v, window: Tuple[int, int]
+) -> List[Mismatch]:
+    """One span query through the sharded router vs the monolithic
+    index, the online BFS and the brute-force oracle (scalar + batch).
+
+    *sharded* and *reference* must share the graph and ϑ cap.
+    """
+    win = as_interval(window)
+    graph = reference.graph
+    found: List[Mismatch] = []
+    cfg = _shard_cfg(sharded)
+    route = sharded.plan_span(win).route
+    want = span_reaches_bruteforce(graph, u, v, win)
+
+    if reference.vartheta is not None and win.length > reference.vartheta:
+        try:
+            sharded.span_reachable(u, v, win)
+            _mismatch(found, "shard:cap-raise",
+                      f"window length {win.length} exceeds vartheta="
+                      f"{reference.vartheta} but no UnsupportedIntervalError "
+                      "was raised", u, v, win, shard_config=cfg)
+        except UnsupportedIntervalError:
+            pass
+        got = sharded.span_reachable(u, v, win, fallback="online")
+        if got != want:
+            _mismatch(found, "shard:span-fallback",
+                      f"sharded fallback={got}, oracle={want}", u, v, win,
+                      shard_config=cfg)
+        batch = sharded.span_reachable_many([(u, v)], win, fallback="online")
+        if batch != [want]:
+            _mismatch(found, "shard:span-batch",
+                      f"sharded batch fallback={batch[0]}, oracle={want}",
+                      u, v, win, shard_config=cfg)
+        return found
+
+    mono = reference.span_reachable(u, v, win)
+    got = sharded.span_reachable(u, v, win)
+    if got != mono:
+        _mismatch(found, "shard:span",
+                  f"sharded={got} (route={route}), monolithic={mono}",
+                  u, v, win, shard_config=cfg)
+    if got != want:
+        _mismatch(found, "shard:span-oracle",
+                  f"sharded={got} (route={route}), oracle={want}",
+                  u, v, win, shard_config=cfg)
+    ui, vi = graph.index_of(u), graph.index_of(v)
+    if got != online_span_reachable(graph, ui, vi, win):
+        _mismatch(found, "shard:span-online",
+                  f"sharded={got} (route={route}) disagrees with the online "
+                  "BFS", u, v, win, shard_config=cfg)
+    batch = sharded.span_reachable_many([(u, v)], win)
+    if batch != [want]:
+        _mismatch(found, "shard:span-batch",
+                  f"sharded batch={batch[0]} (route={route}), oracle={want}",
+                  u, v, win, shard_config=cfg)
+    return found
+
+
+def check_sharded_theta(
+    sharded, reference: "TILLIndex", u, v, window: Tuple[int, int], theta: int
+) -> List[Mismatch]:
+    """One θ query through the sharded router vs the monolithic index
+    and the brute-force oracle (scalar + batch)."""
+    win = as_interval(window)
+    graph = reference.graph
+    found: List[Mismatch] = []
+    cfg = _shard_cfg(sharded)
+
+    if reference.vartheta is not None and theta > reference.vartheta:
+        try:
+            sharded.theta_reachable(u, v, win, theta)
+            _mismatch(found, "shard:theta-cap-raise",
+                      f"theta={theta} exceeds vartheta={reference.vartheta} "
+                      "but no UnsupportedIntervalError was raised",
+                      u, v, win, theta, shard_config=cfg)
+        except UnsupportedIntervalError:
+            pass
+        return found
+
+    want = theta_reaches_bruteforce(graph, u, v, win, theta)
+    mono = reference.theta_reachable(u, v, win, theta)
+    got = sharded.theta_reachable(u, v, win, theta)
+    route = sharded.planner.plan_theta(win, theta).route
+    if got != mono:
+        _mismatch(found, "shard:theta",
+                  f"sharded={got} (route={route}), monolithic={mono}",
+                  u, v, win, theta, shard_config=cfg)
+    if got != want:
+        _mismatch(found, "shard:theta-oracle",
+                  f"sharded={got} (route={route}), oracle={want}",
+                  u, v, win, theta, shard_config=cfg)
+    batch = sharded.theta_reachable_many([(u, v)], win, theta)
+    if batch != [want]:
+        _mismatch(found, "shard:theta-batch",
+                  f"sharded batch={batch[0]} (route={route}), oracle={want}",
+                  u, v, win, theta, shard_config=cfg)
+    return found
+
+
+def check_sharded_index(
+    sharded,
+    reference: "TILLIndex",
+    samples: int = 100,
+    seed: int = 0,
+    theta_samples: Optional[int] = None,
+    first_failure: bool = False,
+) -> List[Mismatch]:
+    """Randomized sharded-vs-monolithic sweep.
+
+    Window sampling is stratified so every routing path is exercised:
+    contained (inside a random slice), straddling (across a random
+    slice boundary), and unconstrained windows that overshoot the
+    lifetime and any ϑ cap; a fraction of the straddling queries run
+    with ``stitch_limit`` forced to 0 so the online-BFS fallback route
+    is hit deterministically.  The limit is restored afterwards.
+    """
+    graph = reference.graph
+    n = graph.num_vertices
+    if n < 2 or graph.min_time is None:
+        return []
+    if theta_samples is None:
+        theta_samples = max(1, samples // 3)
+    rng = random.Random(seed)
+    lo, hi = graph.min_time, graph.max_time
+    lifetime = graph.lifetime
+    part = sharded.partition
+    found: List[Mismatch] = []
+
+    def _contained_window() -> Interval:
+        s = part.slices[rng.randrange(part.num_shards)]
+        a = rng.randint(s.t_start, s.t_end)
+        return Interval(a, rng.randint(a, s.t_end))
+
+    def _straddling_window() -> Interval:
+        if part.num_shards < 2:
+            return _contained_window()
+        boundary = part.slices[rng.randrange(part.num_shards - 1)].t_end
+        return Interval(rng.randint(lo - 1, boundary),
+                        rng.randint(boundary + 1, hi + 1))
+
+    def _random_window() -> Interval:
+        length = rng.randint(1, lifetime + 2)
+        start = rng.randint(lo - 2, hi + 1)
+        return Interval(start, start + length - 1)
+
+    old_limit = sharded.stitch_limit
+    try:
+        for _ in range(samples):
+            u = graph.label_of(rng.randrange(n))
+            v = graph.label_of(rng.randrange(n))
+            dice = rng.random()
+            if dice < 0.35:
+                win = _contained_window()
+            elif dice < 0.70:
+                win = _straddling_window()
+            else:
+                win = _random_window()
+            sharded.stitch_limit = 0 if rng.random() < 0.25 else old_limit
+            found.extend(check_sharded_span(sharded, reference, u, v, win))
+            if found and first_failure:
+                return found[:1]
+
+        for _ in range(theta_samples):
+            u = graph.label_of(rng.randrange(n))
+            v = graph.label_of(rng.randrange(n))
+            win = _contained_window() if rng.random() < 0.4 \
+                else _straddling_window()
+            theta = rng.randint(1, win.length)
+            sharded.stitch_limit = 0 if rng.random() < 0.25 else old_limit
+            found.extend(
+                check_sharded_theta(sharded, reference, u, v, win, theta)
+            )
+            if found and first_failure:
+                return found[:1]
+    finally:
+        sharded.stitch_limit = old_limit
+    return found
+
+
+def check_sharded_query(
+    index: "TILLIndex",
+    u,
+    v,
+    window: Tuple[int, int],
+    theta: Optional[int] = None,
+    num_shards: int = 2,
+    policy: str = "equal-edges",
+    stitch_limit: int = 64,
+) -> List[Mismatch]:
+    """Rebuild a sharded index over ``index.graph`` and check one query.
+
+    The self-contained entry point used by :func:`replay` and the
+    shrinker's emitted pytest repros — everything needed to reproduce a
+    ``shard:*`` mismatch is in the arguments.
+    """
+    from repro.shard import ShardedTILLIndex
+
+    sharded = ShardedTILLIndex.build(
+        index.graph, num_shards=num_shards, policy=policy,
+        vartheta=index.vartheta, stitch_limit=stitch_limit,
+    )
+    if theta is None:
+        return check_sharded_span(sharded, index, u, v, window)
+    return check_sharded_theta(sharded, index, u, v, window, theta)
+
+
+# ----------------------------------------------------------------------
 # whole-index sweep
 # ----------------------------------------------------------------------
 
@@ -374,7 +603,16 @@ def replay(index: "TILLIndex", mismatch: Mismatch) -> bool:
     for vertex in (mismatch.u, mismatch.v):
         if vertex not in graph:
             return False
-    if mismatch.check.startswith("span:"):
+    if mismatch.check.startswith("shard:"):
+        num_shards, policy, stitch_limit = (
+            mismatch.shard_config or (2, "equal-edges", 64)
+        )
+        results = check_sharded_query(
+            index, mismatch.u, mismatch.v, mismatch.window,
+            theta=mismatch.theta, num_shards=num_shards, policy=policy,
+            stitch_limit=stitch_limit,
+        )
+    elif mismatch.check.startswith("span:"):
         results = check_span_query(index, mismatch.u, mismatch.v, mismatch.window)
     elif mismatch.check.startswith("theta:"):
         results = check_theta_query(

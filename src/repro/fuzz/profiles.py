@@ -8,7 +8,7 @@ multi-edges, negative timestamps (via a time shift), and a build-time
 from it.  The differential checker then asserts that every answer path
 agrees on the drawn graph.
 
-Three built-in profiles (see :data:`PROFILES`):
+Four built-in profiles (see :data:`PROFILES`):
 
 ``small``
     The default smoke profile: tiny graphs from all four generator
@@ -22,6 +22,11 @@ Three built-in profiles (see :data:`PROFILES`):
     Short lifetimes and frequent ϑ caps — concentrates on the
     θ-reachability paths (sliding vs naive vs online) and the capped
     fallback behaviour, where historical bugs cluster.
+``sharded``
+    Additionally builds a :class:`~repro.shard.ShardedTILLIndex` over
+    each case (2-4 slices, random policy) and cross-checks every
+    routed answer — contained, stitched and fallback — against the
+    monolithic index and the oracles.
 """
 
 from __future__ import annotations
@@ -55,6 +60,9 @@ class FuzzProfile:
     span_queries: int = 40
     theta_queries: int = 12
     window_pairs: int = 8
+    #: shard counts to draw from for the sharded-vs-monolithic sweep;
+    #: empty disables it
+    shard_counts: Tuple[int, ...] = ()
 
 
 PROFILES: Dict[str, FuzzProfile] = {
@@ -82,6 +90,17 @@ PROFILES: Dict[str, FuzzProfile] = {
         span_queries=20,
         theta_queries=30,
         window_pairs=6,
+    ),
+    "sharded": FuzzProfile(
+        name="sharded",
+        num_vertices=(5, 14),
+        num_edges=(10, 45),
+        lifetime=(6, 16),
+        vartheta_probability=0.3,
+        span_queries=25,
+        theta_queries=10,
+        window_pairs=2,
+        shard_counts=(2, 3, 4),
     ),
 }
 

@@ -9,12 +9,13 @@ is what makes the Makefile smoke stage reproducible in CI.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.core.index import TILLIndex
 from repro.errors import LabelInvariantError
-from repro.fuzz.differential import Mismatch, check_index
+from repro.fuzz.differential import Mismatch, check_index, check_sharded_index
 from repro.fuzz.invariants import check_labels
 from repro.fuzz.profiles import PROFILES, FuzzCase, FuzzProfile, make_case
 from repro.fuzz.shrink import ShrunkFailure, shrink_failure
@@ -126,6 +127,28 @@ def run_fuzz(
         report.queries += (
             prof.span_queries + prof.theta_queries + prof.window_pairs
         )
+
+        if prof.shard_counts:
+            from repro.shard import ShardedTILLIndex
+            from repro.shard.partition import POLICIES
+
+            shard_rng = random.Random(f"shard:{prof.name}:{seed}")
+            sharded = ShardedTILLIndex.build(
+                case.graph,
+                num_shards=shard_rng.choice(prof.shard_counts),
+                policy=shard_rng.choice(POLICIES),
+                vartheta=case.vartheta,
+            )
+            mismatches.extend(
+                check_sharded_index(
+                    sharded,
+                    index,
+                    samples=prof.span_queries,
+                    seed=seed,
+                    theta_samples=prof.theta_queries,
+                )
+            )
+            report.queries += prof.span_queries + prof.theta_queries
         if mismatches:
             mismatch = mismatches[0]
             shrunk = shrink_failure(case, mismatch) if shrink else None

@@ -128,6 +128,17 @@ def _replay_call(mismatch: Mismatch) -> Tuple[str, str]:
             "from repro.fuzz.invariants import label_invariant_violations",
             "assert label_invariant_violations(index) == []",
         )
+    if mismatch.check.startswith("shard:"):
+        num_shards, policy, stitch_limit = (
+            mismatch.shard_config or (2, "equal-edges", 64)
+        )
+        return (
+            "from repro.fuzz.differential import check_sharded_query",
+            f"assert check_sharded_query(index, {mismatch.u!r}, "
+            f"{mismatch.v!r}, {mismatch.window!r}, "
+            f"theta={mismatch.theta!r}, num_shards={num_shards!r}, "
+            f"policy={policy!r}, stitch_limit={stitch_limit!r}) == []",
+        )
     if mismatch.check.startswith("span:"):
         return (
             "from repro.fuzz.differential import check_span_query",

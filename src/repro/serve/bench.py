@@ -2,7 +2,8 @@
 
 Records a reproducible performance baseline for the repo (build time,
 label size, scalar vs. batched vs. cached query throughput, the online
-fallback) and compares two recorded baselines so CI can gate on
+fallback, and a monolithic vs. time-sharded comparison on the largest
+dataset) and compares two recorded baselines so CI can gate on
 regressions (``repro bench --compare BASELINE.json --max-regression 10``).
 
 Protocol
@@ -56,6 +57,10 @@ HIGHER_IS_BETTER = frozenset({
     "cache_hit_rate",
     "min_batch_speedup",
     "mean_cache_hit_rate",
+    "parallel_build_speedup",
+    "sharded_contained_qps",
+    "sharded_straddle_qps",
+    "contained_vs_mono_ratio",
 })
 
 #: Cost-style metrics: a *rise* beyond tolerance is a regression.
@@ -64,6 +69,11 @@ LOWER_IS_BETTER = frozenset({
     "label_entries",
     "estimated_bytes",
     "total_build_seconds",
+    "mono_build_seconds",
+    "sharded_build_seconds_seq",
+    "sharded_build_seconds_parallel",
+    "sharded_label_entries",
+    "sharded_estimated_bytes",
 })
 
 
@@ -196,15 +206,107 @@ def bench_dataset(
     }
 
 
+def bench_sharded(
+    name: str,
+    seed: int = 0,
+    batch_size: int = 2000,
+    repeats: int = 3,
+    num_shards: int = 4,
+    jobs: int = 2,
+) -> Dict[str, Any]:
+    """Monolithic vs. time-sharded comparison on one dataset.
+
+    Measures the three build modes (monolithic, sharded sequential,
+    sharded parallel with *jobs* workers) and the serving batch over a
+    single-slice window through both backends — the window every query
+    of the batch routes ``contained``, so the ratio isolates planner
+    overhead — plus a small straddling window through the stitch path.
+    Sharded answers are asserted equal to monolithic answers on every
+    timed batch.
+    """
+    from repro.shard import ShardedTILLIndex
+
+    graph = load_dataset(name)
+    mono_build, mono = _timed(lambda: TILLIndex.build(graph), 1)
+    seq_build, _ = _timed(
+        lambda: ShardedTILLIndex.build(graph, num_shards=num_shards, jobs=1),
+        1,
+    )
+    par_build, sharded = _timed(
+        lambda: ShardedTILLIndex.build(
+            graph, num_shards=num_shards, jobs=jobs
+        ),
+        1,
+    )
+    stats = sharded.stats()
+
+    # Contained window: the busiest slice, so the whole batch routes
+    # through one shard.
+    busiest = max(sharded.partition.slices, key=lambda s: s.num_edges)
+    window = (busiest.t_start, busiest.t_end)
+    batch = make_serving_batch(graph, batch_size, 12, 60, seed)
+    sharded_engine = QueryEngine(sharded, cache_size=0)
+    mono_engine = QueryEngine(mono, cache_size=0)
+    contained_secs, sharded_answers = _timed(
+        lambda: sharded_engine.span_many(batch, window), repeats
+    )
+    mono_secs, mono_answers = _timed(
+        lambda: mono_engine.span_many(batch, window), repeats
+    )
+    assert sharded_answers == mono_answers, (
+        f"sharded/monolithic answer mismatch on {name} {window}"
+    )
+
+    # Straddling window: a few timestamps on each side of a middle
+    # slice boundary, answered by the contracted stitch.
+    boundary = sharded.partition.slices[
+        sharded.partition.num_shards // 2 - 1
+    ].t_end
+    straddle = (boundary - 2, boundary + 3)
+    straddle_batch = batch[: max(1, batch_size // 10)]
+    straddle_secs, straddle_answers = _timed(
+        lambda: sharded_engine.span_many(straddle_batch, straddle), repeats
+    )
+    assert straddle_answers == mono_engine.span_many(
+        straddle_batch, straddle
+    ), f"sharded/monolithic straddle mismatch on {name} {straddle}"
+
+    qps = lambda secs, n: (n / secs) if secs > 0 else float("inf")
+    contained_qps = qps(contained_secs, len(batch))
+    mono_qps = qps(mono_secs, len(batch))
+    return {
+        "num_shards": stats.num_shards,
+        "policy": stats.policy,
+        "jobs": jobs,
+        "mono_build_seconds": mono_build,
+        "sharded_build_seconds_seq": seq_build,
+        "sharded_build_seconds_parallel": par_build,
+        "parallel_build_speedup": mono_build / par_build,
+        "sharded_label_entries": stats.total_entries,
+        "sharded_estimated_bytes": stats.estimated_bytes,
+        "contained_window": list(window),
+        "sharded_contained_qps": contained_qps,
+        "mono_window_qps": mono_qps,
+        "contained_vs_mono_ratio": contained_qps / mono_qps,
+        "straddle_window": list(straddle),
+        "sharded_straddle_qps": qps(straddle_secs, len(straddle_batch)),
+    }
+
+
 def run_suite(
     smoke: bool = True,
     seed: int = 0,
     datasets: Optional[Sequence[str]] = None,
-    label: str = "PR2",
+    label: str = "PR3",
     batch_size: int = 2000,
     repeats: int = 3,
 ) -> Dict[str, Any]:
-    """Run the micro+macro suite and return the results document."""
+    """Run the micro+macro suite and return the results document.
+
+    The largest (last) dataset additionally runs the monolithic vs.
+    sharded comparison (:func:`bench_sharded`), recorded under the
+    top-level ``"sharded"`` key.
+    """
     names = list(datasets) if datasets else list(
         SMOKE_DATASETS if smoke else FULL_DATASETS
     )
@@ -213,6 +315,9 @@ def run_suite(
         per_dataset[name] = bench_dataset(
             name, seed=seed, batch_size=batch_size, repeats=repeats
         )
+    sharded = bench_sharded(
+        names[-1], seed=seed, batch_size=batch_size, repeats=repeats
+    )
     speedups = [m["batch_speedup"] for m in per_dataset.values()]
     hit_rates = [m["cache_hit_rate"] for m in per_dataset.values()]
     return {
@@ -226,12 +331,14 @@ def run_suite(
             "repeats": repeats,
         },
         "datasets": per_dataset,
+        "sharded": {"dataset": names[-1], **sharded},
         "summary": {
             "min_batch_speedup": min(speedups),
             "mean_cache_hit_rate": sum(hit_rates) / len(hit_rates),
             "total_build_seconds": sum(
                 m["build_seconds"] for m in per_dataset.values()
             ),
+            "parallel_build_speedup": sharded["parallel_build_speedup"],
         },
     }
 
@@ -279,6 +386,7 @@ def compare_results(
     for name, base_metrics in base_datasets.items():
         if name in now_datasets:
             check(name, now_datasets[name], base_metrics)
+    check("sharded", current.get("sharded", {}), baseline.get("sharded", {}))
     check("summary", current.get("summary", {}), baseline.get("summary", {}))
     return problems
 
@@ -301,6 +409,20 @@ def format_results(results: Dict[str, Any]) -> str:
             f"{m['cache_hit_rate']:.0%}), "
             f"theta batch {m['theta_batch_qps']:.0f} q/s, "
             f"online {m['online_span_qps']:.0f} q/s"
+        )
+    sharded = results.get("sharded")
+    if sharded:
+        lines.append(
+            f"  sharded[{sharded['dataset']}]: mono build "
+            f"{sharded['mono_build_seconds']:.2f}s vs "
+            f"{sharded['num_shards']} shards seq "
+            f"{sharded['sharded_build_seconds_seq']:.2f}s / "
+            f"jobs={sharded['jobs']} "
+            f"{sharded['sharded_build_seconds_parallel']:.2f}s "
+            f"({sharded['parallel_build_speedup']:.2f}x), "
+            f"contained {sharded['sharded_contained_qps']:.0f} q/s "
+            f"({sharded['contained_vs_mono_ratio']:.2f}x of mono), "
+            f"straddle {sharded['sharded_straddle_qps']:.0f} q/s"
         )
     summary = results["summary"]
     lines.append(

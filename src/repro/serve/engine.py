@@ -43,6 +43,7 @@ from repro.core.intervals import (
 )
 from repro.errors import InvalidIntervalError, UnsupportedIntervalError
 from repro.serve.cache import MISS, GenerationalLRUCache
+from repro.shard.sharded import ShardedTILLIndex
 
 Pair = Tuple[Any, Any]
 
@@ -91,11 +92,15 @@ class QueryEngine:
     Parameters
     ----------
     index:
-        A :class:`~repro.core.index.TILLIndex` or an
-        :class:`~repro.core.incremental.IncrementalTILLIndex`.  For the
-        latter the engine subscribes to the index's invalidation hook:
+        A :class:`~repro.core.index.TILLIndex`, an
+        :class:`~repro.core.incremental.IncrementalTILLIndex`, or a
+        :class:`~repro.shard.ShardedTILLIndex`.  For the incremental
+        backend the engine subscribes to the index's invalidation hook:
         every edge insert/removal bumps the cache generation so stale
-        answers are never served.
+        answers are never served.  For the sharded backend, cache
+        misses are routed in one bulk call so the window is planned
+        once and the batch runs grouped by shard; cache keys are
+        identical across all backends.
     cache_size:
         Capacity of the LRU result cache; ``0`` disables cross-call
         caching (batch-level dedup and amortization still apply).
@@ -117,6 +122,7 @@ class QueryEngine:
         cache_size: int = 4096,
     ):
         self._incremental = isinstance(index, IncrementalTILLIndex)
+        self._sharded = isinstance(index, ShardedTILLIndex)
         self.index = index
         self._cache = GenerationalLRUCache(cache_size)
         self._queries = 0
@@ -185,6 +191,8 @@ class QueryEngine:
                     "with a larger cap or pass fallback='online'"
                 )
             return self._span_batch_online(batch, window)
+        if self._sharded:
+            return self._span_batch_sharded(batch, window, prefilter)
         return self._span_batch_indexed(batch, window, prefilter)
 
     def theta_many(
@@ -220,6 +228,13 @@ class QueryEngine:
             )
         index = self.index
         index._check_support(theta)
+        if self._sharded:
+            if algorithm != "sliding":
+                raise InvalidIntervalError(
+                    "the sharded backend only implements the 'sliding' "
+                    "theta algorithm"
+                )
+            return self._theta_batch_sharded(batch, window, theta, prefilter)
         return self._theta_batch_indexed(batch, window, theta, kernel,
                                          prefilter)
 
@@ -264,7 +279,7 @@ class QueryEngine:
         """
         from repro.core.profiling import profile_workload
 
-        if self._incremental:
+        if self._incremental or self._sharded:
             raise TypeError(
                 "profile_many requires a plain TILLIndex backend"
             )
@@ -317,6 +332,66 @@ class QueryEngine:
             )
 
         return self._run_batch(batch, window, None, compute)
+
+    def _sharded_batch(self, batch, window, theta, prefilter,
+                       bulk) -> List[bool]:
+        """Cache-and-dedup driver for a sharded backend.
+
+        Misses are answered by ONE *bulk* call, which lets the
+        :class:`~repro.shard.ShardedTILLIndex` plan the window once and
+        group the whole batch by shard; cache keys stay
+        ``(u, v, ws, we, θ)``, unchanged from the monolithic backend,
+        so a cache warmed by one backend is valid for the other.
+        """
+        self._queries += len(batch)
+        cache = self._cache
+        ws, we = window.start, window.end
+        results: List[Optional[bool]] = [None] * len(batch)
+        pending: Dict[Tuple, List[int]] = {}
+        order: List[Tuple] = []
+        for k, (u, v) in enumerate(batch):
+            key = (u, v, ws, we, theta)
+            slots = pending.get(key)
+            if slots is not None:  # duplicate within this batch
+                slots.append(k)
+                continue
+            hit = cache.get(key)
+            if hit is not MISS:
+                results[k] = hit
+                self._tally("cache-hit")
+                continue
+            pending[key] = [k]
+            order.append(key)
+        if order:
+            answers = bulk([(key[0], key[1]) for key in order])
+            for key, answer in zip(order, answers):
+                cache.put(key, answer)
+                if theta is None and key[0] == key[1]:
+                    outcome = "same-vertex"
+                else:
+                    outcome = "reachable" if answer else "unreachable"
+                slots = pending[key]
+                self._tally(outcome, len(slots))
+                for k in slots:
+                    results[k] = answer
+        return results  # type: ignore[return-value]
+
+    def _span_batch_sharded(self, batch, window, prefilter) -> List[bool]:
+        return self._sharded_batch(
+            batch, window, None, prefilter,
+            lambda pairs: self.index.span_reachable_many(
+                pairs, window, prefilter=prefilter
+            ),
+        )
+
+    def _theta_batch_sharded(self, batch, window, theta,
+                             prefilter) -> List[bool]:
+        return self._sharded_batch(
+            batch, window, theta, prefilter,
+            lambda pairs: self.index.theta_reachable_many(
+                pairs, window, theta, prefilter=prefilter
+            ),
+        )
 
     def _span_batch_indexed(self, batch, window, prefilter) -> List[bool]:
         """The amortized fast path over a plain TILLIndex."""

@@ -1,0 +1,44 @@
+"""Time-sharded TILL indexing.
+
+Splits a temporal graph's lifetime into contiguous slices
+(:class:`TimePartitioner`), builds one capped TILL index per slice —
+in parallel when ``jobs >= 2`` (:class:`ShardedTILLIndex`) — and
+routes queries through a :class:`CrossShardPlanner`: contained windows
+to a single shard, straddling windows through a contracted-graph
+stitch over slice-boundary vertices, with online BFS as the verified
+fallback.
+"""
+
+from repro.shard.partition import (
+    POLICIES,
+    TimePartition,
+    TimePartitioner,
+    TimeSlice,
+)
+from repro.shard.planner import (
+    SPAN_ROUTES,
+    THETA_ROUTES,
+    CrossShardPlanner,
+    QueryPlan,
+)
+from repro.shard.sharded import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    ShardedIndexStats,
+    ShardedTILLIndex,
+)
+
+__all__ = [
+    "POLICIES",
+    "SPAN_ROUTES",
+    "THETA_ROUTES",
+    "MANIFEST_NAME",
+    "MANIFEST_SCHEMA",
+    "TimeSlice",
+    "TimePartition",
+    "TimePartitioner",
+    "QueryPlan",
+    "CrossShardPlanner",
+    "ShardedIndexStats",
+    "ShardedTILLIndex",
+]

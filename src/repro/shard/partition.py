@@ -1,0 +1,285 @@
+"""Splitting a temporal graph's timeline into contiguous slices.
+
+The TILL-Index is built over the whole edge stream, so build time and
+peak memory scale with the full graph even though a span query only
+ever touches a bounded window.  A :class:`TimePartitioner` cuts the
+lifetime ``[min_time, max_time]`` into ``K`` contiguous, non-overlapping
+time slices that tile the lifetime exactly; every temporal edge belongs
+to the unique slice containing its timestamp.  Two policies:
+
+``equal-edges`` (default)
+    Cut at edge-count quantiles so every slice carries roughly ``m/K``
+    edges.  Edges sharing a timestamp are never split across slices
+    (the cut is moved to the next distinct timestamp), so a heavily
+    repeated timestamp can make slices uneven — the per-slice stats
+    record the real counts.
+
+``equal-span``
+    Cut the lifetime into ``K`` ranges of (near-)equal length,
+    regardless of how many edges fall into each.  Slices may be empty;
+    they still tile the lifetime so window routing stays total.
+
+The resulting :class:`TimePartition` is a pure description of the cut
+— slice boundaries plus per-slice edge/timestamp statistics — and the
+routing oracle of the cross-shard query planner: it answers "which
+slice contains this window" and "which slices does this window
+overlap" with binary searches.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.intervals import Interval, IntervalLike, as_interval
+from repro.errors import IndexBuildError
+from repro.graph.temporal_graph import TemporalGraph
+
+POLICIES = ("equal-edges", "equal-span")
+
+
+@dataclass(frozen=True)
+class TimeSlice:
+    """One contiguous slice of the timeline with its edge statistics."""
+
+    shard: int
+    t_start: int
+    t_end: int
+    num_edges: int
+    num_timestamps: int  # distinct edge timestamps inside the slice
+
+    @property
+    def span(self) -> int:
+        """Number of atomic timestamps covered (``t_end - t_start + 1``)."""
+        return self.t_end - self.t_start + 1
+
+    def contains_time(self, t: int) -> bool:
+        return self.t_start <= t <= self.t_end
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.__dict__)
+
+
+class TimePartition:
+    """A contiguous tiling of a graph's lifetime into time slices.
+
+    Slices are sorted by time, non-overlapping, and cover
+    ``[t_min, t_max]`` exactly: ``slices[i+1].t_start ==
+    slices[i].t_end + 1``.  Construct via :meth:`TimePartitioner.partition`
+    or :meth:`from_bounds` (persistence reload).
+    """
+
+    def __init__(self, slices: Sequence[TimeSlice], policy: str):
+        if not slices:
+            raise IndexBuildError("a time partition needs at least one slice")
+        for prev, cur in zip(slices, slices[1:]):
+            if cur.t_start != prev.t_end + 1:
+                raise IndexBuildError(
+                    f"slices do not tile the lifetime: slice {prev.shard} "
+                    f"ends at {prev.t_end} but slice {cur.shard} starts at "
+                    f"{cur.t_start}"
+                )
+        self.slices: Tuple[TimeSlice, ...] = tuple(slices)
+        self.policy = policy
+        self._starts = [s.t_start for s in self.slices]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.slices)
+
+    @property
+    def t_min(self) -> int:
+        return self.slices[0].t_start
+
+    @property
+    def t_max(self) -> int:
+        return self.slices[-1].t_end
+
+    def clamp(self, window: IntervalLike) -> Optional[Interval]:
+        """*window* intersected with the partitioned lifetime, or
+        ``None`` when they are disjoint (no edge can fall in the
+        window)."""
+        win = as_interval(window)
+        lo = max(win.start, self.t_min)
+        hi = min(win.end, self.t_max)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def slice_of_time(self, t: int) -> int:
+        """Index of the slice containing timestamp *t* (which must lie
+        inside the lifetime)."""
+        if not self.t_min <= t <= self.t_max:
+            raise IndexBuildError(
+                f"timestamp {t} outside the partitioned lifetime "
+                f"[{self.t_min}, {self.t_max}]"
+            )
+        return bisect_right(self._starts, t) - 1
+
+    def slice_containing(self, window: IntervalLike) -> Optional[int]:
+        """Index of the single slice fully containing *window*, or
+        ``None`` when the window straddles a slice boundary or leaves
+        the lifetime."""
+        win = as_interval(window)
+        if win.start < self.t_min or win.end > self.t_max:
+            return None
+        k = bisect_right(self._starts, win.start) - 1
+        return k if win.end <= self.slices[k].t_end else None
+
+    def slices_overlapping(self, window: IntervalLike) -> Tuple[int, ...]:
+        """Indices of every slice sharing at least one timestamp with
+        *window* (empty when disjoint from the lifetime)."""
+        win = self.clamp(window)
+        if win is None:
+            return ()
+        lo = bisect_right(self._starts, win.start) - 1
+        hi = bisect_right(self._starts, win.end) - 1
+        return tuple(range(lo, hi + 1))
+
+    def assign_edges(
+        self, edges: Iterable[Tuple[Any, Any, int]]
+    ) -> List[List[Tuple[Any, Any, int]]]:
+        """Distribute *edges* into per-slice lists (input order kept).
+
+        Raises :class:`IndexBuildError` for an edge outside the
+        lifetime — the partition no longer describes that graph.
+        """
+        buckets: List[List[Tuple[Any, Any, int]]] = [
+            [] for _ in self.slices
+        ]
+        for u, v, t in edges:
+            buckets[self.slice_of_time(t)].append((u, v, t))
+        return buckets
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Manifest form: policy plus one dict per slice."""
+        return {
+            "policy": self.policy,
+            "num_shards": self.num_shards,
+            "t_min": self.t_min,
+            "t_max": self.t_max,
+            "slices": [s.as_dict() for s in self.slices],
+        }
+
+    @classmethod
+    def from_bounds(
+        cls,
+        bounds: Sequence[Tuple[int, int]],
+        graph: TemporalGraph,
+        policy: str = "unknown",
+    ) -> "TimePartition":
+        """Rebuild a partition from persisted slice bounds, recomputing
+        the per-slice statistics from *graph* (reload path)."""
+        counts = [0] * len(bounds)
+        stamps: List[set] = [set() for _ in bounds]
+        probe = cls(
+            [TimeSlice(i, lo, hi, 0, 0) for i, (lo, hi) in enumerate(bounds)],
+            policy,
+        )
+        for _u, _v, t in graph.edges():
+            k = probe.slice_of_time(t)
+            counts[k] += 1
+            stamps[k].add(t)
+        slices = [
+            TimeSlice(i, lo, hi, counts[i], len(stamps[i]))
+            for i, (lo, hi) in enumerate(bounds)
+        ]
+        return cls(slices, policy)
+
+    def __repr__(self) -> str:
+        return (
+            f"TimePartition(policy={self.policy!r}, shards={self.num_shards}, "
+            f"lifetime=[{self.t_min}, {self.t_max}])"
+        )
+
+
+class TimePartitioner:
+    """Computes a :class:`TimePartition` for a temporal graph.
+
+    Parameters
+    ----------
+    num_shards:
+        Requested slice count ``K >= 1``.  Fewer slices may be produced
+        when the graph has fewer distinct timestamps than ``K``.
+    policy:
+        ``"equal-edges"`` or ``"equal-span"`` (module docstring).
+    """
+
+    def __init__(self, num_shards: int, policy: str = "equal-edges"):
+        if num_shards < 1:
+            raise IndexBuildError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        if policy not in POLICIES:
+            known = ", ".join(POLICIES)
+            raise IndexBuildError(
+                f"unknown partition policy {policy!r}; known policies: {known}"
+            )
+        self.num_shards = num_shards
+        self.policy = policy
+
+    def partition(self, graph: TemporalGraph) -> TimePartition:
+        """Cut *graph*'s lifetime into (up to) ``num_shards`` slices."""
+        if graph.min_time is None:
+            raise IndexBuildError(
+                "cannot partition an edgeless graph: it has no lifetime"
+            )
+        times = sorted(t for _u, _v, t in graph.edges())
+        if self.policy == "equal-edges":
+            bounds = self._equal_edge_bounds(times)
+        else:
+            bounds = self._equal_span_bounds(times[0], times[-1])
+        return TimePartition(self._stat_slices(bounds, times), self.policy)
+
+    # ------------------------------------------------------------------
+
+    def _equal_edge_bounds(self, times: List[int]) -> List[Tuple[int, int]]:
+        m = len(times)
+        bounds: List[Tuple[int, int]] = []
+        lo = times[0]
+        cut = 0
+        for i in range(self.num_shards):
+            if cut >= m:
+                break
+            ideal = ((i + 1) * m + self.num_shards - 1) // self.num_shards
+            ideal = max(min(ideal, m), cut + 1)
+            # Never split a timestamp across slices: extend the cut past
+            # every edge sharing the boundary timestamp.
+            cut = bisect_right(times, times[ideal - 1])
+            hi = times[cut - 1] if i < self.num_shards - 1 else times[-1]
+            bounds.append((lo, hi))
+            lo = hi + 1
+        return bounds
+
+    def _equal_span_bounds(self, t_min: int, t_max: int) -> List[Tuple[int, int]]:
+        lifetime = t_max - t_min + 1
+        shards = min(self.num_shards, lifetime)
+        width = (lifetime + shards - 1) // shards
+        bounds: List[Tuple[int, int]] = []
+        lo = t_min
+        while lo <= t_max:
+            hi = min(lo + width - 1, t_max)
+            bounds.append((lo, hi))
+            lo = hi + 1
+        return bounds
+
+    def _stat_slices(
+        self, bounds: List[Tuple[int, int]], times: List[int]
+    ) -> List[TimeSlice]:
+        slices = []
+        for i, (lo, hi) in enumerate(bounds):
+            a = bisect_left(times, lo)
+            b = bisect_right(times, hi)
+            slices.append(
+                TimeSlice(
+                    shard=i,
+                    t_start=lo,
+                    t_end=hi,
+                    num_edges=b - a,
+                    num_timestamps=len(set(times[a:b])),
+                )
+            )
+        return slices

@@ -1,0 +1,173 @@
+"""The cross-shard query planner.
+
+Routes one span/θ window against a :class:`~repro.shard.partition.TimePartition`:
+
+``empty``
+    The window is disjoint from the partitioned lifetime — no edge can
+    possibly fall inside it, so the answer is ``u == v`` without
+    touching any shard.
+
+``contained``
+    The (clamped) window lies inside a single slice; the query goes
+    straight to that shard's TILL index, untouched.
+
+``stitch``
+    The window straddles a slice boundary.  The planner computes the
+    **boundary vertices** — vertices incident, inside the window, to
+    edges of at least two overlapped slices — and the sharded index
+    answers with a BFS over the *contracted graph* on
+    ``{u, v} ∪ boundary``, where an arc ``a → b`` exists whenever some
+    single shard certifies ``a`` span-reaches ``b`` inside its slice of
+    the window.  Soundness/completeness mirror the delta-buffer
+    argument of :class:`repro.core.incremental.IncrementalTILLIndex`:
+    span-reachability in a window is plain reachability over the
+    projected (static) graph of in-window edges, and any projected path
+    decomposes into maximal single-slice runs whose junction vertices
+    are, by definition, boundary vertices; each run is certified by its
+    slice's shard.  Every contracted arc conversely corresponds to a
+    real projected path.
+
+``fallback``
+    The window straddles but the boundary set exceeds ``stitch_limit``
+    — the ``O(|B|² · K)`` contracted search would cost more than it
+    saves, so the query is answered by the verified online BFS
+    (Algorithm 1) over the full graph.
+
+The planner is deliberately stateless about answers; it only decides
+*where* a query runs, which also makes it the batching key for
+:class:`repro.serve.QueryEngine` (one plan per batch window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.intervals import Interval, IntervalLike, as_interval
+from repro.graph.temporal_graph import TemporalGraph
+from repro.shard.partition import TimePartition
+
+#: Route names produced by :meth:`CrossShardPlanner.plan_span`.
+SPAN_ROUTES = ("empty", "contained", "stitch", "fallback")
+#: Route names produced by :meth:`CrossShardPlanner.plan_theta`.
+THETA_ROUTES = ("empty", "contained", "decompose")
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """Where one window's queries will be answered."""
+
+    route: str
+    #: The window clamped to the partitioned lifetime (``None`` for
+    #: ``empty`` routes).
+    window: Optional[Interval]
+    #: Indices of the shards involved (one for ``contained``, all
+    #: overlapped slices for ``stitch``/``fallback``).
+    shards: Tuple[int, ...] = ()
+    #: Internal vertex ids of the slice-boundary vertices (``stitch``
+    #: routes only).
+    boundary: Tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        """One-line human-readable summary (CLI output)."""
+        bits = [f"route={self.route}"]
+        if self.window is not None:
+            bits.append(f"window={self.window}")
+        if self.shards:
+            bits.append(
+                "shard=" + ",".join(str(k) for k in self.shards)
+            )
+        if self.route == "stitch":
+            bits.append(f"boundary={len(self.boundary)}")
+        return " ".join(bits)
+
+
+class CrossShardPlanner:
+    """Routes span/θ windows over a fixed partition.
+
+    Parameters
+    ----------
+    partition:
+        The timeline tiling.
+    shard_graphs:
+        One frozen slice subgraph per slice, aligned with
+        ``partition.slices`` — used for the boundary-vertex probes
+        (per-vertex "any edge in this subwindow?" binary searches).
+    stitch_limit:
+        Largest boundary set the contracted search will take on;
+        beyond it the plan degrades to ``fallback``.
+    """
+
+    def __init__(
+        self,
+        partition: TimePartition,
+        shard_graphs: Sequence[TemporalGraph],
+        stitch_limit: int = 64,
+    ):
+        if len(shard_graphs) != partition.num_shards:
+            raise ValueError(
+                f"expected {partition.num_shards} shard graphs, got "
+                f"{len(shard_graphs)}"
+            )
+        self.partition = partition
+        self.shard_graphs = list(shard_graphs)
+        self.stitch_limit = stitch_limit
+
+    # ------------------------------------------------------------------
+
+    def subwindow(self, shard: int, window: Interval) -> Interval:
+        """*window* clamped to *shard*'s slice (must overlap)."""
+        s = self.partition.slices[shard]
+        return Interval(max(window.start, s.t_start), min(window.end, s.t_end))
+
+    def plan_span(self, window: IntervalLike) -> QueryPlan:
+        """Route one span window (see the module docstring)."""
+        win = as_interval(window)
+        clamped = self.partition.clamp(win)
+        if clamped is None:
+            return QueryPlan("empty", None)
+        k = self.partition.slice_containing(clamped)
+        if k is not None:
+            return QueryPlan("contained", clamped, (k,))
+        shards = self.partition.slices_overlapping(clamped)
+        boundary = self.boundary_vertices(clamped, shards)
+        if len(boundary) > self.stitch_limit:
+            return QueryPlan("fallback", clamped, shards)
+        return QueryPlan("stitch", clamped, shards, boundary)
+
+    def plan_theta(self, window: IntervalLike, theta: int) -> QueryPlan:
+        """Route one θ query.
+
+        ``contained`` requires the *original* window inside one slice
+        (so the shard's sliding ES-Reach* answers it wholesale);
+        anything else decomposes into per-θ-subwindow span plans.
+        """
+        win = as_interval(window)
+        if self.partition.clamp(win) is None:
+            return QueryPlan("empty", None)
+        k = self.partition.slice_containing(win)
+        if k is not None:
+            return QueryPlan("contained", win, (k,))
+        return QueryPlan(
+            "decompose", self.partition.clamp(win),
+            self.partition.slices_overlapping(win),
+        )
+
+    # ------------------------------------------------------------------
+
+    def boundary_vertices(
+        self, window: Interval, shards: Tuple[int, ...]
+    ) -> Tuple[int, ...]:
+        """Vertices incident, inside *window*, to edges of ≥ 2 of the
+        given slices — the junction set of every cross-slice path."""
+        counts: Dict[int, int] = {}
+        for k in shards:
+            graph = self.shard_graphs[k]
+            sub = self.subwindow(k, window)
+            ws, we = sub.start, sub.end
+            for xi in range(graph.num_vertices):
+                if graph.has_out_edge_in(xi, ws, we) or graph.has_in_edge_in(
+                    xi, ws, we
+                ):
+                    counts[xi] = counts.get(xi, 0) + 1
+        return tuple(sorted(x for x, c in counts.items() if c >= 2))

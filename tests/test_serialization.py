@@ -88,6 +88,28 @@ class TestMismatchChecks:
         with pytest.raises(IndexBuildError, match="label mismatch"):
             TILLIndex.load(tmp_path / "x.till", g2)
 
+    def test_missing_edge_fingerprint_is_format_error(
+        self, tmp_path, paper_graph
+    ):
+        # save() always records meta["num_edges"]; a header without it
+        # is malformed, not merely mismatched.
+        index = TILLIndex.build(paper_graph)
+        path = tmp_path / "x.till"
+        with open(path, "wb") as fh:
+            dump_index(
+                fh, index.labels, index.order.order,
+                list(paper_graph.vertices()), None, {},  # meta lacks num_edges
+            )
+        with pytest.raises(IndexFormatError, match="num_edges"):
+            TILLIndex.load(path, paper_graph)
+
+    def test_edge_count_mismatch_names_both_counts(self, tmp_path):
+        g = random_graph(0, num_vertices=6, num_edges=12)
+        TILLIndex.build(g).save(tmp_path / "x.till")
+        g2 = random_graph(0, num_vertices=6, num_edges=13)
+        with pytest.raises(IndexBuildError, match=r"12.*13"):
+            TILLIndex.load(tmp_path / "x.till", g2)
+
     def test_unserializable_vertex_labels(self, tmp_path):
         g = TemporalGraph.from_edges([(object(), "b", 1)], freeze=True)
         index = TILLIndex.build(g)

@@ -105,6 +105,41 @@ class TestMinimalWindows:
         capped = TILLIndex.build(g, vartheta=3)
         assert minimal_windows(capped, "a", "c") == [Interval(1, 9)]
 
+    def test_same_vertex_rejected_even_for_unknown_window(self, triangle):
+        # The u == v rejection fires before any label work, so it also
+        # fires on a vartheta-capped index.
+        capped = TILLIndex.build(triangle, vartheta=1)
+        with pytest.raises(ValueError, match="u == v"):
+            minimal_windows(capped, "b", "b")
+
+    def test_vartheta_cap_exact_length_boundary(self):
+        # A minimal window of length exactly == cap sits right on the
+        # completeness boundary and must still be enumerated.
+        g = TemporalGraph.from_edges([("a", "b", 2), ("b", "c", 4)])
+        capped = TILLIndex.build(g, vartheta=3)
+        assert minimal_windows(capped, "a", "c") == [Interval(2, 4)]
+        # One tighter and the certificate no longer fits the cap; the
+        # hull is still discoverable (and correct) via concatenation.
+        tighter = TILLIndex.build(g, vartheta=2)
+        for w in minimal_windows(tighter, "a", "c"):
+            assert span_reaches_bruteforce(g, "a", "c", tuple(w))
+
+    def test_vartheta_cap_windows_always_sound(self):
+        # Capped enumeration may return a superset of the <= cap
+        # skyline (longer hulls), but everything returned must be a
+        # genuine reachability window and mutually incomparable.
+        g = random_graph(33, num_vertices=8, num_edges=25, max_time=7)
+        capped = TILLIndex.build(g, vartheta=2)
+        for u in range(0, 8, 2):
+            for v in range(1, 8, 2):
+                windows = minimal_windows(capped, u, v)
+                for w in windows:
+                    assert span_reaches_bruteforce(g, u, v, tuple(w))
+                for i, a in enumerate(windows):
+                    for b in windows[i + 1:]:
+                        assert not dominates_or_equal(tuple(a), tuple(b))
+                        assert not dominates_or_equal(tuple(b), tuple(a))
+
     def test_vartheta_cap_complete_within_cap(self):
         # Completeness guarantee: all minimal windows of length <= cap
         # are enumerated by a capped index.
