@@ -4,7 +4,7 @@ PYTHON ?= python
 # Make every target work from a plain checkout (no install needed).
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-smoke experiments examples verify fuzz-smoke fuzz shard-smoke clean
+.PHONY: install test bench bench-smoke experiments examples verify fuzz-smoke fuzz shard-smoke obs-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -14,6 +14,7 @@ test:
 	$(PYTHON) -m pytest tests/
 	$(MAKE) fuzz-smoke
 	$(MAKE) shard-smoke
+	$(MAKE) obs-smoke
 	$(MAKE) bench-smoke
 
 # Fixed-seed differential fuzzing smoke stage (<30 s): every answer
@@ -41,13 +42,33 @@ shard-smoke:
 	$(PYTHON) -m repro fuzz --profile sharded --seeds 12
 	$(PYTHON) -m repro shard-build chess --shards 4 --jobs 2
 
+# Telemetry smoke stage (<60 s): build + query a small graph with
+# metrics/trace export through every surfaced flag, then validate the
+# documents against the repro-metrics/1 and repro-trace/1 schemas.
+# Deterministic — safe for CI.
+obs-smoke:
+	$(PYTHON) -m repro build chess --progress \
+		--metrics-out obs_build_metrics.json \
+		--trace-out obs_build_trace.jsonl
+	$(PYTHON) -m repro query chess 5 40 0 900 \
+		--metrics-out obs_query_metrics.json \
+		--trace-out obs_query_trace.jsonl
+	$(PYTHON) -m repro stats chess --shards 3 --queries 200 \
+		--format prometheus --metrics-out obs_stats_metrics.json \
+		--trace-out obs_stats_trace.jsonl > /dev/null
+	$(PYTHON) -m repro.obs.validate \
+		obs_build_metrics.json obs_build_trace.jsonl \
+		obs_query_metrics.json obs_query_trace.jsonl \
+		obs_stats_metrics.json obs_stats_trace.jsonl
+
 # Seeded perf baseline (<60 s): build time, label size, scalar vs
-# batch vs cached query throughput, online fallback, and the
-# monolithic-vs-sharded build/query comparison.  Writes
-# BENCH_PR3.json; gate a change against a recorded baseline with
-#   python -m repro bench --smoke --compare BENCH_PR3.json --max-regression 15
+# batch vs cached query throughput, per-scenario latency percentiles,
+# the online fallback, the monolithic-vs-sharded build/query
+# comparison, and the telemetry-overhead scenario.  Writes
+# BENCH_PR4.json; gate a change against a recorded baseline with
+#   python -m repro bench --smoke --compare BENCH_PR4.json --max-regression 15
 bench-smoke:
-	$(PYTHON) -m repro bench --smoke -o BENCH_PR3.json
+	$(PYTHON) -m repro bench --smoke -o BENCH_PR4.json
 
 experiments:
 	$(PYTHON) -m repro experiment table2
@@ -67,4 +88,5 @@ verify:
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	rm -f obs_*_metrics.json obs_*_trace.jsonl
 	find . -name __pycache__ -type d -exec rm -rf {} +

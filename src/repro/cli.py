@@ -37,6 +37,21 @@ Subcommands
     query throughput, online fallback); writes a ``BENCH_*.json``
     results document and optionally gates on a recorded baseline
     (see :mod:`repro.serve.bench`).
+
+``repro stats SOURCE [--shards K] [--queries N] [--format F]``
+    Build an index with telemetry enabled, run a seeded query
+    workload through the serving engine, and print the resulting
+    metrics snapshot as text, JSON, or Prometheus exposition.
+
+Observability flags
+-------------------
+
+``build``, ``shard-build``, ``query``, ``shard-query``, ``bench``,
+and ``stats`` all accept ``--metrics-out FILE`` (JSON metrics
+snapshot, schema ``repro-metrics/1``) and ``--trace-out FILE``
+(JSON-lines span trace, schema ``repro-trace/1``); ``build`` and
+``shard-build`` also accept ``--progress`` for periodic progress
+lines on stderr.  See the Observability section of docs/usage.md.
 """
 
 from __future__ import annotations
@@ -79,6 +94,48 @@ def _parse_vertex(token: str):
         return token
 
 
+def _wants_telemetry(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "metrics_out", None)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "progress", False)
+    )
+
+
+def _make_telemetry(args: argparse.Namespace):
+    """A live :class:`repro.obs.Telemetry`, or None when no flag asks
+    for one — callees treat None as telemetry-off and skip all
+    instrument lookups."""
+    if not _wants_telemetry(args):
+        return None
+    from repro.obs import Telemetry
+
+    return Telemetry()
+
+
+def _make_progress(args: argparse.Namespace, telemetry, label: str,
+                   unit: str = "roots"):
+    if not getattr(args, "progress", False):
+        return None
+    from repro.obs import ProgressPrinter
+
+    tracer = telemetry.tracer if telemetry is not None else None
+    return ProgressPrinter(label, unit=unit, tracer=tracer)
+
+
+def _finish_telemetry(args: argparse.Namespace, telemetry) -> None:
+    if telemetry is None:
+        return
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    if metrics_out:
+        telemetry.write_metrics(metrics_out)
+        print(f"wrote metrics to {metrics_out}")
+    if trace_out:
+        telemetry.write_trace(trace_out)
+        print(f"wrote trace to {trace_out}")
+
+
 def cmd_datasets(args: argparse.Namespace) -> int:
     if args.export:
         from repro.datasets.export import export_datasets
@@ -108,11 +165,14 @@ def cmd_build(args: argparse.Namespace) -> int:
             stitch_limit=64,
         )
     graph = _load_source(args.source, directed=not args.undirected)
+    telemetry = _make_telemetry(args)
     index = TILLIndex.build(
         graph,
         vartheta=args.vartheta,
         method=args.method,
         ordering=args.ordering,
+        progress=_make_progress(args, telemetry, "build"),
+        telemetry=telemetry,
     )
     stats = index.stats()
     print(f"built TILL-Index for {args.source}")
@@ -124,6 +184,7 @@ def cmd_build(args: argparse.Namespace) -> int:
     if args.output:
         index.save(args.output)
         print(f"  saved to        {args.output}")
+    _finish_telemetry(args, telemetry)
     return 0
 
 
@@ -137,6 +198,7 @@ def _build_sharded(
     from repro.shard import ShardedTILLIndex
 
     graph = _load_source(args.source, directed=not args.undirected)
+    telemetry = _make_telemetry(args)
     index = ShardedTILLIndex.build(
         graph,
         num_shards=num_shards,
@@ -146,6 +208,9 @@ def _build_sharded(
         method=args.method,
         ordering=args.ordering,
         stitch_limit=stitch_limit,
+        progress=_make_progress(args, telemetry, "shard-build",
+                                unit="shards"),
+        telemetry=telemetry,
     )
     stats = index.stats()
     print(f"built sharded TILL-Index for {args.source}")
@@ -165,6 +230,7 @@ def _build_sharded(
     if args.output:
         index.save(args.output)
         print(f"  saved to        {args.output}")
+    _finish_telemetry(args, telemetry)
     return 0
 
 
@@ -184,11 +250,14 @@ def cmd_shard_query(args: argparse.Namespace) -> int:
     graph = _load_source(args.source, directed=not args.undirected)
     u, v = _parse_vertex(args.u), _parse_vertex(args.v)
     window = (args.t1, args.t2)
+    telemetry = _make_telemetry(args)
     if args.index:
-        index = ShardedTILLIndex.load(args.index, graph)
+        index = ShardedTILLIndex.load(args.index, graph,
+                                      telemetry=telemetry)
     else:
         index = ShardedTILLIndex.build(
-            graph, num_shards=args.shards, policy=args.policy, jobs=args.jobs
+            graph, num_shards=args.shards, policy=args.policy,
+            jobs=args.jobs, telemetry=telemetry,
         )
     if args.theta is None:
         plan = index.plan_span(window)
@@ -199,6 +268,7 @@ def cmd_shard_query(args: argparse.Namespace) -> int:
     kind = "span-reaches" if args.theta is None else f"{args.theta}-reaches"
     print(f"{u!r} {kind} {v!r} in [{args.t1}, {args.t2}]: {answer}")
     print(f"  plan: {plan.describe()}")
+    _finish_telemetry(args, telemetry)
     return 0 if answer else 1
 
 
@@ -206,26 +276,49 @@ def cmd_query(args: argparse.Namespace) -> int:
     graph = _load_source(args.source, directed=not args.undirected)
     u, v = _parse_vertex(args.u), _parse_vertex(args.v)
     window = (args.t1, args.t2)
+    telemetry = _make_telemetry(args)
     if args.online:
-        if args.theta is None:
-            answer = online_span_reachable(
-                graph, graph.index_of(u), graph.index_of(v), window
+        if telemetry is not None:
+            span = telemetry.tracer.span(
+                "query.online", theta=args.theta
             )
         else:
-            answer = online_theta_reachable(
-                graph, graph.index_of(u), graph.index_of(v), window, args.theta
-            )
+            span = None
+        try:
+            if args.theta is None:
+                answer = online_span_reachable(
+                    graph, graph.index_of(u), graph.index_of(v), window
+                )
+            else:
+                answer = online_theta_reachable(
+                    graph, graph.index_of(u), graph.index_of(v), window,
+                    args.theta,
+                )
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
     else:
         if args.index:
             index = TILLIndex.load(args.index, graph)
         else:
-            index = TILLIndex.build(graph)
-        if args.theta is None:
+            index = TILLIndex.build(graph, telemetry=telemetry)
+        if telemetry is not None:
+            # Route the scalar query through the serving engine so the
+            # snapshot carries the full outcome/latency instrument set.
+            from repro.serve.engine import QueryEngine
+
+            engine = QueryEngine(index, telemetry=telemetry)
+            if args.theta is None:
+                answer = engine.span_reachable(u, v, window)
+            else:
+                answer = engine.theta_reachable(u, v, window, args.theta)
+        elif args.theta is None:
             answer = index.span_reachable(u, v, window)
         else:
             answer = index.theta_reachable(u, v, window, args.theta)
     kind = "span-reaches" if args.theta is None else f"{args.theta}-reaches"
     print(f"{u!r} {kind} {v!r} in [{args.t1}, {args.t2}]: {answer}")
+    _finish_telemetry(args, telemetry)
     return 0 if answer else 1
 
 
@@ -297,8 +390,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.input:
         results = read_results(args.input)
         wrote = None
+        telemetry = None
     else:
         datasets = args.datasets.split(",") if args.datasets else None
+        telemetry = _make_telemetry(args)
         results = run_suite(
             smoke=args.smoke,
             seed=args.seed,
@@ -306,12 +401,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             label=args.label,
             batch_size=args.batch_size,
             repeats=args.repeats,
+            telemetry=telemetry,
         )
         wrote = args.output
         write_results(results, wrote)
     print(format_results(results))
     if wrote:
         print(f"wrote {wrote}")
+    _finish_telemetry(args, telemetry)
     if args.compare:
         baseline = read_results(args.compare)
         problems = compare_results(
@@ -328,6 +425,78 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"no regressions vs {args.compare} "
               f"(tolerance {args.max_regression:g}%)")
+    return 0
+
+
+def _render_metrics_text(snapshot) -> str:
+    """A terminal-friendly rendering of a ``repro-metrics/1`` doc."""
+    lines: List[str] = []
+    for name, metric in snapshot["metrics"].items():
+        head = f"{metric['kind']:<9} {name}"
+        if metric.get("help"):
+            head += f"  — {metric['help']}"
+        lines.append(head)
+        for series in metric["series"]:
+            labels = ",".join(
+                f"{k}={v}" for k, v in sorted(series["labels"].items())
+            )
+            tag = "{%s}" % labels if labels else "(no labels)"
+            if metric["kind"] == "histogram":
+                count = series["count"]
+                mean = series["sum"] / count if count else 0.0
+                lines.append(
+                    f"    {tag}  count={count}  mean={mean:.6g}  "
+                    f"max={series['max']:.6g}"
+                )
+            else:
+                lines.append(f"    {tag}  {series['value']:g}")
+    return "\n".join(lines)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import Telemetry
+    from repro.serve.bench import make_serving_batch
+    from repro.serve.engine import QueryEngine
+
+    telemetry = Telemetry()
+    graph = _load_source(args.source, directed=not args.undirected)
+    if args.shards:
+        from repro.shard import ShardedTILLIndex
+
+        index = ShardedTILLIndex.build(
+            graph, num_shards=args.shards, vartheta=args.vartheta,
+            telemetry=telemetry,
+        )
+    else:
+        index = TILLIndex.build(graph, vartheta=args.vartheta,
+                                telemetry=telemetry)
+    window = (graph.min_time, graph.max_time)
+    if args.vartheta is not None and not args.shards:
+        # Keep the demo workload inside the build-time ϑ cap.
+        window = (graph.min_time,
+                  min(graph.max_time, graph.min_time + args.vartheta))
+    engine = QueryEngine(index, telemetry=telemetry)
+    batch = make_serving_batch(graph, args.queries, hot_sources=12,
+                               target_pool=60, seed=args.seed)
+    engine.span_many(batch, window)
+    engine.span_many(batch, window)  # a second pass exercises the cache
+    theta = args.theta
+    if theta is None:
+        theta = max(1, (window[1] - window[0]) // 3 or 1)
+    engine.theta_many(batch, window, theta)
+
+    snapshot = telemetry.metrics.snapshot()
+    if args.format == "json":
+        import json
+
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    elif args.format == "prometheus":
+        print(telemetry.metrics.to_prometheus(), end="")
+    else:
+        print(f"telemetry for {args.source}: {args.queries} queries x 2 "
+              f"span passes + 1 theta pass (theta={theta})")
+        print(_render_metrics_text(snapshot))
+    _finish_telemetry(args, telemetry)
     return 0
 
 
@@ -351,6 +520,17 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         else:
             print("\n(no chart renderer for this experiment)")
     return 0
+
+
+def _add_obs_args(p: argparse.ArgumentParser,
+                  progress: bool = False) -> None:
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write a repro-metrics/1 JSON snapshot here")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a repro-trace/1 JSON-lines span trace here")
+    if progress:
+        p.add_argument("--progress", action="store_true",
+                       help="print periodic progress lines to stderr")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -383,6 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="build a time-sharded index with this many slices")
     p.add_argument("--jobs", type=int, default=1,
                    help="parallel shard-build workers (with --shards)")
+    _add_obs_args(p, progress=True)
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("query", help="answer one reachability query")
@@ -397,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--online", action="store_true",
                    help="use the index-free Algorithm 1")
     p.add_argument("--undirected", action="store_true")
+    _add_obs_args(p)
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
@@ -423,6 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ordering", default="degree-product")
     p.add_argument("--undirected", action="store_true",
                    help="treat an input file as undirected")
+    _add_obs_args(p, progress=True)
     p.set_defaults(func=cmd_shard_build)
 
     p = sub.add_parser(
@@ -444,6 +627,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="equal-edges")
     p.add_argument("--jobs", type=int, default=1)
     p.add_argument("--undirected", action="store_true")
+    _add_obs_args(p)
     p.set_defaults(func=cmd_shard_query)
 
     p = sub.add_parser(
@@ -494,9 +678,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small fixed suite (<60 s), suitable for CI")
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed (default 0)")
-    p.add_argument("-o", "--output", default="BENCH_PR3.json",
-                   help="results file (default BENCH_PR3.json)")
-    p.add_argument("--label", default="PR3",
+    p.add_argument("-o", "--output", default="BENCH_PR4.json",
+                   help="results file (default BENCH_PR4.json)")
+    p.add_argument("--label", default="PR4",
                    help="label recorded in the results document")
     p.add_argument("--datasets", help="comma-separated dataset override")
     p.add_argument("--batch-size", type=int, default=2000,
@@ -511,7 +695,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input", metavar="RESULTS.json",
                    help="compare an existing results file instead of "
                         "running the suite")
+    _add_obs_args(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "stats",
+        help="run a seeded workload with telemetry on and print the "
+             "metrics snapshot",
+    )
+    p.add_argument("source", help="dataset name or graph file")
+    p.add_argument("--shards", type=int, default=None,
+                   help="use a time-sharded index with this many slices")
+    p.add_argument("--vartheta", type=int, default=None,
+                   help="largest supported query-interval length")
+    p.add_argument("--queries", type=int, default=500,
+                   help="queries per workload pass (default 500)")
+    p.add_argument("--theta", type=int, default=None,
+                   help="theta for the theta-query pass (default: a third "
+                        "of the window)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload seed (default 0)")
+    p.add_argument("--format", choices=("text", "json", "prometheus"),
+                   default="text",
+                   help="snapshot rendering (default text)")
+    p.add_argument("--undirected", action="store_true")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("name", help="experiment id, or 'list'")

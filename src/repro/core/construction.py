@@ -39,6 +39,113 @@ from repro.graph.temporal_graph import TemporalGraph
 
 ProgressHook = Callable[[int, int], None]
 
+#: Work counters returned by one root/direction search:
+#: (entries emitted, covered prunes/rejections, stale pops,
+#:  ϑ-cap skips, queue/heap insertions).
+SearchCounts = Tuple[int, int, int, int, int]
+
+
+class _BuildObserver:
+    """Per-root telemetry recording shared by both builders.
+
+    Groups roots into ~32 tracer spans (``build.root-batch``) instead
+    of one span per root, so the trace of a million-vertex build stays
+    readable; counters and histograms are exact per root.
+    """
+
+    def __init__(self, telemetry, method: str, n: int):
+        from repro.obs.metrics import (
+            DEFAULT_SIZE_BUCKETS,
+            DEFAULT_TIME_BUCKETS,
+        )
+
+        m = telemetry.metrics
+        self.tracer = telemetry.tracer
+        self.roots = m.counter(
+            "build_roots_total", "Roots fully labeled (both directions)"
+        )
+        self.entries = m.counter(
+            "build_label_entries_total", "Canonical label entries emitted"
+        )
+        self.covered = m.counter(
+            "build_covered_prunes_total",
+            "Tuples discarded as covered by a higher-ranked hub (Lemma 8)",
+        )
+        self.stale = m.counter(
+            "build_stale_pops_total",
+            "Queue entries dominated after being enqueued",
+        )
+        self.cap_skips = m.counter(
+            "build_cap_skips_total",
+            "Expansions dropped by the vartheta length cap",
+        )
+        self.expansions = m.counter(
+            "build_expansions_total", "Skyline tuples enqueued for search"
+        )
+        self.root_seconds = m.histogram(
+            "build_root_seconds", DEFAULT_TIME_BUCKETS,
+            "Wall-clock seconds per root",
+        )
+        self.entries_per_root = m.histogram(
+            "build_entries_per_root", DEFAULT_SIZE_BUCKETS,
+            "Label entries emitted per root",
+        )
+        self.rate = m.gauge(
+            "build_roots_per_second", "Roots processed per second"
+        )
+        m.gauge("build_total_roots", "Roots in the vertex order").set(n)
+        self.method = method
+        self.n = n
+        self.batch = max(1, n // 32)
+        self._span = None
+        self._batch_entries = 0
+        self._started = time.perf_counter()
+        self._root_started = self._started
+
+    def root_started(self, rank: int) -> None:
+        if self.tracer and self._span is None:
+            self._span = self.tracer.span(
+                "build.root-batch", method=self.method, first=rank
+            )
+        self._root_started = time.perf_counter()
+
+    def root_finished(self, rank: int, counts: SearchCounts) -> None:
+        emitted, covered_n, stale, cap_skips, expansions = counts
+        self.roots.inc(method=self.method)
+        self.root_seconds.observe(
+            time.perf_counter() - self._root_started, method=self.method
+        )
+        self.entries_per_root.observe(emitted)
+        if emitted:
+            self.entries.inc(emitted)
+        if covered_n:
+            self.covered.inc(covered_n)
+        if stale:
+            self.stale.inc(stale)
+        if cap_skips:
+            self.cap_skips.inc(cap_skips)
+        if expansions:
+            self.expansions.inc(expansions)
+        self._batch_entries += emitted
+        done = rank + 1
+        if self._span is not None and (
+            done % self.batch == 0 or done == self.n
+        ):
+            self._span.attrs.update(
+                last=rank, entries=self._batch_entries
+            )
+            self._span.__exit__(None, None, None)
+            self._span = None
+            self._batch_entries = 0
+
+    def finished(self) -> None:
+        if self._span is not None:
+            self._span.__exit__(None, None, None)
+            self._span = None
+        elapsed = time.perf_counter() - self._started
+        if elapsed > 0:
+            self.rate.set(self.n / elapsed)
+
 
 class BuildBudgetExceeded(IndexBuildError):
     """Raised when construction overruns its wall-clock budget.
@@ -98,6 +205,7 @@ def build_labels_optimized(
     budget_seconds: Optional[float] = None,
     progress: Optional[ProgressHook] = None,
     prune_covered_subtrees: bool = True,
+    telemetry=None,
 ) -> TILLLabels:
     """Algorithm 3, ``TILL-Construct*``.
 
@@ -117,20 +225,42 @@ def build_labels_optimized(
         filters labels (output unchanged) but exploration continues
         through covered tuples.  Exists solely for the optimization-
         attribution ablation (experiment A4); leave ``True`` otherwise.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`: per-root work counters,
+        timing histograms and ``build.root-batch`` tracer spans.
+        ``None`` (default) records nothing.
     """
     _validate_build_inputs(graph, order, vartheta)
     labels = TILLLabels(graph.num_vertices, graph.directed)
     deadline = _Deadline(budget_seconds)
     n = len(order)
+    obs = (
+        _BuildObserver(telemetry, "optimized", n)
+        if telemetry is not None else None
+    )
     for root_rank, root in enumerate(order.order):
         deadline.check()
+        if obs is not None:
+            obs.root_started(root_rank)
+        emitted = covered_n = stale = cap_skips = expansions = 0
         for direction in _directions(graph):
-            _pruned_search(
+            counts = _pruned_search(
                 graph, labels, order, root_rank, root, direction, vartheta,
                 prune_covered_subtrees=prune_covered_subtrees,
             )
+            emitted += counts[0]
+            covered_n += counts[1]
+            stale += counts[2]
+            cap_skips += counts[3]
+            expansions += counts[4]
+        if obs is not None:
+            obs.root_finished(
+                root_rank, (emitted, covered_n, stale, cap_skips, expansions)
+            )
         if progress is not None:
             progress(root_rank + 1, n)
+    if obs is not None:
+        obs.finished()
     labels.finalize()
     return labels
 
@@ -144,12 +274,13 @@ def _pruned_search(
     direction: str,
     vartheta: Optional[int],
     prune_covered_subtrees: bool = True,
-) -> None:
+) -> SearchCounts:
     """One root, one direction of Algorithm 3 (lines 4-16).
 
     Pops tuples by increasing interval length (Lemma 7: each pop is an
     SRT), prunes covered subtrees (Lemma 8), appends canonical tuples to
-    the target-side labels.
+    the target-side labels.  Returns :data:`SearchCounts` work tallies
+    (cheap local increments, recorded unconditionally).
     """
     rank = order.rank
     root_side, target_side = _labels_for(labels, direction)
@@ -159,6 +290,7 @@ def _pruned_search(
     heap: List[Tuple[int, int, int, int, int]] = []  # (length, seq, v, ts, te)
     discovered: Dict[int, SkylineSet] = {}
     seq = 0
+    emitted = covered_n = stale = cap_skips = 0
 
     # Seed with the root's direct neighbors — the expansion of the
     # paper's special tuple ⟨u_i, +inf, -inf⟩.
@@ -176,19 +308,23 @@ def _pruned_search(
         _, _, v, ts, te = heappop(heap)
         sky = discovered[v]
         if (ts, te) not in sky:
+            stale += 1
             continue  # dominated after being pushed: stale heap entry
         window = Interval(ts, te)
         if covered(root_label, target_side[v], root_rank, window):
+            covered_n += 1
             if prune_covered_subtrees:
                 continue  # Lemma 8: the entire subtree is covered — prune
         else:
             target_side[v].append(root_rank, ts, te)
+            emitted += 1
         for w, t in adj(v):
             if rank[w] <= root_rank:
                 continue
             ns = ts if ts <= t else t
             ne = te if te >= t else t
             if vartheta is not None and ne - ns + 1 > vartheta:
+                cap_skips += 1
                 continue
             wsky = discovered.get(w)
             if wsky is None:
@@ -196,6 +332,7 @@ def _pruned_search(
             if wsky.add((ns, ne)):
                 heappush(heap, (ne - ns, seq, w, ns, ne))
                 seq += 1
+    return emitted, covered_n, stale, cap_skips, seq
 
 
 def build_labels_basic(
@@ -204,6 +341,7 @@ def build_labels_basic(
     vartheta: Optional[int] = None,
     budget_seconds: Optional[float] = None,
     progress: Optional[ProgressHook] = None,
+    telemetry=None,
 ) -> TILLLabels:
     """Algorithm 2 framework, ``TILL-Construct`` (the Fig. 6 baseline).
 
@@ -211,20 +349,35 @@ def build_labels_basic(
     queue and per-vertex skyline pruning only; phase two filters each
     SRT through a partial-index query and stores the survivors (the
     CRTs).  No covered-subtree termination, hence the large slowdown the
-    paper reports.
+    paper reports.  ``telemetry`` matches
+    :func:`build_labels_optimized` (covered prunes here count phase-two
+    CRT-filter rejections).
     """
     _validate_build_inputs(graph, order, vartheta)
     labels = TILLLabels(graph.num_vertices, graph.directed)
     deadline = _Deadline(budget_seconds)
     n = len(order)
+    obs = (
+        _BuildObserver(telemetry, "basic", n)
+        if telemetry is not None else None
+    )
     for root_rank, root in enumerate(order.order):
         deadline.check()
+        if obs is not None:
+            obs.root_started(root_rank)
+        totals = [0, 0, 0, 0, 0]
         for direction in _directions(graph):
-            _exhaustive_search(
+            counts = _exhaustive_search(
                 graph, labels, order, root_rank, root, direction, vartheta
             )
+            for i in range(5):
+                totals[i] += counts[i]
+        if obs is not None:
+            obs.root_finished(root_rank, tuple(totals))
         if progress is not None:
             progress(root_rank + 1, n)
+    if obs is not None:
+        obs.finished()
     labels.finalize()
     return labels
 
@@ -237,12 +390,13 @@ def _exhaustive_search(
     root: int,
     direction: str,
     vartheta: Optional[int],
-) -> None:
+) -> SearchCounts:
     """One root, one direction of the basic framework."""
     rank = order.rank
     root_side, target_side = _labels_for(labels, direction)
     root_label = root_side[root]
     adj = graph.out_adj if direction == "out" else graph.in_adj
+    stale = cap_skips = 0
 
     queue: List[Tuple[int, int, int]] = []  # FIFO of (v, ts, te)
     discovered: Dict[int, SkylineSet] = {}
@@ -258,6 +412,7 @@ def _exhaustive_search(
         v, ts, te = queue[head]
         head += 1
         if (ts, te) not in discovered[v]:
+            stale += 1
             continue  # dominated since being queued
         for w, t in adj(v):
             if rank[w] <= root_rank:
@@ -265,6 +420,7 @@ def _exhaustive_search(
             ns = ts if ts <= t else t
             ne = te if te >= t else t
             if vartheta is not None and ne - ns + 1 > vartheta:
+                cap_skips += 1
                 continue
             wsky = discovered.setdefault(w, SkylineSet())
             if wsky.add((ns, ne)):
@@ -279,10 +435,15 @@ def _exhaustive_search(
         for iv in sky
     ]
     srts.sort()
+    emitted = covered_n = 0
     for _, v, ts, te in srts:
         window = Interval(ts, te)
         if not covered(root_label, target_side[v], root_rank, window):
             target_side[v].append(root_rank, ts, te)
+            emitted += 1
+        else:
+            covered_n += 1
+    return emitted, covered_n, stale, cap_skips, len(queue)
 
 
 def _validate_build_inputs(

@@ -114,6 +114,7 @@ class TILLIndex:
         method: str = "optimized",
         budget_seconds: Optional[float] = None,
         progress=None,
+        telemetry=None,
     ) -> "TILLIndex":
         """Build a TILL-Index.
 
@@ -133,13 +134,28 @@ class TILLIndex:
         budget_seconds:
             Wall-clock cutoff; raises
             :class:`~repro.core.construction.BuildBudgetExceeded`.
+        telemetry:
+            Optional :class:`repro.obs.Telemetry`: phase timings
+            (ordering / labels), per-root work counters and
+            ``build.root-batch`` tracer spans (see ``docs/usage.md``,
+            "Observability").
         """
         if not graph.frozen:
             graph.freeze()
+        phase_gauge = None
+        if telemetry is not None:
+            phase_gauge = telemetry.metrics.gauge(
+                "build_phase_seconds", "Wall-clock seconds per build phase"
+            )
+        ordering_started = time.perf_counter()
         if isinstance(ordering, VertexOrder):
             order, ordering_name = ordering, "custom"
         else:
             order, ordering_name = make_order(graph, ordering), ordering
+        if phase_gauge is not None:
+            phase_gauge.set(
+                time.perf_counter() - ordering_started, phase="ordering"
+            )
         try:
             builder = BUILDERS[method]
         except KeyError:
@@ -148,14 +164,33 @@ class TILLIndex:
                 f"unknown build method {method!r}; known methods: {known}"
             ) from None
         started = time.perf_counter()
-        labels = builder(
-            graph,
-            order,
-            vartheta=vartheta,
-            budget_seconds=budget_seconds,
-            progress=progress,
-        )
+        if telemetry is not None:
+            with telemetry.tracer.span(
+                "build", method=method, ordering=ordering_name,
+                vertices=graph.num_vertices, edges=graph.num_edges,
+            ):
+                labels = builder(
+                    graph,
+                    order,
+                    vartheta=vartheta,
+                    budget_seconds=budget_seconds,
+                    progress=progress,
+                    telemetry=telemetry,
+                )
+        else:
+            labels = builder(
+                graph,
+                order,
+                vartheta=vartheta,
+                budget_seconds=budget_seconds,
+                progress=progress,
+            )
         elapsed = time.perf_counter() - started
+        if phase_gauge is not None:
+            phase_gauge.set(elapsed, phase="labels")
+            telemetry.metrics.gauge(
+                "build_seconds", "Wall-clock seconds of the whole build"
+            ).set(time.perf_counter() - ordering_started)
         return cls(
             graph,
             order,

@@ -11,22 +11,32 @@ against the production path by tests (identical answers always).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.index import TILLIndex
-from repro.core.intervals import Interval, IntervalLike, as_interval, first_contained
+from repro.core.intervals import (
+    Interval,
+    IntervalLike,
+    as_interval,
+    first_contained,
+    validate_theta_window,
+)
 from repro.core.labels import LabelSet
+from repro.core.queries import _group_index
 
 
 @dataclass
 class QueryProfile:
-    """Work counters for one span query."""
+    """Work counters for one span (or θ) query."""
 
     answer: bool = False
     outcome: str = ""  # same-vertex / prefilter / target-hub / source-hub
     #                    / common-hub / unreachable
     hubs_compared: int = 0
     containment_checks: int = 0
+    #: θ queries only: label intervals scanned inside contained runs
+    #: (the while-loops of Algorithm 5's conditions (1)-(3)).
+    intervals_scanned: int = 0
     out_label_entries: int = 0
     in_label_entries: int = 0
 
@@ -43,6 +53,7 @@ class WorkloadProfile:
     positive: int = 0
     hubs_compared: int = 0
     containment_checks: int = 0
+    intervals_scanned: int = 0
     outcomes: Dict[str, int] = field(default_factory=dict)
 
     def add(self, profile: QueryProfile) -> None:
@@ -50,6 +61,7 @@ class WorkloadProfile:
         self.positive += int(profile.answer)
         self.hubs_compared += profile.hubs_compared
         self.containment_checks += profile.containment_checks
+        self.intervals_scanned += profile.intervals_scanned
         self.outcomes[profile.outcome] = self.outcomes.get(profile.outcome, 0) + 1
 
     @property
@@ -131,13 +143,141 @@ def profile_span_query(
     return profile
 
 
+def _group_within_theta_counted(
+    label: LabelSet, gi: int, window: Interval, theta: int,
+    profile: QueryProfile,
+) -> bool:
+    """Counted mirror of :func:`repro.core.queries._group_within_theta`
+    (θ-conditions (1)/(2))."""
+    profile.containment_checks += 1
+    lo, hi = label.offsets[gi], label.offsets[gi + 1]
+    starts, ends = label.starts, label.ends
+    k = first_contained(starts, ends, lo, hi, window)
+    if k < 0:
+        return False
+    we = window.end
+    while k < hi and ends[k] <= we:
+        profile.intervals_scanned += 1
+        if ends[k] - starts[k] + 1 <= theta:
+            return True
+        k += 1
+    return False
+
+
+def _sliding_window_pair_counted(
+    out_label: LabelSet, gi: int, in_label: LabelSet, gj: int,
+    window: Interval, theta: int, profile: QueryProfile,
+) -> bool:
+    """Counted mirror of
+    :func:`repro.core.queries._sliding_window_pair` (θ-condition (3))."""
+    o_lo, o_hi = out_label.offsets[gi], out_label.offsets[gi + 1]
+    i_lo, i_hi = in_label.offsets[gj], in_label.offsets[gj + 1]
+    os_, oe = out_label.starts, out_label.ends
+    is_, ie = in_label.starts, in_label.ends
+    profile.containment_checks += 2
+    k = first_contained(os_, oe, o_lo, o_hi, window)
+    kp = first_contained(is_, ie, i_lo, i_hi, window)
+    if k < 0 or kp < 0:
+        return False
+    we = window.end
+    while k < o_hi and kp < i_hi and oe[k] <= we and ie[kp] <= we:
+        profile.intervals_scanned += 1
+        span = max(oe[k], ie[kp]) - min(os_[k], is_[kp]) + 1
+        if span <= theta:
+            return True
+        if os_[k] <= is_[kp]:
+            k += 1
+        else:
+            kp += 1
+    return False
+
+
+def profile_theta_query(
+    index: TILLIndex,
+    u,
+    v,
+    interval: IntervalLike,
+    theta: int,
+    prefilter: bool = True,
+) -> QueryProfile:
+    """Algorithm 5 (``ES-Reach*``) with work counters; answers match
+    :meth:`TILLIndex.theta_reachable` exactly (tested).
+
+    Validation mirrors the facade: ``theta`` must be positive, fit in
+    the window, and respect a build-time ϑ cap.
+    """
+    window = validate_theta_window(as_interval(interval), theta)
+    index._check_support(theta)
+    graph = index.graph
+    rank = index.order.rank
+    ui = graph.index_of(u)
+    vi = graph.index_of(v)
+    profile = QueryProfile()
+    out_label = index.labels.out_labels[ui]
+    in_label = index.labels.in_labels[vi]
+    profile.out_label_entries = out_label.num_entries
+    profile.in_label_entries = in_label.num_entries
+
+    if ui == vi:
+        profile.answer, profile.outcome = True, "same-vertex"
+        return profile
+    if prefilter and not (
+        graph.has_out_edge_in(ui, window.start, window.end)
+        and graph.has_in_edge_in(vi, window.start, window.end)
+    ):
+        profile.answer, profile.outcome = False, "prefilter"
+        return profile
+    gi = _group_index(out_label, rank[vi])
+    if gi >= 0 and _group_within_theta_counted(
+        out_label, gi, window, theta, profile
+    ):
+        profile.answer, profile.outcome = True, "target-hub"
+        return profile
+    gj = _group_index(in_label, rank[ui])
+    if gj >= 0 and _group_within_theta_counted(
+        in_label, gj, window, theta, profile
+    ):
+        profile.answer, profile.outcome = True, "source-hub"
+        return profile
+    a_hubs, b_hubs = out_label.hub_ranks, in_label.hub_ranks
+    i = j = 0
+    while i < len(a_hubs) and j < len(b_hubs):
+        profile.hubs_compared += 1
+        ha, hb = a_hubs[i], b_hubs[j]
+        if ha < hb:
+            i += 1
+        elif ha > hb:
+            j += 1
+        else:
+            if _sliding_window_pair_counted(
+                out_label, i, in_label, j, window, theta, profile
+            ):
+                profile.answer, profile.outcome = True, "common-hub"
+                return profile
+            i += 1
+            j += 1
+    profile.answer, profile.outcome = False, "unreachable"
+    return profile
+
+
 def profile_workload(
     index: TILLIndex,
     queries: Iterable[Tuple],
     prefilter: bool = True,
+    theta: Optional[int] = None,
 ) -> WorkloadProfile:
-    """Profile a batch of ``(u, v, interval)`` queries."""
+    """Profile a batch of ``(u, v, interval)`` queries.
+
+    With ``theta`` set, every query is profiled through the θ path
+    (:func:`profile_theta_query`) instead of the span path.
+    """
     aggregate = WorkloadProfile()
     for u, v, interval in queries:
-        aggregate.add(profile_span_query(index, u, v, interval, prefilter))
+        if theta is None:
+            profile = profile_span_query(index, u, v, interval, prefilter)
+        else:
+            profile = profile_theta_query(
+                index, u, v, interval, theta, prefilter
+            )
+        aggregate.add(profile)
     return aggregate

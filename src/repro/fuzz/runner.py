@@ -83,12 +83,16 @@ def run_fuzz(
     shrink: bool = True,
     fail_fast: bool = False,
     log: Optional[LogHook] = None,
+    telemetry=None,
 ) -> FuzzReport:
     """Run a deterministic fuzz campaign; see the module docstring.
 
     ``profile`` names an entry of :data:`repro.fuzz.profiles.PROFILES`
     or is a :class:`FuzzProfile` instance; case seeds are
-    ``base_seed .. base_seed + seeds - 1``.
+    ``base_seed .. base_seed + seeds - 1``.  ``telemetry`` (a
+    :class:`repro.obs.Telemetry`) records one ``fuzz.case`` tracer
+    span per case plus campaign counters
+    (``fuzz_cases_total``/``fuzz_queries_total``/``fuzz_failures_total``).
     """
     if isinstance(profile, FuzzProfile):
         prof = profile
@@ -100,11 +104,28 @@ def run_fuzz(
             raise ValueError(
                 f"unknown fuzz profile {profile!r}; known profiles: {known}"
             ) from None
+    obs_cases = obs_queries = obs_failures = None
+    if telemetry is not None:
+        m = telemetry.metrics
+        obs_cases = m.counter("fuzz_cases_total", "Fuzz cases executed")
+        obs_queries = m.counter(
+            "fuzz_queries_total", "Differential queries cross-checked"
+        )
+        obs_failures = m.counter(
+            "fuzz_failures_total", "Cases with at least one mismatch"
+        )
     report = FuzzReport(profile=prof.name, base_seed=base_seed)
     for seed in range(base_seed, base_seed + seeds):
         case = make_case(prof, seed)
         if log is not None:
             log(f"case {case.description}")
+        case_span = (
+            telemetry.tracer.span(
+                "fuzz.case", profile=prof.name, seed=seed
+            )
+            if telemetry is not None and telemetry.tracer else None
+        )
+        queries_before = report.queries
         index = TILLIndex.build(case.graph, vartheta=case.vartheta)
         report.cases += 1
 
@@ -149,7 +170,18 @@ def run_fuzz(
                 )
             )
             report.queries += prof.span_queries + prof.theta_queries
+        if case_span is not None:
+            case_span.attrs.update(
+                mismatches=len(mismatches),
+                queries=report.queries - queries_before,
+            )
+            case_span.__exit__(None, None, None)
+        if obs_cases is not None:
+            obs_cases.inc(profile=prof.name)
+            obs_queries.inc(report.queries - queries_before)
         if mismatches:
+            if obs_failures is not None:
+                obs_failures.inc(profile=prof.name)
             mismatch = mismatches[0]
             shrunk = shrink_failure(case, mismatch) if shrink else None
             failure = FuzzFailure(case=case, mismatch=mismatch, shrunk=shrunk)

@@ -1,0 +1,77 @@
+"""Throttled progress reporting on top of the span tracer.
+
+Long index builds used to be silent: :func:`build_labels_optimized`
+has always exposed a ``progress(done, total)`` hook, but nothing in
+the CLI consumed it.  :class:`ProgressPrinter` is that consumer — it
+is *itself* a valid progress hook, records every milestone as a tracer
+event (so the trace file shows build progress over time), and prints a
+throttled human-readable line so a terminal isn't flooded by one line
+per root on a million-vertex graph.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+from repro.obs.trace import NullTracer, SpanTracer
+
+
+class ProgressPrinter:
+    """A ``progress(done, total)`` hook that prints and traces.
+
+    Parameters
+    ----------
+    label:
+        What is progressing (``"build"``, ``"shard-build"``); prefixes
+        every printed line and names the tracer events.
+    unit:
+        The unit of *done*/*total* (``"roots"``, ``"shards"``).
+    tracer:
+        Optional :class:`SpanTracer`; every *printed* milestone is also
+        recorded as a ``<label>.progress`` event.
+    min_interval:
+        Minimum seconds between printed lines (the first and the final
+        milestone always print).
+    """
+
+    def __init__(
+        self,
+        label: str,
+        unit: str = "roots",
+        tracer: Optional[SpanTracer] = None,
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.5,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.label = label
+        self.unit = unit
+        self.tracer = NullTracer() if tracer is None else tracer
+        self.stream = sys.stderr if stream is None else stream
+        self.min_interval = min_interval
+        self._clock = clock
+        self._started = clock()
+        self._last_printed: Optional[float] = None
+        self.lines_printed = 0
+
+    def __call__(self, done: int, total: int) -> None:
+        now = self._clock()
+        if (self._last_printed is not None and done < total
+                and now - self._last_printed < self.min_interval):
+            return
+        self._last_printed = now
+        elapsed = now - self._started
+        rate = done / elapsed if elapsed > 0 else 0.0
+        if self.tracer:
+            self.tracer.event(
+                f"{self.label}.progress", done=done, total=total,
+                elapsed=elapsed,
+            )
+        pct = 100.0 * done / total if total else 100.0
+        print(
+            f"{self.label}: {done}/{total} {self.unit} ({pct:.0f}%, "
+            f"{rate:.0f} {self.unit}/s)",
+            file=self.stream,
+        )
+        self.lines_printed += 1

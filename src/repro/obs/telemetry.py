@@ -1,0 +1,61 @@
+"""The telemetry bundle handed through the layers.
+
+Every instrumented component — :meth:`TILLIndex.build`,
+:class:`~repro.serve.QueryEngine`, :class:`~repro.shard.ShardedTILLIndex`,
+:func:`repro.fuzz.run_fuzz` — takes one optional ``telemetry``
+argument.  ``None`` (the default) disables instrumentation entirely:
+hot paths guard every recording with a single truthy check, so the
+disabled cost is one attribute load and branch.
+
+A :class:`Telemetry` couples a :class:`~repro.obs.metrics.MetricsRegistry`
+with a :class:`~repro.obs.trace.SpanTracer` so call sites don't thread
+two objects.  Either half can be swapped — pass ``tracer=NULL_TRACER``
+to keep the counters but drop the event stream (the bench overhead
+scenario measures both configurations).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, SpanTracer
+
+
+class Telemetry:
+    """A metrics registry plus a span tracer, moved as one unit."""
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Union[SpanTracer, NullTracer]] = None,
+    ):
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        self.tracer = SpanTracer() if tracer is None else tracer
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def write_metrics(self, path) -> None:
+        """Write the metrics snapshot as a JSON document to *path*."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.metrics.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def write_trace(self, path) -> None:
+        """Write the recorded trace as JSON lines to *path* (no-op
+        tracer writes a header-only file)."""
+        if isinstance(self.tracer, NullTracer):
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(
+                    {"type": "header", "schema": "repro-trace/1",
+                     "events": 0}, sort_keys=True) + "\n")
+            return
+        self.tracer.write(path)

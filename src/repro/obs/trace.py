@@ -1,0 +1,222 @@
+"""Nested timed spans recorded as JSON-lines events.
+
+A :class:`SpanTracer` records *where time went* with structure the
+flat metrics registry cannot express: a ``build`` span contains
+``root-batch`` spans; a ``query-batch`` span contains the route
+decision and the cache/index/online path that answered it.  Events are
+plain dicts, written as one JSON object per line (schema
+``repro-trace/1``) so they stream, concatenate, and grep.
+
+The disabled configuration is :data:`NULL_TRACER` (or ``None``): a
+strict no-op whose ``span()`` returns one reusable empty context
+manager, so instrumented hot paths pay only a truthy check —
+
+    if tracer:
+        tracer.event("route", route=plan.route)
+
+``bool(NULL_TRACER)`` is ``False`` and ``bool(SpanTracer())`` is
+``True``; nothing else about the two types differs in surface API.
+
+Event shapes
+------------
+
+Span (emitted when the span *closes*)::
+
+    {"type": "span", "name": ..., "id": N, "parent": N|null,
+     "depth": D, "start": seconds-since-tracer-creation,
+     "dur": seconds, "attrs": {...}}
+
+Instant event::
+
+    {"type": "event", "name": ..., "id": N, "parent": N|null,
+     "depth": D, "at": seconds-since-tracer-creation, "attrs": {...}}
+
+The first line written by :meth:`SpanTracer.write` is a header::
+
+    {"type": "header", "schema": "repro-trace/1", "events": N}
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional, Union
+
+TRACE_SCHEMA = "repro-trace/1"
+
+Sink = Callable[[Dict[str, Any]], None]
+
+
+class _SpanHandle:
+    """Context manager for one open span; records the event on exit."""
+
+    __slots__ = ("_tracer", "_name", "_id", "_parent", "_depth", "_start",
+                 "attrs")
+
+    def __init__(self, tracer: "SpanTracer", name: str, span_id: int,
+                 parent: Optional[int], depth: int, start: float,
+                 attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._id = span_id
+        self._parent = parent
+        self._depth = depth
+        self._start = start
+        self.attrs = attrs
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._close(self)
+        return None
+
+
+class _NullSpan:
+    """The reusable no-op context manager handed out by NullTracer."""
+
+    __slots__ = ("attrs",)
+
+    def __init__(self):
+        self.attrs: Dict[str, Any] = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.attrs.clear()
+        return None
+
+
+class NullTracer:
+    """The disabled tracer: falsy, allocation-free, does nothing."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self):
+        self._span = _NullSpan()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return self._span
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        return []
+
+
+#: The shared disabled tracer.  ``if tracer:`` is the whole dispatch.
+NULL_TRACER = NullTracer()
+
+
+class SpanTracer:
+    """Records nested spans and instant events (see module docstring).
+
+    Parameters
+    ----------
+    sink:
+        Optional callable invoked with every event dict as it is
+        recorded — live streaming (the CLI's ``--progress`` printer)
+        without waiting for :meth:`write`.
+    clock:
+        Override for tests; defaults to :func:`time.perf_counter`.
+    """
+
+    def __init__(self, sink: Optional[Sink] = None,
+                 clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self._sink = sink
+        self._stack: List[_SpanHandle] = []
+        self._next_id = 1
+        self.events: List[Dict[str, Any]] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a nested span; use as a context manager."""
+        parent = self._stack[-1]._id if self._stack else None
+        handle = _SpanHandle(
+            self, name, self._next_id, parent, len(self._stack),
+            self._now(), dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(handle)
+        return handle
+
+    def _close(self, handle: _SpanHandle) -> None:
+        # Pop through abandoned children so a leaked handle cannot
+        # corrupt the ancestry of later spans.
+        while self._stack and self._stack[-1] is not handle:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        now = self._now()
+        self._record({
+            "type": "span",
+            "name": handle._name,
+            "id": handle._id,
+            "parent": handle._parent,
+            "depth": handle._depth,
+            "start": handle._start,
+            "dur": now - handle._start,
+            "attrs": handle.attrs,
+        })
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record one instant event under the currently open span."""
+        parent = self._stack[-1]._id if self._stack else None
+        self._record({
+            "type": "event",
+            "name": name,
+            "id": self._next_id,
+            "parent": parent,
+            "depth": len(self._stack),
+            "at": self._now(),
+            "attrs": dict(attrs),
+        })
+        self._next_id += 1
+
+    def _record(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+        if self._sink is not None:
+            self._sink(event)
+
+    # ------------------------------------------------------------------
+
+    def write(self, path: Union[str, "object"]) -> None:
+        """Write header + events as JSON lines to *path*."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(
+                {"type": "header", "schema": TRACE_SCHEMA,
+                 "events": len(self.events)},
+                sort_keys=True,
+            ) + "\n")
+            for event in self.events:
+                fh.write(json.dumps(event, sort_keys=True, default=str)
+                         + "\n")
+
+
+def read_trace(path) -> List[Dict[str, Any]]:
+    """Read a JSON-lines trace file back (header line excluded)."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if event.get("type") != "header":
+                events.append(event)
+    return events

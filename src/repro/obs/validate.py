@@ -1,0 +1,204 @@
+"""Schema validation for exported telemetry documents.
+
+``repro ... --metrics-out`` / ``--trace-out`` promise machine-readable
+output; this module is the machine that holds them to it.  Used by the
+``make obs-smoke`` CI stage (``python -m repro.obs.validate FILE...``)
+and by the test suite.
+
+Validators return a list of problem strings — empty means valid — so
+callers can report everything wrong at once instead of failing on the
+first field.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Sequence
+
+from repro.obs.metrics import METRICS_SCHEMA
+from repro.obs.trace import TRACE_SCHEMA
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def validate_metrics_doc(doc: Any) -> List[str]:
+    """Problems with a ``repro-metrics/1`` document (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != METRICS_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {METRICS_SCHEMA!r}"
+        )
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("'metrics' is missing or not an object")
+        return problems
+    for name, entry in metrics.items():
+        where = f"metric {name!r}"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: entry is not an object")
+            continue
+        kind = entry.get("kind")
+        if kind not in _KINDS:
+            problems.append(f"{where}: unknown kind {kind!r}")
+            continue
+        series = entry.get("series")
+        if not isinstance(series, list):
+            problems.append(f"{where}: 'series' is missing or not a list")
+            continue
+        if kind == "histogram":
+            buckets = entry.get("buckets")
+            if (not isinstance(buckets, list) or not buckets
+                    or any(b2 <= b1 for b1, b2 in zip(buckets, buckets[1:]))):
+                problems.append(
+                    f"{where}: histogram buckets missing or not strictly "
+                    "increasing"
+                )
+                continue
+        for i, s in enumerate(series):
+            at = f"{where} series[{i}]"
+            if not isinstance(s, dict) or not isinstance(
+                s.get("labels"), dict
+            ):
+                problems.append(f"{at}: missing 'labels' object")
+                continue
+            if kind in ("counter", "gauge"):
+                if not isinstance(s.get("value"), (int, float)):
+                    problems.append(f"{at}: missing numeric 'value'")
+                elif kind == "counter" and s["value"] < 0:
+                    problems.append(f"{at}: counter value is negative")
+            else:
+                counts = s.get("counts")
+                if (not isinstance(counts, list)
+                        or len(counts) != len(entry["buckets"]) + 1
+                        or any(not isinstance(c, int) or c < 0
+                               for c in counts)):
+                    problems.append(
+                        f"{at}: 'counts' must hold "
+                        f"{len(entry['buckets']) + 1} non-negative ints "
+                        "(one per bucket plus +Inf)"
+                    )
+                    continue
+                if s.get("count") != sum(counts):
+                    problems.append(
+                        f"{at}: 'count' disagrees with sum of bucket counts"
+                    )
+                if not isinstance(s.get("sum"), (int, float)):
+                    problems.append(f"{at}: missing numeric 'sum'")
+    return problems
+
+
+def validate_trace_events(events: Sequence[Dict[str, Any]]) -> List[str]:
+    """Problems with a sequence of trace event dicts (header excluded)."""
+    problems: List[str] = []
+    seen_ids = set()
+    for i, event in enumerate(events):
+        at = f"event[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{at}: not an object")
+            continue
+        kind = event.get("type")
+        if kind not in ("span", "event"):
+            problems.append(f"{at}: unknown type {kind!r}")
+            continue
+        for key in ("name", "id", "depth", "attrs"):
+            if key not in event:
+                problems.append(f"{at}: missing {key!r}")
+        if not isinstance(event.get("attrs", {}), dict):
+            problems.append(f"{at}: 'attrs' is not an object")
+        if kind == "span":
+            if not isinstance(event.get("dur"), (int, float)) or \
+                    event["dur"] < 0:
+                problems.append(f"{at}: span missing non-negative 'dur'")
+            if not isinstance(event.get("start"), (int, float)):
+                problems.append(f"{at}: span missing 'start'")
+        else:
+            if not isinstance(event.get("at"), (int, float)):
+                problems.append(f"{at}: event missing 'at'")
+        if "id" in event:
+            seen_ids.add(event["id"])
+    # Parent links must resolve to *some* recorded id (spans close
+    # after their children, so parents appear later in the file).
+    for i, event in enumerate(events):
+        parent = event.get("parent") if isinstance(event, dict) else None
+        if parent is not None and parent not in seen_ids:
+            problems.append(f"event[{i}]: parent {parent} never recorded")
+    return problems
+
+
+def validate_trace_file(path) -> List[str]:
+    """Validate a JSON-lines trace file, header line included."""
+    problems: List[str] = []
+    events: List[Dict[str, Any]] = []
+    header = None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    problems.append(f"line {lineno}: invalid JSON ({exc})")
+                    continue
+                if isinstance(obj, dict) and obj.get("type") == "header":
+                    header = obj
+                else:
+                    events.append(obj)
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    if header is None:
+        problems.append("missing header line")
+    elif header.get("schema") != TRACE_SCHEMA:
+        problems.append(
+            f"header schema is {header.get('schema')!r}, expected "
+            f"{TRACE_SCHEMA!r}"
+        )
+    elif header.get("events") != len(events):
+        problems.append(
+            f"header says {header.get('events')} events but the file holds "
+            f"{len(events)}"
+        )
+    problems.extend(validate_trace_events(events))
+    return problems
+
+
+def validate_file(path) -> List[str]:
+    """Validate one exported file, sniffing metrics-JSON vs trace-JSONL."""
+    if str(path).endswith((".jsonl", ".ndjson")):
+        return validate_trace_file(path)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    except json.JSONDecodeError:
+        # More than one JSON document on separate lines: a trace.
+        return validate_trace_file(path)
+    return validate_metrics_doc(doc)
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro.obs.validate FILE [FILE...]",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in args:
+        problems = validate_file(path)
+        if problems:
+            status = 1
+            print(f"INVALID {path}")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"ok {path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

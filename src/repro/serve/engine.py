@@ -29,6 +29,7 @@ work counters.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -104,6 +105,15 @@ class QueryEngine:
     cache_size:
         Capacity of the LRU result cache; ``0`` disables cross-call
         caching (batch-level dedup and amortization still apply).
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`.  When set, every
+        outcome tally also lands in the shared metrics registry
+        (``engine_outcomes_total{outcome=...}`` — the unified
+        counterpart of :meth:`stats`, which keeps working unchanged),
+        per-batch latency/size histograms are recorded, and each batch
+        runs under an ``engine.span-batch`` / ``engine.theta-batch``
+        tracer span.  ``None`` (default) records nothing; the hot path
+        pays one attribute check.
 
     Examples
     --------
@@ -120,6 +130,7 @@ class QueryEngine:
         self,
         index: Any,
         cache_size: int = 4096,
+        telemetry=None,
     ):
         self._incremental = isinstance(index, IncrementalTILLIndex)
         self._sharded = isinstance(index, ShardedTILLIndex)
@@ -128,6 +139,44 @@ class QueryEngine:
         self._queries = 0
         self._batches = 0
         self._outcomes: Dict[str, int] = {}
+        self._telemetry = telemetry
+        self._obs_outcomes = None
+        # Outcome totals already pushed to the registry counter; the
+        # delta is flushed once per batch (per-query labeled inc()s on
+        # the hot path would cost more than the queries themselves).
+        self._obs_flushed: Dict[str, int] = {}
+        if telemetry is not None:
+            from repro.obs.metrics import (
+                DEFAULT_SIZE_BUCKETS,
+                DEFAULT_TIME_BUCKETS,
+            )
+
+            m = telemetry.metrics
+            self._obs_outcomes = m.counter(
+                "engine_outcomes_total",
+                "Queries by answering outcome (unifies EngineStats)",
+            )
+            self._obs_queries = m.counter(
+                "engine_queries_total", "Queries served, by query kind"
+            )
+            self._obs_batches = m.counter(
+                "engine_batches_total", "Batches served, by query kind"
+            )
+            self._obs_batch_seconds = m.histogram(
+                "engine_batch_seconds", DEFAULT_TIME_BUCKETS,
+                "Wall-clock seconds per served batch",
+            )
+            self._obs_batch_size = m.histogram(
+                "engine_batch_size", DEFAULT_SIZE_BUCKETS,
+                "Queries per served batch",
+            )
+            self._obs_cache_entries = m.gauge(
+                "engine_cache_entries", "Live entries in the result cache"
+            )
+            self._obs_generation = m.gauge(
+                "engine_cache_generation",
+                "Result-cache invalidation generation",
+            )
         if self._incremental:
             index.subscribe_invalidation(
                 lambda _gen: self._cache.bump_generation()
@@ -173,6 +222,17 @@ class QueryEngine:
         module docstring.  Returns answers in input order.
         """
         batch = list(pairs)
+        obs = self._telemetry
+        if obs is None:
+            return self._span_many(batch, interval, prefilter, fallback)
+        started = time.perf_counter()
+        with obs.tracer.span("engine.span-batch", size=len(batch)):
+            results = self._span_many(batch, interval, prefilter, fallback)
+        self._record_batch("span", len(batch),
+                           time.perf_counter() - started)
+        return results
+
+    def _span_many(self, batch, interval, prefilter, fallback) -> List[bool]:
         window = as_interval(interval)
         self._batches += 1
         if self._incremental:
@@ -210,6 +270,21 @@ class QueryEngine:
         amortized across the batch.
         """
         batch = list(pairs)
+        obs = self._telemetry
+        if obs is None:
+            return self._theta_many(batch, interval, theta, algorithm,
+                                    prefilter)
+        started = time.perf_counter()
+        with obs.tracer.span("engine.theta-batch", size=len(batch),
+                             theta=theta):
+            results = self._theta_many(batch, interval, theta, algorithm,
+                                       prefilter)
+        self._record_batch("theta", len(batch),
+                           time.perf_counter() - started)
+        return results
+
+    def _theta_many(self, batch, interval, theta, algorithm,
+                    prefilter) -> List[bool]:
         window = validate_theta_window(interval, theta)
         self._batches += 1
         if self._incremental:
@@ -259,23 +334,38 @@ class QueryEngine:
         )
 
     def reset_stats(self) -> None:
-        """Zero the counters (cached entries are kept)."""
+        """Zero the tallies; cached *state* deliberately survives.
+
+        Only the observational counters are cleared: queries, batches,
+        outcome tallies, and the cache's hit/miss/eviction/stale-drop
+        counts.  Cached answers are **kept** (the next identical query
+        is still a cache hit) and the invalidation ``generation`` is
+        **not** reset — it tracks index mutations, not statistics, so
+        zeroing it would resurrect answers cached before an edge
+        insert/removal.  Call :meth:`invalidate` to actually drop
+        cached answers.  (Telemetry registry counters, being cumulative
+        by design, are also unaffected.)
+        """
         cache = self._cache
         cache.hits = cache.misses = cache.evictions = cache.stale_drops = 0
         self._queries = self._batches = 0
         self._outcomes = {}
+        # The registry counter stays cumulative; restart delta tracking
+        # so the next flush doesn't compute against pre-reset totals.
+        self._obs_flushed = {}
 
     def invalidate(self) -> None:
         """Manually drop every cached answer (bumps the generation)."""
         self._cache.bump_generation()
 
     def profile_many(self, span_queries: Iterable[Tuple[Any, Any, IntervalLike]],
-                     prefilter: bool = True):
-        """Deep per-condition work counters for a span workload.
+                     prefilter: bool = True, theta: Optional[int] = None):
+        """Deep per-condition work counters for a span (or θ) workload.
 
         Delegates to :func:`repro.core.profiling.profile_workload` (the
         instrumented, slower path); only meaningful over a plain
-        :class:`TILLIndex`.
+        :class:`TILLIndex`.  With ``theta`` set, every query profiles
+        through Algorithm 5's θ path instead of the span path.
         """
         from repro.core.profiling import profile_workload
 
@@ -284,7 +374,7 @@ class QueryEngine:
                 "profile_many requires a plain TILLIndex backend"
             )
         return profile_workload(self.index, span_queries,
-                                prefilter=prefilter)
+                                prefilter=prefilter, theta=theta)
 
     # ------------------------------------------------------------------
     # internals
@@ -292,6 +382,22 @@ class QueryEngine:
 
     def _tally(self, outcome: str, n: int = 1) -> None:
         self._outcomes[outcome] = self._outcomes.get(outcome, 0) + n
+
+    def _record_batch(self, kind: str, size: int, seconds: float) -> None:
+        """Registry-side per-batch recording (telemetry enabled only)."""
+        flushed = self._obs_flushed
+        for outcome, total in self._outcomes.items():
+            delta = total - flushed.get(outcome, 0)
+            if delta:
+                self._obs_outcomes.inc(delta, outcome=outcome)
+                flushed[outcome] = total
+        self._obs_queries.inc(size, kind=kind)
+        self._obs_batches.inc(kind=kind)
+        self._obs_batch_seconds.observe(seconds, kind=kind)
+        self._obs_batch_size.observe(size, kind=kind)
+        cache = self._cache
+        self._obs_cache_entries.set(len(cache))
+        self._obs_generation.set(cache.generation)
 
     def _run_batch(self, batch, window, theta, compute) -> List[bool]:
         """Cache-and-dedup driver used by the incremental and online

@@ -154,6 +154,7 @@ class ShardedTILLIndex:
         stitch_limit: int = 64,
         jobs: int = 1,
         build_seconds: float = 0.0,
+        telemetry=None,
     ):
         if len(shards) != partition.num_shards:
             raise IndexBuildError(
@@ -177,6 +178,28 @@ class ShardedTILLIndex:
         #: (``contained``/``stitch``/``fallback``/``empty``, θ routes
         #: prefixed ``theta-``, plus ``online-cap-fallback``).
         self.route_counts: Dict[str, int] = {}
+        self._telemetry = telemetry
+        self._obs_routes = None
+        if telemetry is not None:
+            from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
+
+            m = telemetry.metrics
+            self._obs_routes = m.counter(
+                "shard_route_total",
+                "Queries answered per planner route "
+                "(mirrors ShardedTILLIndex.route_counts)",
+            )
+            self._obs_boundary = m.histogram(
+                "shard_boundary_size", DEFAULT_SIZE_BUCKETS,
+                "Boundary-vertex set size of planned stitch routes",
+            )
+            m.gauge("shard_count", "Time slices in the partition").set(
+                partition.num_shards
+            )
+            m.gauge(
+                "shard_stitch_limit",
+                "Largest boundary set stitched before online fallback",
+            ).set(stitch_limit)
 
     # ------------------------------------------------------------------
     # construction
@@ -193,6 +216,8 @@ class ShardedTILLIndex:
         method: str = "optimized",
         ordering: str = "degree-product",
         stitch_limit: int = 64,
+        progress=None,
+        telemetry=None,
     ) -> "ShardedTILLIndex":
         """Partition *graph*'s timeline and build one index per slice.
 
@@ -215,6 +240,16 @@ class ShardedTILLIndex:
         stitch_limit:
             Largest boundary-vertex set the cross-shard stitch will
             take on before degrading to the online-BFS fallback.
+        progress:
+            Optional hook called ``progress(done_shards, total_shards)``
+            as shard builds complete (both sequential and parallel).
+        telemetry:
+            Optional :class:`repro.obs.Telemetry`: a ``shard-build``
+            tracer span containing one ``shard-build.shard`` event per
+            completed slice, a per-shard build-time histogram, and
+            route counters on the returned index.  Worker processes
+            never see the telemetry object — per-shard timings are
+            taken from each shard's own build clock.
         """
         if jobs < 1:
             raise IndexBuildError(f"jobs must be >= 1, got {jobs}")
@@ -229,21 +264,67 @@ class ShardedTILLIndex:
             payloads.append(
                 (vertex_labels, edges, graph.directed, cap, method, ordering)
             )
+        total = len(payloads)
+        build_span = None
+        obs_shard_seconds = None
+        if telemetry is not None:
+            from repro.obs.metrics import DEFAULT_TIME_BUCKETS
+
+            obs_shard_seconds = telemetry.metrics.histogram(
+                "shard_build_seconds", DEFAULT_TIME_BUCKETS,
+                "Per-shard index construction seconds",
+            )
+            build_span = telemetry.tracer.span(
+                "shard-build", shards=total, policy=policy, jobs=jobs,
+            )
+
+        def completed(k: int, shard: TILLIndex) -> None:
+            if telemetry is not None:
+                obs_shard_seconds.observe(shard.build_seconds)
+                if telemetry.tracer:
+                    telemetry.tracer.event(
+                        "shard-build.shard", shard=k,
+                        seconds=shard.build_seconds,
+                        edges=partition.slices[k].num_edges,
+                        entries=shard.labels.total_entries(),
+                    )
+            if progress is not None:
+                progress(k + 1, total)
+
         started = time.perf_counter()
-        if jobs > 1 and len(payloads) > 1:
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(payloads))
-                ) as pool:
-                    shards = list(pool.map(_build_shard, payloads))
-            except (BrokenProcessPool, OSError) as exc:
-                raise IndexBuildError(
-                    f"parallel shard build failed ({exc!r}); retry with "
-                    "jobs=1 for the sequential fallback"
-                ) from exc
-        else:
-            shards = [_build_shard(payload) for payload in payloads]
+        try:
+            if jobs > 1 and total > 1:
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=min(jobs, total)
+                    ) as pool:
+                        shards = []
+                        for k, shard in enumerate(
+                            pool.map(_build_shard, payloads)
+                        ):
+                            shards.append(shard)
+                            completed(k, shard)
+                except (BrokenProcessPool, OSError) as exc:
+                    raise IndexBuildError(
+                        f"parallel shard build failed ({exc!r}); retry with "
+                        "jobs=1 for the sequential fallback"
+                    ) from exc
+            else:
+                shards = []
+                for k, payload in enumerate(payloads):
+                    shard = _build_shard(payload)
+                    shards.append(shard)
+                    completed(k, shard)
+        finally:
+            if build_span is not None:
+                build_span.__exit__(None, None, None)
         elapsed = time.perf_counter() - started
+        if telemetry is not None:
+            telemetry.metrics.gauge(
+                "shard_build_total_seconds",
+                "Wall-clock seconds of the whole (possibly parallel) "
+                "shard build",
+            ).set(elapsed)
         return cls(
             graph,
             partition,
@@ -254,6 +335,7 @@ class ShardedTILLIndex:
             stitch_limit=stitch_limit,
             jobs=jobs,
             build_seconds=elapsed,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -270,6 +352,28 @@ class ShardedTILLIndex:
 
     def _tally(self, route: str, n: int = 1) -> None:
         self.route_counts[route] = self.route_counts.get(route, 0) + n
+        if self._obs_routes is not None:
+            self._obs_routes.inc(n, route=route)
+
+    def _observe_plan(self, plan: QueryPlan, queries: int,
+                      event: bool = True) -> None:
+        """Record one routing decision (telemetry enabled only).
+
+        ``event=False`` skips the tracer event — used by the θ
+        decomposition loop, which plans one span route per subwindow
+        and would otherwise flood the trace.
+        """
+        if plan.route == "stitch":
+            self._obs_boundary.observe(len(plan.boundary))
+        if event:
+            tracer = self._telemetry.tracer
+            if tracer:
+                tracer.event(
+                    "shard.plan", route=plan.route, queries=queries,
+                    shards=len(plan.shards), boundary=len(plan.boundary),
+                    window=(None if plan.window is None
+                            else [plan.window.start, plan.window.end]),
+                )
 
     def _check_support(self, needed_length: int) -> None:
         if self.vartheta is not None and needed_length > self.vartheta:
@@ -331,9 +435,11 @@ class ShardedTILLIndex:
         return self._stitch_span(ui, vi, plan)
 
     def _span_routed(self, ui: int, vi: int, window: Interval,
-                     prefilter: bool = True) -> bool:
+                     prefilter: bool = True, event: bool = True) -> bool:
         plan = self.planner.plan_span(window)
         self._tally(plan.route)
+        if self._telemetry is not None:
+            self._observe_plan(plan, 1, event=event)
         return self._answer_planned(ui, vi, plan, prefilter=prefilter)
 
     # ------------------------------------------------------------------
@@ -394,6 +500,8 @@ class ShardedTILLIndex:
             return True
         plan = self.planner.plan_theta(window, theta)
         self._tally("theta-" + plan.route)
+        if self._telemetry is not None:
+            self._observe_plan(plan, 1)
         if plan.route == "empty":
             return False
         if plan.route == "contained":
@@ -406,7 +514,7 @@ class ShardedTILLIndex:
         hi = min(window.end - theta + 1, self.partition.t_max)
         for start in range(lo, hi + 1):
             if self._span_routed(ui, vi, Interval(start, start + theta - 1),
-                                 prefilter=prefilter):
+                                 prefilter=prefilter, event=False):
                 return True
         return False
 
@@ -442,6 +550,8 @@ class ShardedTILLIndex:
             return out
         plan = self.planner.plan_span(window)
         self._tally(plan.route, len(batch))
+        if self._telemetry is not None:
+            self._observe_plan(plan, len(batch))
         if plan.route == "contained":
             shard = self.shards[plan.shards[0]]
             return shard.span_reachable_many(batch, plan.window,
@@ -569,12 +679,14 @@ class ShardedTILLIndex:
 
     @classmethod
     def load(
-        cls, directory: Union[str, Path], graph: TemporalGraph
+        cls, directory: Union[str, Path], graph: TemporalGraph,
+        telemetry=None,
     ) -> "ShardedTILLIndex":
         """Read a shard directory written by :meth:`save`, rebinding it
         to *graph* (which must match: vertex/edge counts, directedness,
         per-slice edge counts, and every per-shard fingerprint checked
-        by :meth:`TILLIndex.load`)."""
+        by :meth:`TILLIndex.load`).  ``telemetry`` attaches a metrics
+        registry to the loaded index, exactly as in :meth:`build`."""
         path = Path(directory)
         manifest_path = path / MANIFEST_NAME
         if not manifest_path.exists():
@@ -643,6 +755,7 @@ class ShardedTILLIndex:
             stitch_limit=manifest.get("stitch_limit", 64),
             jobs=meta.get("jobs", 1),
             build_seconds=meta.get("build_seconds", 0.0),
+            telemetry=telemetry,
         )
 
     def __repr__(self) -> str:

@@ -1,0 +1,424 @@
+"""The unified telemetry subsystem: registry, tracer, validators,
+progress, and the wiring through build / serve / shard / fuzz.
+
+The wiring tests assert the registry against each layer's own ground
+truth (``EngineStats.outcomes``, ``ShardedTILLIndex.route_counts``,
+``IndexStats.total_entries``) — the telemetry must *mirror* existing
+counters, never fork from them — and that enabling telemetry never
+changes an answer.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import TILLIndex
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    METRICS_SCHEMA,
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    ProgressPrinter,
+    SpanTracer,
+    Telemetry,
+    read_trace,
+)
+from repro.obs.validate import (
+    validate_metrics_doc,
+    validate_trace_events,
+    validate_trace_file,
+)
+
+from .conftest import random_graph
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_inc_and_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "help text")
+        c.inc()
+        c.inc(4)
+        c.inc(kind="span")
+        c.inc(2, kind="span")
+        series = reg.snapshot()["metrics"]["requests_total"]["series"]
+        assert series == [
+            {"labels": {}, "value": 5},
+            {"labels": {"kind": "span"}, "value": 3},
+        ]
+
+    def test_gauge_set_and_add(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(7)
+        g.add(-2)
+        g.set(3.5, phase="labels")
+        series = reg.snapshot()["metrics"]["depth"]["series"]
+        assert series == [
+            {"labels": {}, "value": 5},
+            {"labels": {"phase": "labels"}, "value": 3.5},
+        ]
+
+    def test_histogram_bucket_placement(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency", (1, 2, 5))
+        for value in (0.5, 1, 3, 10):
+            h.observe(value)
+        (series,) = reg.snapshot()["metrics"]["latency"]["series"]
+        # value == bound lands in that bucket (Prometheus `le`).
+        assert series["counts"] == [2, 0, 1, 1]
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(14.5)
+        assert series["max"] == 10
+
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h", (1, 2)) is reg.histogram("h", (1, 2))
+
+    def test_kind_and_bucket_conflicts_raise(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+        with pytest.raises(ValueError):
+            reg.histogram("a", (1, 2))
+        reg.histogram("h", (1, 2))
+        with pytest.raises(ValueError):
+            reg.histogram("h", (1, 3))
+
+    def test_invalid_metric_and_label_names_raise(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.counter("ok").inc(**{"0bad": 1})
+
+    def test_snapshot_is_deterministic_and_valid(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("z_total").inc(3)
+            reg.gauge("a_gauge").set(1, shard="2")
+            h = reg.histogram("m_hist", DEFAULT_TIME_BUCKETS)
+            h.observe(0.002, kind="span")
+            h.observe(0.5, kind="theta")
+            return reg.snapshot()
+
+        one, two = build(), build()
+        assert one == two
+        assert one["schema"] == METRICS_SCHEMA
+        assert validate_metrics_doc(one) == []
+        assert json.dumps(one, sort_keys=True) == json.dumps(
+            two, sort_keys=True
+        )
+
+    def test_prometheus_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", "requests").inc(2, kind="span")
+        h = reg.histogram("lat_seconds", (0.1, 1.0), "latency")
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = reg.to_prometheus()
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{kind="span"} 2' in text
+        # Cumulative buckets with double-quoted le, plus +Inf/sum/count.
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+        assert "lat_seconds_sum 5.55" in text
+
+
+# ---------------------------------------------------------------------------
+# span tracer
+# ---------------------------------------------------------------------------
+
+
+class TestSpanTracer:
+    def test_nesting_records_parent_and_depth(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("outer", method="optimized") as outer:
+            clock.now += 1.0
+            with tracer.span("inner"):
+                clock.now += 0.5
+            tracer.event("milestone", done=10)
+            outer.attrs["entries"] = 42
+        inner, milestone, outer_ev = tracer.events
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer_ev["id"]
+        assert inner["depth"] == 1
+        assert inner["dur"] == pytest.approx(0.5)
+        assert milestone["type"] == "event"
+        assert milestone["attrs"] == {"done": 10}
+        assert outer_ev["depth"] == 0
+        assert outer_ev["parent"] is None
+        assert outer_ev["dur"] == pytest.approx(1.5)
+        assert outer_ev["attrs"] == {"method": "optimized", "entries": 42}
+        assert validate_trace_events(tracer.events) == []
+
+    def test_abandoned_child_does_not_corrupt_ancestry(self):
+        tracer = SpanTracer(clock=FakeClock())
+        outer = tracer.span("outer")
+        tracer.span("leaked")  # never closed
+        outer.__exit__(None, None, None)
+        with tracer.span("next"):
+            pass
+        assert tracer.events[-1]["depth"] == 0
+        assert tracer.events[-1]["parent"] is None
+
+    def test_write_and_read_roundtrip(self, tmp_path):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("a", n=1):
+            tracer.event("e")
+        path = tmp_path / "trace.jsonl"
+        tracer.write(path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {
+            "type": "header", "schema": "repro-trace/1", "events": 2,
+        }
+        assert read_trace(path) == tracer.events
+        assert validate_trace_file(path) == []
+
+    def test_sink_streams_live(self):
+        seen = []
+        tracer = SpanTracer(sink=seen.append, clock=FakeClock())
+        with tracer.span("s"):
+            tracer.event("e")
+        assert [e["name"] for e in seen] == ["e", "s"]
+
+    def test_null_tracer_is_falsy_noop(self):
+        assert not NULL_TRACER
+        assert bool(SpanTracer(clock=FakeClock()))
+        null = NullTracer()
+        with null.span("anything", k=1) as span:
+            span.attrs["x"] = 1
+        assert null.events == []
+        assert null.span("again").attrs == {}  # reusable handle, cleared
+
+
+# ---------------------------------------------------------------------------
+# validators
+# ---------------------------------------------------------------------------
+
+
+class TestValidators:
+    def test_metrics_doc_problems(self):
+        assert validate_metrics_doc([]) != []
+        assert validate_metrics_doc({"schema": "nope", "metrics": {}}) != []
+        bad_counter = {
+            "schema": METRICS_SCHEMA,
+            "metrics": {"c": {"kind": "counter", "help": "",
+                              "series": [{"labels": {}, "value": -1}]}},
+        }
+        assert any("negative" in p for p in validate_metrics_doc(bad_counter))
+        bad_hist = {
+            "schema": METRICS_SCHEMA,
+            "metrics": {"h": {"kind": "histogram", "help": "",
+                              "buckets": [2, 1], "series": []}},
+        }
+        assert any("increasing" in p for p in validate_metrics_doc(bad_hist))
+
+    def test_trace_event_problems(self):
+        assert validate_trace_events([{"type": "mystery"}]) != []
+        dangling = [{
+            "type": "event", "name": "e", "id": 1, "parent": 99,
+            "depth": 0, "at": 0.0, "attrs": {},
+        }]
+        assert any("parent" in p for p in validate_trace_events(dangling))
+
+    def test_trace_file_header_mismatch(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"type": "header", "schema": "repro-trace/1", "events": 5}\n'
+        )
+        assert any("5 events" in p for p in validate_trace_file(path))
+
+
+# ---------------------------------------------------------------------------
+# progress printer
+# ---------------------------------------------------------------------------
+
+
+class TestProgressPrinter:
+    def test_throttles_but_always_prints_first_and_last(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        tracer = SpanTracer(clock=clock)
+        hook = ProgressPrinter("build", tracer=tracer, stream=stream,
+                               min_interval=10.0, clock=clock)
+        for done in range(1, 100):
+            clock.now += 0.001  # far below min_interval
+            hook(done, 100)
+        hook(100, 100)
+        lines = stream.getvalue().splitlines()
+        assert hook.lines_printed == len(lines) == 2
+        assert lines[0].startswith("build: 1/100 roots")
+        assert lines[-1].startswith("build: 100/100 roots (100%")
+        assert [e["attrs"]["done"] for e in tracer.events] == [1, 100]
+        assert all(e["name"] == "build.progress" for e in tracer.events)
+
+
+# ---------------------------------------------------------------------------
+# wiring: build / serve / shard / fuzz
+# ---------------------------------------------------------------------------
+
+
+def _counter_series(telemetry, name, label):
+    metric = telemetry.metrics.snapshot()["metrics"][name]
+    return {s["labels"][label]: s["value"] for s in metric["series"]}
+
+
+class TestTelemetryWiring:
+    def test_build_counters_match_index_stats(self, paper_graph):
+        telemetry = Telemetry()
+        index = TILLIndex.build(paper_graph, telemetry=telemetry)
+        doc = telemetry.metrics.snapshot()
+        assert validate_metrics_doc(doc) == []
+        metrics = doc["metrics"]
+        entries = metrics["build_label_entries_total"]["series"][0]["value"]
+        assert entries == index.labels.total_entries()
+        roots = metrics["build_roots_total"]["series"][0]
+        assert roots["labels"] == {"method": "optimized"}
+        assert roots["value"] == paper_graph.num_vertices
+        names = {e["name"] for e in telemetry.tracer.events}
+        assert {"build", "build.root-batch"} <= names
+
+    def test_build_answers_unchanged_by_telemetry(self):
+        g = random_graph(3, num_vertices=12, num_edges=40)
+        plain = TILLIndex.build(g)
+        traced = TILLIndex.build(g, telemetry=Telemetry())
+        pairs = [(u, v) for u in range(12) for v in range(12)]
+        for window in ((1, 10), (3, 7)):
+            assert (
+                [plain.span_reachable(u, v, window) for u, v in pairs]
+                == [traced.span_reachable(u, v, window) for u, v in pairs]
+            )
+
+    def test_engine_outcome_counters_mirror_engine_stats(self):
+        from repro.serve.engine import QueryEngine
+
+        g = random_graph(5, num_vertices=10, num_edges=30)
+        index = TILLIndex.build(g)
+        telemetry = Telemetry()
+        engine = QueryEngine(index, telemetry=telemetry)
+        batch = [(u, v) for u in range(10) for v in range(10)]
+        engine.span_many(batch, (1, 10))
+        engine.span_many(batch, (1, 10))  # warm pass: cache hits
+        engine.theta_many(batch, (1, 10), 4)
+        registry = _counter_series(
+            telemetry, "engine_outcomes_total", "outcome"
+        )
+        assert registry == engine.stats().outcomes
+        kinds = _counter_series(telemetry, "engine_batches_total", "kind")
+        assert kinds == {"span": 2, "theta": 1}
+        assert _counter_series(
+            telemetry, "engine_queries_total", "kind"
+        ) == {"span": 2 * len(batch), "theta": len(batch)}
+        span_names = {e["name"] for e in telemetry.tracer.events}
+        assert {"engine.span-batch", "engine.theta-batch"} <= span_names
+
+    def test_outcome_counters_stay_cumulative_across_reset(self):
+        from repro.serve.engine import QueryEngine
+
+        g = random_graph(5, num_vertices=8, num_edges=25)
+        telemetry = Telemetry()
+        engine = QueryEngine(TILLIndex.build(g), telemetry=telemetry)
+        batch = [(u, v) for u in range(8) for v in range(8)]
+        engine.span_many(batch, (1, 10))
+        before = _counter_series(
+            telemetry, "engine_outcomes_total", "outcome"
+        )
+        engine.reset_stats()
+        engine.span_many(batch, (1, 10))
+        after = _counter_series(
+            telemetry, "engine_outcomes_total", "outcome"
+        )
+        # Registry counters are monotone: post-reset tallies add on top.
+        for outcome, value in engine.stats().outcomes.items():
+            assert after[outcome] == before.get(outcome, 0) + value
+
+    def test_sharded_route_counters_mirror_route_counts(self):
+        from repro.shard import ShardedTILLIndex
+
+        g = random_graph(11, num_vertices=14, num_edges=80, max_time=20)
+        telemetry = Telemetry()
+        sharded = ShardedTILLIndex.build(
+            g, num_shards=3, telemetry=telemetry
+        )
+        pairs = [(u, v) for u in range(14) for v in range(14)]
+        slices = sharded.partition.slices
+        contained = (slices[0].t_start, slices[0].t_end)
+        straddle = (slices[0].t_end, slices[1].t_end)
+        sharded.span_reachable_many(pairs, contained)
+        sharded.span_reachable_many(pairs[:20], straddle)
+        sharded.theta_reachable(0, 1, (1, 20), 3)
+        registry = _counter_series(telemetry, "shard_route_total", "route")
+        assert registry == sharded.route_counts
+        snapshot = telemetry.metrics.snapshot()["metrics"]
+        assert snapshot["shard_count"]["series"][0]["value"] == 3
+        assert "shard_build_seconds" in snapshot
+        names = {e["name"] for e in telemetry.tracer.events}
+        assert {"shard-build", "shard-build.shard", "shard.plan"} <= names
+
+    def test_sharded_answers_unchanged_by_telemetry(self):
+        from repro.shard import ShardedTILLIndex
+
+        g = random_graph(13, num_vertices=12, num_edges=60, max_time=16)
+        plain = ShardedTILLIndex.build(g, num_shards=3)
+        traced = ShardedTILLIndex.build(
+            g, num_shards=3, telemetry=Telemetry()
+        )
+        pairs = [(u, v) for u in range(12) for v in range(12)]
+        for window in ((1, 16), (2, 9)):
+            assert (
+                plain.span_reachable_many(pairs, window)
+                == traced.span_reachable_many(pairs, window)
+            )
+
+    def test_fuzz_campaign_counters(self):
+        from repro.fuzz import run_fuzz
+
+        telemetry = Telemetry()
+        report = run_fuzz(profile="small", seeds=2, shrink=False,
+                          telemetry=telemetry)
+        assert report.ok
+        cases = _counter_series(telemetry, "fuzz_cases_total", "profile")
+        assert cases == {"small": 2}
+        snapshot = telemetry.metrics.snapshot()["metrics"]
+        assert (snapshot["fuzz_queries_total"]["series"][0]["value"]
+                == report.queries)
+        spans = [e for e in telemetry.tracer.events
+                 if e["name"] == "fuzz.case"]
+        assert len(spans) == 2
+        assert all(e["attrs"]["mismatches"] == 0 for e in spans)
+
+    def test_telemetry_writers(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("c").inc()
+        with telemetry.tracer.span("s"):
+            pass
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.jsonl"
+        telemetry.write_metrics(metrics_path)
+        telemetry.write_trace(trace_path)
+        doc = json.loads(metrics_path.read_text())
+        assert validate_metrics_doc(doc) == []
+        assert validate_trace_file(trace_path) == []

@@ -124,6 +124,41 @@ class TestCaching:
         assert engine.stats().cache_hits == 0
 
 
+class TestResetStats:
+    def test_reset_keeps_cached_entries_and_generation(self):
+        """Regression for the reset_stats contract: only tallies are
+        zeroed — cached answers stay servable and the invalidation
+        generation (which tracks index mutations, not statistics) is
+        preserved, so pre-invalidation answers cannot resurrect."""
+        g = random_graph(7, num_vertices=8, num_edges=30)
+        engine = QueryEngine(TILLIndex.build(g))
+        pairs = _all_pairs(g)
+        engine.span_many(pairs, (1, 10))
+        engine.invalidate()  # bump the generation past zero
+        engine.span_many(pairs, (1, 10))  # repopulate at generation 1
+        before = engine.stats()
+        assert before.generation == 1
+        assert before.cache_entries > 0
+
+        engine.reset_stats()
+        after = engine.stats()
+        assert after.queries == after.batches == 0
+        assert after.cache_hits == after.cache_misses == 0
+        assert after.cache_evictions == after.cache_stale_drops == 0
+        assert after.outcomes == {}
+        # The cached *state* deliberately survives:
+        assert after.cache_entries == before.cache_entries
+        assert after.generation == before.generation
+        # ... so the next identical batch is pure cache hits.
+        assert engine.span_many(pairs, (1, 10)) == engine.span_many(
+            pairs, (1, 10)
+        )
+        assert engine.stats().cache_misses == 0
+        assert engine.stats().outcomes == {
+            "cache-hit": 2 * len(pairs)
+        }
+
+
 class TestGenerationInvalidation:
     def test_stale_answer_flips_after_insert(self):
         """The ISSUE-2 acceptance scenario: a cached negative answer
@@ -251,6 +286,71 @@ class TestValidationAndErrors:
             "same-vertex", "prefilter", "target-hub", "source-hub",
             "common-hub", "unreachable",
         }
+
+    def test_profile_many_matches_production_on_paper_example(
+        self, paper_graph, paper_index
+    ):
+        from repro.core.profiling import profile_span_query
+
+        engine = QueryEngine(paper_index)
+        pairs = _all_pairs(paper_graph)
+        window = (paper_graph.min_time, paper_graph.max_time)
+        expected = [
+            paper_index.span_reachable(u, v, window) for u, v in pairs
+        ]
+        profiled = [
+            profile_span_query(paper_index, u, v, window).answer
+            for u, v in pairs
+        ]
+        assert profiled == expected
+        aggregate = engine.profile_many([(u, v, window) for u, v in pairs])
+        assert aggregate.positive == sum(expected)
+
+    @pytest.mark.parametrize("seed", [0, 6])
+    def test_profile_many_theta_matches_production(self, seed):
+        from repro.core.profiling import profile_theta_query
+
+        g = random_graph(seed, num_vertices=9, num_edges=40, max_time=12)
+        index = TILLIndex.build(g)
+        engine = QueryEngine(index)
+        pairs = _all_pairs(g)
+        window, theta = (1, 12), 4
+        expected = [
+            index.theta_reachable(u, v, window, theta) for u, v in pairs
+        ]
+        profiled = [
+            profile_theta_query(index, u, v, window, theta).answer
+            for u, v in pairs
+        ]
+        assert profiled == expected
+        aggregate = engine.profile_many(
+            [(u, v, window) for u, v in pairs], theta=theta
+        )
+        assert aggregate.queries == len(pairs)
+        assert aggregate.positive == sum(expected)
+        assert set(aggregate.outcomes) <= {
+            "same-vertex", "prefilter", "target-hub", "source-hub",
+            "common-hub", "unreachable",
+        }
+
+    def test_profile_many_theta_on_paper_example(
+        self, paper_graph, paper_index
+    ):
+        engine = QueryEngine(paper_index)
+        pairs = _all_pairs(paper_graph)
+        window = (paper_graph.min_time, paper_graph.max_time)
+        theta = max(1, paper_graph.lifetime // 2)
+        expected = [
+            paper_index.theta_reachable(u, v, window, theta)
+            for u, v in pairs
+        ]
+        aggregate = engine.profile_many(
+            [(u, v, window) for u, v in pairs], theta=theta
+        )
+        assert aggregate.positive == sum(expected)
+        # θ profiles count the Algorithm 5 interval scans the span
+        # path never performs.
+        assert aggregate.intervals_scanned >= 0
 
 
 class TestFacadeDelegation:
