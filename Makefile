@@ -4,7 +4,7 @@ PYTHON ?= python
 # Make every target work from a plain checkout (no install needed).
 export PYTHONPATH := src
 
-.PHONY: install test bench bench-smoke experiments examples verify fuzz-smoke fuzz shard-smoke obs-smoke clean
+.PHONY: install test bench bench-smoke experiments examples verify fuzz-smoke fuzz shard-smoke flat-smoke obs-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -14,6 +14,7 @@ test:
 	$(PYTHON) -m pytest tests/
 	$(MAKE) fuzz-smoke
 	$(MAKE) shard-smoke
+	$(MAKE) flat-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) bench-smoke
 
@@ -42,6 +43,18 @@ shard-smoke:
 	$(PYTHON) -m repro fuzz --profile sharded --seeds 12
 	$(PYTHON) -m repro shard-build chess --shards 4 --jobs 2
 
+# Flat-store smoke stage (<60 s): flat kernels differentially checked
+# against the object path and the brute-force oracle (including a
+# format-3 save -> mmap-load round trip per odd seed), then one real
+# format-3 save / zero-copy mmap load / verify cycle on a dataset.
+# Deterministic — safe for CI.
+flat-smoke:
+	$(PYTHON) -m repro fuzz --profile flat --seeds 12
+	$(PYTHON) -m repro build chess -o flat_smoke.till --format 3
+	$(PYTHON) -m repro verify chess --index flat_smoke.till --mmap \
+		--samples 300
+	rm -f flat_smoke.till
+
 # Telemetry smoke stage (<60 s): build + query a small graph with
 # metrics/trace export through every surfaced flag, then validate the
 # documents against the repro-metrics/1 and repro-trace/1 schemas.
@@ -64,11 +77,12 @@ obs-smoke:
 # Seeded perf baseline (<60 s): build time, label size, scalar vs
 # batch vs cached query throughput, per-scenario latency percentiles,
 # the online fallback, the monolithic-vs-sharded build/query
-# comparison, and the telemetry-overhead scenario.  Writes
-# BENCH_PR4.json; gate a change against a recorded baseline with
+# comparison, the telemetry-overhead scenario, and the flat-vs-object
+# kernel + cold-open scenario.  Writes BENCH_PR5.json; gate a change
+# against a recorded baseline with
 #   python -m repro bench --smoke --compare BENCH_PR4.json --max-regression 15
 bench-smoke:
-	$(PYTHON) -m repro bench --smoke -o BENCH_PR4.json
+	$(PYTHON) -m repro bench --smoke -o BENCH_PR5.json
 
 experiments:
 	$(PYTHON) -m repro experiment table2
@@ -88,5 +102,5 @@ verify:
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
-	rm -f obs_*_metrics.json obs_*_trace.jsonl
+	rm -f obs_*_metrics.json obs_*_trace.jsonl flat_smoke.till
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -6,13 +6,17 @@ Subcommands
 ``repro datasets``
     List the Table II stand-in corpus with its statistics.
 
-``repro build SOURCE [-o FILE] [--vartheta N] [--method M] [--ordering O]``
+``repro build SOURCE [-o FILE] [--format 2|3] [--vartheta N] [--method M]``
     Build a TILL-Index for a dataset name or a graph file and report
-    its statistics; optionally persist it.  With ``--shards K`` (and
-    optionally ``--jobs N``) this builds a time-sharded index instead.
+    its statistics; optionally persist it (``--format 3``, the
+    default, writes the flat columnar layout that loads zero-copy
+    with ``--mmap``).  With ``--shards K`` (and optionally
+    ``--jobs N``) this builds a time-sharded index instead.
 
-``repro query SOURCE U V T1 T2 [--theta N] [--index FILE] [--online]``
-    Answer one span- (or θ-) reachability query.
+``repro query SOURCE U V T1 T2 [--theta N] [--index FILE] [--mmap]``
+    Answer one span- (or θ-) reachability query (``--online`` forces
+    the index-free Algorithm 1; ``--mmap`` maps a format-3 saved
+    index zero-copy).
 
 ``repro shard-build SOURCE [-o DIR] [--shards K] [--policy P] [--jobs N]``
     Build a time-sharded TILL index — one capped index per time slice,
@@ -27,7 +31,7 @@ Subcommands
     Run one of the paper's experiments and print its table
     (``repro experiment list`` enumerates them).
 
-``repro fuzz [--seeds N] [--profile small|wide|theta]``
+``repro fuzz [--seeds N] [--profile small|wide|theta|sharded|flat]``
     Differential fuzzing: random graphs across the configuration
     space, every answer path cross-checked, failures shrunk to pytest
     repros (see :mod:`repro.fuzz`).
@@ -182,8 +186,8 @@ def cmd_build(args: argparse.Namespace) -> int:
     print(f"  index size      {fmt_bytes(stats.estimated_bytes)}")
     print(f"  build time      {fmt_time(stats.build_seconds)}")
     if args.output:
-        index.save(args.output)
-        print(f"  saved to        {args.output}")
+        index.save(args.output, format=args.format)
+        print(f"  saved to        {args.output} (format {args.format})")
     _finish_telemetry(args, telemetry)
     return 0
 
@@ -252,7 +256,7 @@ def cmd_shard_query(args: argparse.Namespace) -> int:
     window = (args.t1, args.t2)
     telemetry = _make_telemetry(args)
     if args.index:
-        index = ShardedTILLIndex.load(args.index, graph,
+        index = ShardedTILLIndex.load(args.index, graph, mmap=args.mmap,
                                       telemetry=telemetry)
     else:
         index = ShardedTILLIndex.build(
@@ -299,7 +303,7 @@ def cmd_query(args: argparse.Namespace) -> int:
                 span.__exit__(None, None, None)
     else:
         if args.index:
-            index = TILLIndex.load(args.index, graph)
+            index = TILLIndex.load(args.index, graph, mmap=args.mmap)
         else:
             index = TILLIndex.build(graph, telemetry=telemetry)
         if telemetry is not None:
@@ -327,7 +331,7 @@ def cmd_anatomy(args: argparse.Namespace) -> int:
 
     graph = _load_source(args.source, directed=not args.undirected)
     if args.index:
-        index = TILLIndex.load(args.index, graph)
+        index = TILLIndex.load(args.index, graph, mmap=args.mmap)
     else:
         index = TILLIndex.build(graph)
     print(anatomy_report(index, top_k=args.top))
@@ -337,7 +341,7 @@ def cmd_anatomy(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     graph = _load_source(args.source, directed=not args.undirected)
     if args.index:
-        index = TILLIndex.load(args.index, graph)
+        index = TILLIndex.load(args.index, graph, mmap=args.mmap)
     else:
         index = TILLIndex.build(graph)
     try:
@@ -552,6 +556,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("build", help="build (and optionally save) an index")
     p.add_argument("source", help="dataset name or graph file")
     p.add_argument("-o", "--output", help="write the index to this file")
+    p.add_argument("--format", type=int, choices=(2, 3), default=3,
+                   help="file format for -o: 3 = flat columnar (default, "
+                        "loads zero-copy with --mmap), 2 = legacy blocks")
     p.add_argument("--vartheta", type=int, default=None,
                    help="largest supported query-interval length")
     p.add_argument("--method", choices=("optimized", "basic"),
@@ -575,6 +582,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--theta", type=int, default=None,
                    help="answer theta-reachability instead of span")
     p.add_argument("--index", help="load a saved index instead of building")
+    p.add_argument("--mmap", action="store_true",
+                   help="map a format-3 --index file zero-copy")
     p.add_argument("--online", action="store_true",
                    help="use the index-free Algorithm 1")
     p.add_argument("--undirected", action="store_true")
@@ -621,6 +630,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="answer theta-reachability instead of span")
     p.add_argument("--index", metavar="DIR",
                    help="load a saved shard directory instead of building")
+    p.add_argument("--mmap", action="store_true",
+                   help="map format-3 shard files zero-copy")
     p.add_argument("--shards", type=int, default=4,
                    help="slices when building in-process (default 4)")
     p.add_argument("--policy", choices=("equal-edges", "equal-span"),
@@ -635,6 +646,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("source", help="dataset name or graph file")
     p.add_argument("--index", help="inspect a saved index instead of building")
+    p.add_argument("--mmap", action="store_true",
+                   help="map a format-3 --index file zero-copy")
     p.add_argument("--top", type=int, default=10,
                    help="how many top hubs to list")
     p.add_argument("--undirected", action="store_true")
@@ -645,6 +658,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("source", help="dataset name or graph file")
     p.add_argument("--index", help="verify a saved index instead of building")
+    p.add_argument("--mmap", action="store_true",
+                   help="map a format-3 --index file zero-copy")
     p.add_argument("--samples", type=int, default=500)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--undirected", action="store_true")
@@ -658,8 +673,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=25,
                    help="number of random cases to draw (default 25)")
     p.add_argument("--profile", default="small",
-                   help="fuzz profile: small (default), wide, theta, or "
-                        "sharded")
+                   help="fuzz profile: small (default), wide, theta, "
+                        "sharded, or flat")
     p.add_argument("--base-seed", type=int, default=0,
                    help="first case seed (campaigns are deterministic)")
     p.add_argument("--no-shrink", action="store_true",
@@ -678,9 +693,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small fixed suite (<60 s), suitable for CI")
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed (default 0)")
-    p.add_argument("-o", "--output", default="BENCH_PR4.json",
-                   help="results file (default BENCH_PR4.json)")
-    p.add_argument("--label", default="PR4",
+    p.add_argument("-o", "--output", default="BENCH_PR5.json",
+                   help="results file (default BENCH_PR5.json)")
+    p.add_argument("--label", default="PR5",
                    help="label recorded in the results document")
     p.add_argument("--datasets", help="comma-separated dataset override")
     p.add_argument("--batch-size", type=int, default=2000,

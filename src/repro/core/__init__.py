@@ -9,10 +9,12 @@ Module map (paper artefact → implementation):
 * Algorithm 5 ``ES-Reach*``           → :func:`repro.core.queries.theta_reachable`
 * ``ES-Reach`` baseline               → :func:`repro.core.queries.theta_reachable_naive`
 * Fig. 3 label layout                 → :mod:`repro.core.labels`
+* Fig. 3 flat serving layout          → :mod:`repro.core.flatstore`
 * Section IV-A vertex orders          → :mod:`repro.core.ordering`
 * future-work streaming extension     → :mod:`repro.core.incremental`
 """
 
+from repro.core.flatstore import FlatDirection, FlatTILLLabels, FlatTILLStore
 from repro.core.index import IndexStats, TILLIndex
 from repro.core.incremental import IncrementalTILLIndex
 from repro.core.intervals import Interval, SkylineSet
@@ -24,6 +26,9 @@ from repro.core.windows import earliest_window, minimal_windows, tightest_window
 __all__ = [
     "TILLIndex",
     "IndexStats",
+    "FlatDirection",
+    "FlatTILLStore",
+    "FlatTILLLabels",
     "IncrementalTILLIndex",
     "Interval",
     "SkylineSet",

@@ -20,10 +20,17 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core import construction, online, queries
+from repro.core.flatstore import FlatTILLLabels, FlatTILLStore
 from repro.core.intervals import Interval, IntervalLike, as_interval
 from repro.core.labels import TILLLabels
 from repro.core.ordering import VertexOrder, make_order
-from repro.core.serialization import dump_index, load_index
+from repro.core.serialization import (
+    MAGIC_V3,
+    dump_index,
+    dump_index_v3,
+    load_flat_store,
+    load_index,
+)
 from repro.errors import (
     IndexBuildError,
     IndexFormatError,
@@ -100,6 +107,12 @@ class TILLIndex:
         self.method = method
         self.ordering_name = ordering_name
         self.build_seconds = build_seconds
+        #: Flat columnar twin of ``labels`` (set by :meth:`flatten` /
+        #: :meth:`compact`, or at :meth:`load` time for format-3 files).
+        #: When present, every query runs on the flat kernels.
+        self.flat: Optional[FlatTILLStore] = None
+        if isinstance(labels, FlatTILLLabels):
+            self.flat = labels.store
 
     # ------------------------------------------------------------------
     # construction
@@ -237,6 +250,11 @@ class TILLIndex:
             if fallback == "online":
                 return online.online_span_reachable(self.graph, ui, vi, window)
             self._check_support(window.length)
+        if self.flat is not None:
+            return queries.span_reachable_flat(
+                self.graph, self.flat, self.order.rank, ui, vi, window,
+                prefilter=prefilter,
+            )
         return queries.span_reachable(
             self.graph, self.labels, self.order.rank, ui, vi, window,
             prefilter=prefilter,
@@ -269,11 +287,21 @@ class TILLIndex:
         ui = self.graph.index_of(u)
         vi = self.graph.index_of(v)
         if algorithm == "sliding":
+            if self.flat is not None:
+                return queries.theta_reachable_flat(
+                    self.graph, self.flat, self.order.rank, ui, vi, window,
+                    theta, prefilter=prefilter,
+                )
             return queries.theta_reachable(
                 self.graph, self.labels, self.order.rank, ui, vi, window, theta,
                 prefilter=prefilter,
             )
         if algorithm == "naive":
+            if self.flat is not None:
+                return queries.theta_reachable_naive_flat(
+                    self.graph, self.flat, self.order.rank, ui, vi, window,
+                    theta, prefilter=prefilter,
+                )
             return queries.theta_reachable_naive(
                 self.graph, self.labels, self.order.rank, ui, vi, window, theta,
                 prefilter=prefilter,
@@ -416,9 +444,24 @@ class TILLIndex:
 
     def stats(self) -> IndexStats:
         """Aggregate index statistics (size experiments, Fig. 5/7/8)."""
-        per_vertex = [label.num_entries for label in self.labels.out_labels]
-        if self.graph.directed:
-            per_vertex += [label.num_entries for label in self.labels.in_labels]
+        if self.flat is not None:
+            # Per-vertex counts straight off the CSR offsets — no
+            # LabelSet materialisation on flat-loaded indexes.
+            per_vertex = [
+                self.flat.out.vertex_entry_count(ui)
+                for ui in range(self.flat.num_vertices)
+            ]
+            if self.graph.directed:
+                per_vertex += [
+                    self.flat.inn.vertex_entry_count(ui)
+                    for ui in range(self.flat.num_vertices)
+                ]
+        else:
+            per_vertex = [label.num_entries for label in self.labels.out_labels]
+            if self.graph.directed:
+                per_vertex += [
+                    label.num_entries for label in self.labels.in_labels
+                ]
         total = self.labels.total_entries()
         return IndexStats(
             num_vertices=self.graph.num_vertices,
@@ -467,22 +510,36 @@ class TILLIndex:
             )
 
     def compact(self) -> "TILLIndex":
-        """Repack label arrays into typed buffers (~4x less memory).
-
-        Query behaviour is unchanged; returns ``self`` for chaining.
+        """Repack label arrays into typed buffers (~4x less memory) and
+        build the flat columnar store (queries switch to the flat
+        kernels).  Answers are unchanged; returns ``self`` for chaining.
         """
         self.labels.compact()
+        return self.flatten()
+
+    def flatten(self) -> "TILLIndex":
+        """Build the :class:`~repro.core.flatstore.FlatTILLStore` twin
+        of the labels and route all queries through the flat Algorithm
+        4/5 kernels.  Idempotent; returns ``self`` for chaining.
+        """
+        if self.flat is None:
+            self.labels.finalize()
+            self.flat = FlatTILLStore.from_labels(self.labels)
         return self
 
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> None:
+    def save(self, path: Union[str, Path], format: int = 3) -> None:
         """Write the index (labels + order + metadata) to *path*.
 
-        The graph itself is not stored; :meth:`load` needs the same
-        graph again (an edge-count fingerprint is verified).
+        ``format=3`` (default) writes the flat columnar layout — the
+        file :meth:`load` can map zero-copy with ``mmap=True`` —
+        flattening the labels first if needed.  ``format=2`` writes the
+        legacy per-vertex block layout.  The graph itself is not
+        stored; :meth:`load` needs the same graph again (an edge-count
+        fingerprint is verified).
         """
         meta = {
             "method": self.method,
@@ -491,20 +548,55 @@ class TILLIndex:
             "num_edges": self.graph.num_edges,
         }
         vertex_labels = list(self.graph.vertices())
-        with open(path, "wb") as fh:
-            dump_index(
-                fh, self.labels, self.order.order, vertex_labels, self.vartheta, meta
-            )
+        if format == 3:
+            self.labels.finalize()
+            store = self.flat
+            if store is None:
+                store = FlatTILLStore.from_labels(self.labels)
+            with open(path, "wb") as fh:
+                dump_index_v3(
+                    fh, store, self.order.order, vertex_labels,
+                    self.vartheta, meta,
+                )
+            return
+        if format == 2:
+            self.labels.finalize()
+            with open(path, "wb") as fh:
+                dump_index(
+                    fh, self.labels, self.order.order, vertex_labels,
+                    self.vartheta, meta,
+                )
+            return
+        raise IndexFormatError(
+            f"unknown .till format {format!r}; supported formats: 2, 3"
+        )
 
     @classmethod
-    def load(cls, path: Union[str, Path], graph: TemporalGraph) -> "TILLIndex":
+    def load(
+        cls,
+        path: Union[str, Path],
+        graph: TemporalGraph,
+        mmap: bool = False,
+    ) -> "TILLIndex":
         """Read an index written by :meth:`save`, rebinding it to *graph*.
 
         The graph must match the one the index was built from; vertex
         labels, vertex count, edge count and directedness are checked.
+
+        ``mmap=True`` maps a format-3 file's label arrays zero-copy
+        (near-instant open; the OS page cache is shared across
+        processes).  Files of both formats load either way — a format-2
+        file is always read eagerly, and flat-loaded indexes answer
+        every query through the flat kernels.
         """
         with open(path, "rb") as fh:
-            labels, header = load_index(fh)
+            magic = fh.read(len(MAGIC_V3))
+        if magic == MAGIC_V3:
+            store, header = load_flat_store(path, use_mmap=mmap)
+            labels: TILLLabels = FlatTILLLabels(store)
+        else:
+            with open(path, "rb") as fh:
+                labels, header = load_index(fh)
         if not graph.frozen:
             graph.freeze()
         if header["directed"] != graph.directed:

@@ -160,7 +160,9 @@ class LabelSet:
         """
         assert self.finalized, "compact() requires a finalized label set"
         self.hub_ranks = array("i", self.hub_ranks)  # type: ignore[assignment]
-        self.offsets = array("i", self.offsets)  # type: ignore[assignment]
+        # offsets hold *cumulative* entry counts, so they outgrow the
+        # int32 range long before hub ranks do — pack as 64-bit.
+        self.offsets = array("q", self.offsets)  # type: ignore[assignment]
         self.starts = array("q", self.starts)  # type: ignore[assignment]
         self.ends = array("q", self.ends)  # type: ignore[assignment]
 

@@ -14,10 +14,28 @@ Provided algorithms
 * :func:`theta_reachable` — Algorithm 5 ``ES-Reach*``: the same
   merge-join with a sliding-window two-pointer pass per common hub.
 * :func:`theta_reachable_naive` — the paper's ``ES-Reach`` baseline: one
-  ``Span-Reach`` invocation per θ-length window.
+  ``Span-Reach`` invocation per θ-length window (window validation and
+  the Lemma 9/10 prefilter are hoisted out of the per-position loop).
 * :func:`covered` — the construction-time pruning check (Algorithm 3
   line 10), shared here because it is exactly a span query against a
   partially built index.
+
+Flat kernels
+------------
+
+The ``*_flat`` twins (:func:`span_reachable_flat`,
+:func:`theta_reachable_flat`, :func:`theta_reachable_naive_flat`) run
+the same algorithms directly over a
+:class:`~repro.core.flatstore.FlatTILLStore` — global CSR offsets, all
+array references bound to locals, no per-vertex ``LabelSet`` objects on
+the query path.  :func:`flat_span` / :func:`flat_theta` /
+:func:`flat_theta_naive` are the *unchecked* inner kernels (window
+already validated, ``ui != vi`` and prefilter handled by the caller);
+:func:`flat_span_batch` / :func:`flat_theta_batch` are their
+many-pairs forms with the buffer bindings hoisted out of the loop —
+the batch engine and shard planner call these directly.  All flat
+kernels are differentially identical to the object path (the ``flat``
+fuzz profile enforces this).
 """
 
 from __future__ import annotations
@@ -122,13 +140,25 @@ def span_reachable(
         and graph.has_in_edge_in(vi, window.start, window.end)
     ):
         return False
-    out_label = labels.out_labels[ui]
-    in_label = labels.in_labels[vi]
+    return _span_unchecked(
+        labels.out_labels[ui], labels.in_labels[vi], rank[vi], rank[ui], window
+    )
+
+
+def _span_unchecked(
+    out_label: LabelSet,
+    in_label: LabelSet,
+    rank_v: int,
+    rank_u: int,
+    window: Interval,
+) -> bool:
+    """Algorithm 4 conditions (i)-(iii) with validation, the ``ui == vi``
+    shortcut and the prefilter already handled by the caller."""
     # Condition (i): v itself is a hub of u's out-label.
-    if out_label.has_interval_within(rank[vi], window):
+    if out_label.has_interval_within(rank_v, window):
         return True
     # Condition (ii): u itself is a hub of v's in-label.
-    if in_label.has_interval_within(rank[ui], window):
+    if in_label.has_interval_within(rank_u, window):
         return True
     # Condition (iii): a common higher-ranked hub covers the pair.
     return _common_hub_within(out_label, in_label, window)
@@ -270,6 +300,11 @@ def theta_reachable_naive(
     """The paper's ``ES-Reach`` baseline: slide a θ-length window over
     the query interval and run ``Span-Reach`` for each position.
 
+    Validation and the Lemma 9/10 prefilter run *once*, over the full
+    window, before the loop; each θ-position then hits the unchecked
+    span kernel directly.  (The full-window prefilter is sound: an edge
+    inside any subwindow is an edge inside the window.)
+
     Raises :class:`~repro.errors.InvalidIntervalError` for ``theta < 1``
     or a window shorter than ``theta`` (previously the empty ``range``
     silently returned ``False`` where the facade rejects the query).
@@ -277,8 +312,404 @@ def theta_reachable_naive(
     window = validate_theta_window(window, theta)
     if ui == vi:
         return True
+    if prefilter and not (
+        graph.has_out_edge_in(ui, window.start, window.end)
+        and graph.has_in_edge_in(vi, window.start, window.end)
+    ):
+        return False
+    out_label = labels.out_labels[ui]
+    in_label = labels.in_labels[vi]
+    rank_v, rank_u = rank[vi], rank[ui]
     for start in range(window.start, window.end - theta + 2):
         sub = Interval(start, start + theta - 1)
-        if span_reachable(graph, labels, rank, ui, vi, sub, prefilter=prefilter):
+        if _span_unchecked(out_label, in_label, rank_v, rank_u, sub):
             return True
     return False
+
+
+# ----------------------------------------------------------------------
+# flat kernels (repro.core.flatstore)
+# ----------------------------------------------------------------------
+
+
+def flat_span(store, rank, ui, vi, ws, we) -> bool:
+    """Unchecked Algorithm 4 over a :class:`FlatTILLStore`.
+
+    Assumes a valid window ``[ws, we]``, ``ui != vi``, and any desired
+    prefilter already applied.  Every buffer reference is bound to a
+    local before the scan; the per-group containment probe is the
+    skyline binary search of :func:`repro.core.intervals.first_contained`
+    inlined against the global offset arrays.
+    """
+    out = store.out
+    inn = store.inn
+    o_voff = out.vertex_offsets
+    o_hubs = out.hub_ranks
+    o_ioff = out.interval_offsets
+    o_starts = out.starts
+    o_ends = out.ends
+    i_voff = inn.vertex_offsets
+    i_hubs = inn.hub_ranks
+    i_ioff = inn.interval_offsets
+    i_starts = inn.starts
+    i_ends = inn.ends
+    a0, a1 = o_voff[ui], o_voff[ui + 1]
+    b0, b1 = i_voff[vi], i_voff[vi + 1]
+    # Condition (i): v itself is a hub of u's out-label.
+    g = bisect_left(o_hubs, rank[vi], a0, a1)
+    if g < a1 and o_hubs[g] == rank[vi]:
+        lo, hi = o_ioff[g], o_ioff[g + 1]
+        k = bisect_left(o_starts, ws, lo, hi)
+        if k < hi and o_ends[k] <= we:
+            return True
+    # Condition (ii): u itself is a hub of v's in-label.
+    g = bisect_left(i_hubs, rank[ui], b0, b1)
+    if g < b1 and i_hubs[g] == rank[ui]:
+        lo, hi = i_ioff[g], i_ioff[g + 1]
+        k = bisect_left(i_starts, ws, lo, hi)
+        if k < hi and i_ends[k] <= we:
+            return True
+    # Condition (iii): rank-ordered merge-join over the two hub slices.
+    i, j = a0, b0
+    while i < a1 and j < b1:
+        ha = o_hubs[i]
+        hb = i_hubs[j]
+        if ha < hb:
+            i += 1
+        elif ha > hb:
+            j += 1
+        else:
+            lo, hi = o_ioff[i], o_ioff[i + 1]
+            k = bisect_left(o_starts, ws, lo, hi)
+            if k < hi and o_ends[k] <= we:
+                lo, hi = i_ioff[j], i_ioff[j + 1]
+                k = bisect_left(i_starts, ws, lo, hi)
+                if k < hi and i_ends[k] <= we:
+                    return True
+            i += 1
+            j += 1
+    return False
+
+
+def flat_theta(store, rank, ui, vi, ws, we, theta) -> bool:
+    """Unchecked Algorithm 5 (``ES-Reach*``) over a flat store.
+
+    Same caller contract as :func:`flat_span`; additionally assumes the
+    window passed :func:`~repro.core.intervals.validate_theta_window`.
+    """
+    out = store.out
+    inn = store.inn
+    o_voff = out.vertex_offsets
+    o_hubs = out.hub_ranks
+    o_ioff = out.interval_offsets
+    o_starts = out.starts
+    o_ends = out.ends
+    i_voff = inn.vertex_offsets
+    i_hubs = inn.hub_ranks
+    i_ioff = inn.interval_offsets
+    i_starts = inn.starts
+    i_ends = inn.ends
+    a0, a1 = o_voff[ui], o_voff[ui + 1]
+    b0, b1 = i_voff[vi], i_voff[vi + 1]
+    # Conditions (1)/(2): a single ≤θ entry whose hub is the other
+    # endpoint.  The contained members form a contiguous chronological
+    # run; lengths are not monotone, so the run is scanned.
+    g = bisect_left(o_hubs, rank[vi], a0, a1)
+    if g < a1 and o_hubs[g] == rank[vi]:
+        lo, hi = o_ioff[g], o_ioff[g + 1]
+        k = bisect_left(o_starts, ws, lo, hi)
+        while k < hi and o_ends[k] <= we:
+            if o_ends[k] - o_starts[k] + 1 <= theta:
+                return True
+            k += 1
+    g = bisect_left(i_hubs, rank[ui], b0, b1)
+    if g < b1 and i_hubs[g] == rank[ui]:
+        lo, hi = i_ioff[g], i_ioff[g + 1]
+        k = bisect_left(i_starts, ws, lo, hi)
+        while k < hi and i_ends[k] <= we:
+            if i_ends[k] - i_starts[k] + 1 <= theta:
+                return True
+            k += 1
+    # Condition (3): merge-join, two-pointer pass per common hub
+    # (Algorithm 5 lines 9-21) — advance whichever contained interval
+    # starts earlier, since any later partner only grows the union.
+    i, j = a0, b0
+    while i < a1 and j < b1:
+        ha = o_hubs[i]
+        hb = i_hubs[j]
+        if ha < hb:
+            i += 1
+        elif ha > hb:
+            j += 1
+        else:
+            o_lo, o_hi = o_ioff[i], o_ioff[i + 1]
+            n_lo, n_hi = i_ioff[j], i_ioff[j + 1]
+            k = bisect_left(o_starts, ws, o_lo, o_hi)
+            kp = bisect_left(i_starts, ws, n_lo, n_hi)
+            while k < o_hi and kp < n_hi:
+                oe = o_ends[k]
+                ne = i_ends[kp]
+                if oe > we or ne > we:
+                    break
+                os_ = o_starts[k]
+                ns = i_starts[kp]
+                span = (oe if oe > ne else ne) - (os_ if os_ < ns else ns) + 1
+                if span <= theta:
+                    return True
+                if os_ <= ns:
+                    k += 1
+                else:
+                    kp += 1
+            i += 1
+            j += 1
+    return False
+
+
+def flat_theta_naive(store, rank, ui, vi, ws, we, theta) -> bool:
+    """Unchecked ``ES-Reach`` baseline over a flat store: one
+    :func:`flat_span` probe per θ-position."""
+    for start in range(ws, we - theta + 2):
+        if flat_span(store, rank, ui, vi, start, start + theta - 1):
+            return True
+    return False
+
+
+def flat_span_batch(store, rank, pairs, ws, we) -> list:
+    """Unchecked Algorithm 4 over many ``(ui, vi)`` pairs at once.
+
+    Answer-for-answer identical to :func:`flat_span` per pair, with the
+    ten buffer bindings hoisted out of the loop — on a serving batch
+    those attribute loads rival the probe itself, so the batch form is
+    what :class:`~repro.serve.QueryEngine` feeds its deduplicated
+    misses through.  Pairs may arrive in any order; consecutive pairs
+    sharing a source (the engine's by-source grouping) additionally
+    reuse the source-side slice bounds and rank.
+    """
+    out = store.out
+    inn = store.inn
+    o_voff = out.vertex_offsets
+    o_hubs = out.hub_ranks
+    o_ioff = out.interval_offsets
+    o_starts = out.starts
+    o_ends = out.ends
+    i_voff = inn.vertex_offsets
+    i_hubs = inn.hub_ranks
+    i_ioff = inn.interval_offsets
+    i_starts = inn.starts
+    i_ends = inn.ends
+    answers = []
+    append = answers.append
+    last_ui = a0 = a1 = ru = -1
+    for ui, vi in pairs:
+        hit = False
+        if ui != last_ui:
+            last_ui = ui
+            a0, a1 = o_voff[ui], o_voff[ui + 1]
+            ru = rank[ui]
+        # Condition (i): v itself is a hub of u's out-label.  Probes
+        # test the group's first in-range entry directly before paying
+        # a bisect call — wide serving windows nearly always hit it.
+        rv = rank[vi]
+        g = bisect_left(o_hubs, rv, a0, a1)
+        if g < a1 and o_hubs[g] == rv:
+            lo, hi = o_ioff[g], o_ioff[g + 1]
+            k = lo if o_starts[lo] >= ws \
+                else bisect_left(o_starts, ws, lo, hi)
+            if k < hi and o_ends[k] <= we:
+                hit = True
+        if not hit:
+            b0, b1 = i_voff[vi], i_voff[vi + 1]
+            # Condition (ii): u itself is a hub of v's in-label.
+            g = bisect_left(i_hubs, ru, b0, b1)
+            if g < b1 and i_hubs[g] == ru:
+                lo, hi = i_ioff[g], i_ioff[g + 1]
+                k = lo if i_starts[lo] >= ws \
+                    else bisect_left(i_starts, ws, lo, hi)
+                if k < hi and i_ends[k] <= we:
+                    hit = True
+            if not hit:
+                # Condition (iii): rank-ordered merge-join.
+                i, j = a0, b0
+                while i < a1 and j < b1:
+                    ha = o_hubs[i]
+                    hb = i_hubs[j]
+                    if ha < hb:
+                        i += 1
+                    elif ha > hb:
+                        j += 1
+                    else:
+                        lo, hi = o_ioff[i], o_ioff[i + 1]
+                        k = lo if o_starts[lo] >= ws \
+                            else bisect_left(o_starts, ws, lo, hi)
+                        if k < hi and o_ends[k] <= we:
+                            lo, hi = i_ioff[j], i_ioff[j + 1]
+                            k = lo if i_starts[lo] >= ws \
+                                else bisect_left(i_starts, ws, lo, hi)
+                            if k < hi and i_ends[k] <= we:
+                                hit = True
+                                break
+                        i += 1
+                        j += 1
+        append(hit)
+    return answers
+
+
+def flat_theta_batch(store, rank, pairs, ws, we, theta) -> list:
+    """Unchecked Algorithm 5 over many ``(ui, vi)`` pairs at once
+    (:func:`flat_theta` per pair, buffer bindings hoisted like
+    :func:`flat_span_batch`)."""
+    out = store.out
+    inn = store.inn
+    o_voff = out.vertex_offsets
+    o_hubs = out.hub_ranks
+    o_ioff = out.interval_offsets
+    o_starts = out.starts
+    o_ends = out.ends
+    i_voff = inn.vertex_offsets
+    i_hubs = inn.hub_ranks
+    i_ioff = inn.interval_offsets
+    i_starts = inn.starts
+    i_ends = inn.ends
+    answers = []
+    append = answers.append
+    last_ui = a0 = a1 = ru = -1
+    for ui, vi in pairs:
+        hit = False
+        if ui != last_ui:
+            last_ui = ui
+            a0, a1 = o_voff[ui], o_voff[ui + 1]
+            ru = rank[ui]
+        # Conditions (1)/(2): a single ≤θ entry whose hub is the other
+        # endpoint, scanned over the contained chronological run.
+        rv = rank[vi]
+        g = bisect_left(o_hubs, rv, a0, a1)
+        if g < a1 and o_hubs[g] == rv:
+            lo, hi = o_ioff[g], o_ioff[g + 1]
+            k = lo if o_starts[lo] >= ws \
+                else bisect_left(o_starts, ws, lo, hi)
+            while k < hi and o_ends[k] <= we:
+                if o_ends[k] - o_starts[k] + 1 <= theta:
+                    hit = True
+                    break
+                k += 1
+        b0, b1 = i_voff[vi], i_voff[vi + 1]
+        if not hit:
+            g = bisect_left(i_hubs, ru, b0, b1)
+            if g < b1 and i_hubs[g] == ru:
+                lo, hi = i_ioff[g], i_ioff[g + 1]
+                k = lo if i_starts[lo] >= ws \
+                    else bisect_left(i_starts, ws, lo, hi)
+                while k < hi and i_ends[k] <= we:
+                    if i_ends[k] - i_starts[k] + 1 <= theta:
+                        hit = True
+                        break
+                    k += 1
+        if not hit:
+            # Condition (3): merge-join + two-pointer pass per common hub.
+            i, j = a0, b0
+            while i < a1 and j < b1:
+                ha = o_hubs[i]
+                hb = i_hubs[j]
+                if ha < hb:
+                    i += 1
+                elif ha > hb:
+                    j += 1
+                else:
+                    o_lo, o_hi = o_ioff[i], o_ioff[i + 1]
+                    n_lo, n_hi = i_ioff[j], i_ioff[j + 1]
+                    k = bisect_left(o_starts, ws, o_lo, o_hi)
+                    kp = bisect_left(i_starts, ws, n_lo, n_hi)
+                    while k < o_hi and kp < n_hi:
+                        oe = o_ends[k]
+                        ne = i_ends[kp]
+                        if oe > we or ne > we:
+                            break
+                        os_ = o_starts[k]
+                        ns = i_starts[kp]
+                        span = (oe if oe > ne else ne) \
+                            - (os_ if os_ < ns else ns) + 1
+                        if span <= theta:
+                            hit = True
+                            break
+                        if os_ <= ns:
+                            k += 1
+                        else:
+                            kp += 1
+                    if hit:
+                        break
+                    i += 1
+                    j += 1
+        append(hit)
+    return answers
+
+
+def span_reachable_flat(
+    graph: TemporalGraph,
+    store,
+    rank: list,
+    ui: int,
+    vi: int,
+    window: Interval,
+    prefilter: bool = True,
+) -> bool:
+    """Validated :func:`span_reachable` twin running on a flat store.
+
+    Same contract (window validation before the ``ui == vi`` shortcut,
+    Lemma 9/10 prefilter) and differentially identical answers.
+    """
+    window = as_interval(window)
+    if ui == vi:
+        return True
+    if prefilter and not (
+        graph.has_out_edge_in(ui, window.start, window.end)
+        and graph.has_in_edge_in(vi, window.start, window.end)
+    ):
+        return False
+    return flat_span(store, rank, ui, vi, window.start, window.end)
+
+
+def theta_reachable_flat(
+    graph: TemporalGraph,
+    store,
+    rank: list,
+    ui: int,
+    vi: int,
+    window: Interval,
+    theta: int,
+    prefilter: bool = True,
+) -> bool:
+    """Validated :func:`theta_reachable` twin running on a flat store."""
+    window = validate_theta_window(window, theta)
+    if ui == vi:
+        return True
+    if prefilter and not (
+        graph.has_out_edge_in(ui, window.start, window.end)
+        and graph.has_in_edge_in(vi, window.start, window.end)
+    ):
+        return False
+    return flat_theta(store, rank, ui, vi, window.start, window.end, theta)
+
+
+def theta_reachable_naive_flat(
+    graph: TemporalGraph,
+    store,
+    rank: list,
+    ui: int,
+    vi: int,
+    window: Interval,
+    theta: int,
+    prefilter: bool = True,
+) -> bool:
+    """Validated :func:`theta_reachable_naive` twin on a flat store
+    (validate/prefilter once, then the unchecked per-position loop)."""
+    window = validate_theta_window(window, theta)
+    if ui == vi:
+        return True
+    if prefilter and not (
+        graph.has_out_edge_in(ui, window.start, window.end)
+        and graph.has_in_edge_in(vi, window.start, window.end)
+    ):
+        return False
+    return flat_theta_naive(
+        store, rank, ui, vi, window.start, window.end, theta
+    )

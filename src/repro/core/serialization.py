@@ -1,7 +1,10 @@
 """Binary (de)serialization of a built TILL-Index.
 
-File layout (little-endian)
----------------------------
+Two on-disk formats share one reader entry point; the 8-byte magic
+carries the version.
+
+Format 2 (``TILLIDX1``, per-vertex label blocks)
+------------------------------------------------
 
 ::
 
@@ -36,6 +39,29 @@ operates on them directly.  Offsets are validated for strict
 monotonicity at load time so a corrupt file fails loudly here instead
 of as an ``IndexError`` deep inside a query.
 
+Format 3 (``TILLIDX3``, flat columnar section)
+----------------------------------------------
+
+::
+
+    magic    8 bytes  b"TILLIDX3"
+    hlen     u32      length of the JSON header
+    header   hlen     v2 keys plus {"format": 3, "flat": {...}}
+    padding           zero bytes to the next multiple of 8 *from file
+                      start*, so every 64-bit array is naturally aligned
+    section           the five flat buffers per direction, verbatim
+
+The ``flat`` descriptor records ``section_len``, ``crc32``, and, per
+direction, the section-relative byte offset of each buffer (each padded
+to 8-byte alignment).  The buffers are exactly the
+:class:`~repro.core.flatstore.FlatDirection` arrays — little-endian
+``q``/``i`` machine words — so loading is either one ``frombytes`` per
+buffer (eager, checksum-verified) or zero-copy ``memoryview`` casts
+over an ``mmap`` (near-instant open; the checksum is *skipped* and only
+O(1) bounds/endpoint checks run — see ``docs/file_format.md``).
+Zero-copy mapping requires a little-endian host; big-endian hosts fall
+back to the eager byteswapping path automatically.
+
 Vertex labels are stored as JSON, which deliberately restricts them to
 JSON-representable values (str, int, float, bool, None) — a safe,
 pickle-free format.  Note that JSON round-trips tuples as lists; use
@@ -46,16 +72,23 @@ from __future__ import annotations
 
 import io
 import json
+import mmap as _mmap
 import struct
+import sys
 import zlib
 from array import array
-from typing import Any, BinaryIO, Dict, List, Tuple
+from pathlib import Path
+from typing import Any, BinaryIO, Dict, List, Tuple, Union
 
+from repro.core.flatstore import ARRAY_FIELDS, FlatDirection, FlatTILLStore
 from repro.core.labels import LabelSet, TILLLabels
 from repro.errors import IndexFormatError
 
 MAGIC = b"TILLIDX1"
+MAGIC_V3 = b"TILLIDX3"
 _U32 = struct.Struct("<I")
+_INT32_MAX = 2**31 - 1
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 
 def _write_array(fh: BinaryIO, typecode: str, values: List[int]) -> None:
@@ -73,6 +106,13 @@ def _read_array(fh: BinaryIO, typecode: str, count: int) -> array:
 
 
 def _write_label_set(fh: BinaryIO, label: LabelSet) -> None:
+    if label.num_entries > _INT32_MAX:
+        # Format 2 packs offsets as int32; cumulative entry counts
+        # beyond 2^31-1 cannot round-trip.  Fail loudly with the fix.
+        raise IndexFormatError(
+            f"label set has {label.num_entries} entries, beyond the 32-bit "
+            "offset range of format 2; save with format=3 instead"
+        )
     fh.write(_U32.pack(label.num_hubs))
     fh.write(_U32.pack(label.num_entries))
     _write_array(fh, "i", label.hub_ranks)
@@ -153,14 +193,23 @@ def dump_index(
 
 
 def load_index(fh: BinaryIO) -> Tuple[TILLLabels, Dict[str, Any]]:
-    """Read an index written by :func:`dump_index`.
+    """Read an index written by :func:`dump_index` or :func:`dump_index_v3`.
 
-    Returns the label family plus the decoded JSON header.
+    Returns the label family plus the decoded JSON header.  Format-3
+    files come back as a :class:`~repro.core.flatstore.FlatTILLLabels`
+    adapter over the (eagerly loaded) flat store; use
+    :func:`load_flat_store` for the zero-copy ``mmap`` path.
     """
     magic = fh.read(len(MAGIC))
+    if magic == MAGIC_V3:
+        from repro.core.flatstore import FlatTILLLabels
+
+        store, header = _read_v3_stream(fh)
+        return FlatTILLLabels(store), header
     if magic != MAGIC:
         raise IndexFormatError(
-            f"not a TILL index file (bad magic {magic!r}, expected {MAGIC!r})"
+            f"not a TILL index file (bad magic {magic!r}, expected "
+            f"{MAGIC!r} or {MAGIC_V3!r})"
         )
     raw = fh.read(4)
     if len(raw) != 4:
@@ -194,3 +243,223 @@ def load_index(fh: BinaryIO) -> Tuple[TILLLabels, Dict[str, Any]]:
     if body.read(1):
         raise IndexFormatError("corrupt index file: trailing bytes after labels")
     return labels, header
+
+
+# ----------------------------------------------------------------------
+# format 3: flat columnar section
+# ----------------------------------------------------------------------
+
+
+def _align8(pos: int) -> int:
+    return pos + (-pos) % 8
+
+
+def _le_bytes(buf, typecode: str) -> bytes:
+    """Serialize an indexable int buffer as little-endian machine words."""
+    arr = array(typecode, buf)
+    if not _LITTLE_ENDIAN:
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def dump_index_v3(
+    fh: BinaryIO,
+    store: FlatTILLStore,
+    order: List[int],
+    vertex_labels: List[Any],
+    vartheta: Any,
+    meta: Dict[str, Any],
+) -> None:
+    """Serialize a flat store plus its metadata as a format-3 file."""
+    directions = [store.out]
+    if store.directed:
+        directions.append(store.inn)
+    blobs: List[bytes] = []
+    dirs_meta: List[Dict[str, int]] = []
+    off = 0
+    for direction in directions:
+        entry: Dict[str, int] = {
+            "num_hubs": direction.num_hubs,
+            "num_entries": direction.num_entries,
+        }
+        for field, typecode in ARRAY_FIELDS:
+            data = _le_bytes(getattr(direction, field), typecode)
+            pad = (-off) % 8
+            if pad:
+                blobs.append(b"\x00" * pad)
+                off += pad
+            entry[field] = off
+            blobs.append(data)
+            off += len(data)
+        dirs_meta.append(entry)
+    section = b"".join(blobs)
+    header = {
+        "format": 3,
+        "directed": store.directed,
+        "vartheta": vartheta,
+        "num_vertices": store.num_vertices,
+        "vertex_labels": vertex_labels,
+        "order": list(order),
+        "meta": meta,
+        "flat": {
+            "section_len": len(section),
+            "crc32": zlib.crc32(section),
+            "align": 8,
+            "directions": dirs_meta,
+        },
+    }
+    try:
+        encoded = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    except TypeError as exc:
+        raise IndexFormatError(
+            "vertex labels must be JSON-serializable to save an index; "
+            "relabel the graph with scalar vertex ids first"
+        ) from exc
+    fh.write(MAGIC_V3)
+    fh.write(_U32.pack(len(encoded)))
+    fh.write(encoded)
+    pos = len(MAGIC_V3) + 4 + len(encoded)
+    fh.write(b"\x00" * (_align8(pos) - pos))
+    fh.write(section)
+
+
+def _read_v3_header(fh: BinaryIO) -> Tuple[Dict[str, Any], Dict[str, Any], int]:
+    """Header, flat descriptor and absolute section offset (magic
+    already consumed from *fh*)."""
+    raw = fh.read(4)
+    if len(raw) != 4:
+        raise IndexFormatError("truncated index file: missing header length")
+    (hlen,) = _U32.unpack(raw)
+    try:
+        header = json.loads(fh.read(hlen).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IndexFormatError("corrupt index file: undecodable header") from exc
+    flat_meta = header.get("flat")
+    if not isinstance(flat_meta, dict):
+        raise IndexFormatError(
+            "corrupt index file: format-3 header lacks the flat descriptor"
+        )
+    return header, flat_meta, _align8(len(MAGIC_V3) + 4 + hlen)
+
+
+def _direction_from_buffer(mv, dmeta: Dict[str, Any], num_vertices: int, copy: bool) -> FlatDirection:
+    """One direction from a flat-section buffer: typed-array copies when
+    *copy*, zero-copy ``memoryview`` casts otherwise."""
+    counts = {
+        "vertex_offsets": num_vertices + 1,
+        "interval_offsets": dmeta["num_hubs"] + 1,
+        "starts": dmeta["num_entries"],
+        "ends": dmeta["num_entries"],
+        "hub_ranks": dmeta["num_hubs"],
+    }
+    bufs: Dict[str, Any] = {}
+    for field, typecode in ARRAY_FIELDS:
+        itemsize = array(typecode).itemsize
+        off = dmeta[field]
+        nbytes = counts[field] * itemsize
+        if off < 0 or off + nbytes > len(mv):
+            raise IndexFormatError(
+                f"corrupt index file: flat buffer {field!r} out of bounds"
+            )
+        chunk = mv[off : off + nbytes]
+        if copy:
+            arr = array(typecode)
+            arr.frombytes(chunk)
+            if not _LITTLE_ENDIAN:
+                arr.byteswap()
+            bufs[field] = arr
+        else:
+            bufs[field] = chunk.cast(typecode)
+    direction = FlatDirection(
+        num_vertices,
+        bufs["vertex_offsets"],
+        bufs["hub_ranks"],
+        bufs["interval_offsets"],
+        bufs["starts"],
+        bufs["ends"],
+    )
+    # O(1) endpoint checks — the section CRC (eager path) or the `flat`
+    # fuzz profile (mmap path) covers the interior.
+    voff, ioff = direction.vertex_offsets, direction.interval_offsets
+    if voff[0] != 0 or voff[-1] != dmeta["num_hubs"]:
+        raise IndexFormatError(
+            "corrupt index file: flat vertex offsets are inconsistent"
+        )
+    if ioff[0] != 0 or ioff[-1] != dmeta["num_entries"]:
+        raise IndexFormatError(
+            "corrupt index file: flat interval offsets are inconsistent"
+        )
+    return direction
+
+
+def _store_from_section(mv, header: Dict[str, Any], copy: bool) -> FlatTILLStore:
+    dirs_meta = header["flat"]["directions"]
+    directed = header["directed"]
+    expected = 2 if directed else 1
+    if len(dirs_meta) != expected:
+        raise IndexFormatError(
+            f"corrupt index file: {len(dirs_meta)} flat directions, "
+            f"expected {expected}"
+        )
+    n = header["num_vertices"]
+    out = _direction_from_buffer(mv, dirs_meta[0], n, copy)
+    inn = _direction_from_buffer(mv, dirs_meta[1], n, copy) if directed else out
+    return FlatTILLStore(directed, out, inn)
+
+
+def _read_v3_stream(fh: BinaryIO) -> Tuple[FlatTILLStore, Dict[str, Any]]:
+    """Eager (checksum-verified) format-3 load; magic already consumed."""
+    header, flat_meta, section_start = _read_v3_header(fh)
+    pad = fh.read(section_start - fh.tell())
+    if pad.strip(b"\x00"):
+        raise IndexFormatError("corrupt index file: nonzero flat padding")
+    section = fh.read(flat_meta["section_len"])
+    if len(section) != flat_meta["section_len"]:
+        raise IndexFormatError("truncated index file: flat section too short")
+    if zlib.crc32(section) != flat_meta["crc32"]:
+        raise IndexFormatError(
+            "corrupt index file: flat section checksum mismatch (bit rot "
+            "or a truncated/overwritten file)"
+        )
+    if fh.read(1):
+        raise IndexFormatError(
+            "corrupt index file: trailing bytes after the flat section"
+        )
+    return _store_from_section(memoryview(section), header, copy=True), header
+
+
+def load_flat_store(
+    path: Union[str, Path], use_mmap: bool = False
+) -> Tuple[FlatTILLStore, Dict[str, Any]]:
+    """Load a format-3 index file as a :class:`FlatTILLStore`.
+
+    ``use_mmap=True`` maps the flat section zero-copy (little-endian
+    hosts only — others fall back to the eager path): the store's
+    buffers are ``memoryview`` casts over the OS page cache, the file's
+    checksum is *not* verified, and the returned store keeps the mapping
+    alive for its own lifetime.
+    """
+    with open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC_V3))
+        if magic != MAGIC_V3:
+            raise IndexFormatError(
+                f"not a format-3 TILL index file (bad magic {magic!r}, "
+                f"expected {MAGIC_V3!r})"
+            )
+        if not use_mmap or not _LITTLE_ENDIAN:
+            return _read_v3_stream(fh)
+        header, flat_meta, section_start = _read_v3_header(fh)
+        mm = _mmap.mmap(fh.fileno(), 0, access=_mmap.ACCESS_READ)
+    section_len = flat_meta["section_len"]
+    if len(mm) < section_start + section_len:
+        mm.close()
+        raise IndexFormatError("truncated index file: flat section too short")
+    base = memoryview(mm)[section_start : section_start + section_len]
+    try:
+        store = _store_from_section(base, header, copy=False)
+    except Exception:
+        base.release()
+        mm.close()
+        raise
+    store._mmap = mm
+    return store, header

@@ -20,7 +20,12 @@ comparing answers:
 * sharded: every :class:`~repro.shard.ShardedTILLIndex` answer —
   contained, stitched and fallback routes, scalar and batch — against
   the monolithic index, the online BFS and the brute-force oracle
-  (:func:`check_sharded_index`).
+  (:func:`check_sharded_index`);
+* flat: the rewritten flat kernels
+  (:func:`~repro.core.queries.span_reachable_flat` and the θ twins)
+  over a :class:`~repro.core.flatstore.FlatTILLStore` — built in
+  memory and via a format-3 save → mmap-load round trip — against the
+  object-path index and the oracles (:func:`check_flat_index`).
 
 Disagreements come back as :class:`Mismatch` records; :func:`replay`
 re-runs exactly the family of checks that produced a mismatch, which
@@ -521,6 +526,179 @@ def check_sharded_query(
 
 
 # ----------------------------------------------------------------------
+# flat kernels vs the object path
+# ----------------------------------------------------------------------
+
+
+def _flat_view(index: "TILLIndex", via_file: bool):
+    """A :class:`FlatTILLStore` over ``index.labels``.
+
+    With ``via_file`` the store is round-tripped through a format-3
+    ``.till`` file and mmap-loaded, so the serialized layout and the
+    zero-copy reader are part of the differential surface.  The temp
+    file is unlinked immediately — on POSIX the mapping stays valid.
+    """
+    from repro.core.flatstore import FlatTILLStore
+
+    index.labels.finalize()
+    if not via_file:
+        return FlatTILLStore.from_labels(index.labels)
+
+    import os
+    import tempfile
+
+    from repro.core.serialization import load_flat_store
+
+    fd, path = tempfile.mkstemp(suffix=".till", prefix="fuzz-flat-")
+    os.close(fd)
+    try:
+        index.save(path, format=3)
+        store, _header = load_flat_store(path, use_mmap=True)
+    finally:
+        os.unlink(path)
+    return store
+
+
+def _check_flat_span(index, store, u, v, win, found, prefix) -> None:
+    from repro.core import queries
+
+    graph = index.graph
+    rank = index.order.rank
+    ui, vi = graph.index_of(u), graph.index_of(v)
+    # The object path, bypassing the facade's ϑ-cap raise so over-cap
+    # windows still differentiate flat vs object on the same labels.
+    obj = queries.span_reachable(graph, index.labels, rank, ui, vi, win)
+    flat = queries.span_reachable_flat(graph, store, rank, ui, vi, win)
+    if flat != obj:
+        _mismatch(found, prefix + "span",
+                  f"flat={flat}, object={obj}", u, v, win)
+    flat_nopre = queries.span_reachable_flat(
+        graph, store, rank, ui, vi, win, prefilter=False
+    )
+    if flat_nopre != obj:
+        _mismatch(found, prefix + "span-noprefilter",
+                  f"flat(prefilter=False)={flat_nopre}, object={obj}",
+                  u, v, win)
+    if index.vartheta is None or win.length <= index.vartheta:
+        want = span_reaches_bruteforce(graph, u, v, win)
+        if flat != want:
+            _mismatch(found, prefix + "span-oracle",
+                      f"flat={flat}, oracle={want}", u, v, win)
+
+
+def _check_flat_theta(index, store, u, v, win, theta, found, prefix) -> None:
+    from repro.core import queries
+
+    graph = index.graph
+    rank = index.order.rank
+    ui, vi = graph.index_of(u), graph.index_of(v)
+    obj = queries.theta_reachable(graph, index.labels, rank, ui, vi, win,
+                                  theta)
+    flat = queries.theta_reachable_flat(graph, store, rank, ui, vi, win,
+                                        theta)
+    if flat != obj:
+        _mismatch(found, prefix + "theta",
+                  f"flat={flat}, object={obj}", u, v, win, theta)
+    naive = queries.theta_reachable_naive_flat(graph, store, rank, ui, vi,
+                                               win, theta)
+    if naive != obj:
+        _mismatch(found, prefix + "theta-naive",
+                  f"flat naive={naive}, object={obj}", u, v, win, theta)
+    nopre = queries.theta_reachable_flat(graph, store, rank, ui, vi, win,
+                                         theta, prefilter=False)
+    if nopre != obj:
+        _mismatch(found, prefix + "theta-noprefilter",
+                  f"flat(prefilter=False)={nopre}, object={obj}",
+                  u, v, win, theta)
+    if index.vartheta is None or theta <= index.vartheta:
+        want = theta_reaches_bruteforce(graph, u, v, win, theta)
+        if flat != want:
+            _mismatch(found, prefix + "theta-oracle",
+                      f"flat={flat}, oracle={want}", u, v, win, theta)
+
+
+def check_flat_query(
+    index: "TILLIndex",
+    u,
+    v,
+    window: Tuple[int, int],
+    theta: Optional[int] = None,
+    via_file: bool = False,
+) -> List[Mismatch]:
+    """Flatten ``index.labels`` and check one query through the flat
+    kernels against the object path and the brute-force oracle.
+
+    The self-contained entry point used by :func:`replay` and the
+    shrinker's emitted pytest repros: the flat store is rebuilt from
+    the index's labels on every call (through a format-3 save →
+    mmap-load round trip when *via_file* is set), so a mismatch
+    reproduces from nothing but the graph and the query.
+    """
+    win = as_interval(window)
+    store = _flat_view(index, via_file)
+    prefix = "flatio:" if via_file else "flat:"
+    found: List[Mismatch] = []
+    if theta is None:
+        _check_flat_span(index, store, u, v, win, found, prefix)
+    else:
+        _check_flat_theta(index, store, u, v, win, theta, found, prefix)
+    return found
+
+
+def check_flat_index(
+    index: "TILLIndex",
+    samples: int = 100,
+    seed: int = 0,
+    theta_samples: Optional[int] = None,
+    first_failure: bool = False,
+    via_file: bool = False,
+) -> List[Mismatch]:
+    """Randomized flat-vs-object sweep over *index*.
+
+    Windows deliberately overshoot the lifetime and any ϑ cap — the
+    flat kernels must track the object path bit-for-bit everywhere,
+    while the oracle comparison only applies within the cap (over-cap
+    windows were never fully indexed).  One flat store is built up
+    front (mmap round-tripped when *via_file* is set) and reused for
+    the whole sweep, mirroring how the serving layer holds it.
+    """
+    graph = index.graph
+    n = graph.num_vertices
+    if n < 2 or graph.min_time is None:
+        return []
+    if theta_samples is None:
+        theta_samples = max(1, samples // 3)
+    rng = random.Random(f"flat:{seed}")
+    lo, hi = graph.min_time, graph.max_time
+    lifetime = graph.lifetime
+    store = _flat_view(index, via_file)
+    prefix = "flatio:" if via_file else "flat:"
+    found: List[Mismatch] = []
+
+    for _ in range(samples):
+        u = graph.label_of(rng.randrange(n))
+        v = graph.label_of(rng.randrange(n))
+        length = rng.randint(1, lifetime + 2)
+        start = rng.randint(lo - 2, hi + 1)
+        win = Interval(start, start + length - 1)
+        _check_flat_span(index, store, u, v, win, found, prefix)
+        if found and first_failure:
+            return found[:1]
+
+    for _ in range(theta_samples):
+        u = graph.label_of(rng.randrange(n))
+        v = graph.label_of(rng.randrange(n))
+        length = rng.randint(1, max(1, lifetime))
+        start = rng.randint(lo - 2, hi + 1)
+        win = Interval(start, start + length - 1)
+        theta = rng.randint(1, win.length)
+        _check_flat_theta(index, store, u, v, win, theta, found, prefix)
+        if found and first_failure:
+            return found[:1]
+    return found
+
+
+# ----------------------------------------------------------------------
 # whole-index sweep
 # ----------------------------------------------------------------------
 
@@ -611,6 +789,16 @@ def replay(index: "TILLIndex", mismatch: Mismatch) -> bool:
             index, mismatch.u, mismatch.v, mismatch.window,
             theta=mismatch.theta, num_shards=num_shards, policy=policy,
             stitch_limit=stitch_limit,
+        )
+    elif mismatch.check.startswith("flatio:"):
+        results = check_flat_query(
+            index, mismatch.u, mismatch.v, mismatch.window,
+            theta=mismatch.theta, via_file=True,
+        )
+    elif mismatch.check.startswith("flat:"):
+        results = check_flat_query(
+            index, mismatch.u, mismatch.v, mismatch.window,
+            theta=mismatch.theta,
         )
     elif mismatch.check.startswith("span:"):
         results = check_span_query(index, mismatch.u, mismatch.v, mismatch.window)

@@ -8,7 +8,7 @@ multi-edges, negative timestamps (via a time shift), and a build-time
 from it.  The differential checker then asserts that every answer path
 agrees on the drawn graph.
 
-Four built-in profiles (see :data:`PROFILES`):
+Five built-in profiles (see :data:`PROFILES`):
 
 ``small``
     The default smoke profile: tiny graphs from all four generator
@@ -27,6 +27,12 @@ Four built-in profiles (see :data:`PROFILES`):
     each case (2-4 slices, random policy) and cross-checks every
     routed answer — contained, stitched and fallback — against the
     monolithic index and the oracles.
+``flat``
+    Additionally flattens each case's labels into a
+    :class:`~repro.core.flatstore.FlatTILLStore` — both directly and
+    through a format-3 save → mmap-load round trip — and cross-checks
+    every flat-kernel answer (span, θ sliding, θ naive) against the
+    object-path index and the brute-force oracle.
 """
 
 from __future__ import annotations
@@ -63,6 +69,9 @@ class FuzzProfile:
     #: shard counts to draw from for the sharded-vs-monolithic sweep;
     #: empty disables it
     shard_counts: Tuple[int, ...] = ()
+    #: run the flat-kernel-vs-object-path sweep (in-memory flatten plus
+    #: a format-3 save → mmap-load round trip)
+    flat: bool = False
 
 
 PROFILES: Dict[str, FuzzProfile] = {
@@ -101,6 +110,17 @@ PROFILES: Dict[str, FuzzProfile] = {
         theta_queries=10,
         window_pairs=2,
         shard_counts=(2, 3, 4),
+    ),
+    "flat": FuzzProfile(
+        name="flat",
+        num_vertices=(4, 14),
+        num_edges=(6, 45),
+        lifetime=(4, 14),
+        vartheta_probability=0.4,
+        span_queries=25,
+        theta_queries=15,
+        window_pairs=2,
+        flat=True,
     ),
 }
 

@@ -15,7 +15,12 @@ from typing import Callable, List, Optional
 
 from repro.core.index import TILLIndex
 from repro.errors import LabelInvariantError
-from repro.fuzz.differential import Mismatch, check_index, check_sharded_index
+from repro.fuzz.differential import (
+    Mismatch,
+    check_flat_index,
+    check_index,
+    check_sharded_index,
+)
 from repro.fuzz.invariants import check_labels
 from repro.fuzz.profiles import PROFILES, FuzzCase, FuzzProfile, make_case
 from repro.fuzz.shrink import ShrunkFailure, shrink_failure
@@ -167,6 +172,20 @@ def run_fuzz(
                     samples=prof.span_queries,
                     seed=seed,
                     theta_samples=prof.theta_queries,
+                )
+            )
+            report.queries += prof.span_queries + prof.theta_queries
+
+        if prof.flat:
+            # In-memory flatten one seed, format-3 mmap round trip the
+            # next — both layouts stay on the differential surface.
+            mismatches.extend(
+                check_flat_index(
+                    index,
+                    samples=prof.span_queries,
+                    seed=seed,
+                    theta_samples=prof.theta_queries,
+                    via_file=bool(seed % 2),
                 )
             )
             report.queries += prof.span_queries + prof.theta_queries

@@ -139,6 +139,14 @@ def _replay_call(mismatch: Mismatch) -> Tuple[str, str]:
             f"theta={mismatch.theta!r}, num_shards={num_shards!r}, "
             f"policy={policy!r}, stitch_limit={stitch_limit!r}) == []",
         )
+    if mismatch.check.startswith(("flat:", "flatio:")):
+        via_file = mismatch.check.startswith("flatio:")
+        return (
+            "from repro.fuzz.differential import check_flat_query",
+            f"assert check_flat_query(index, {mismatch.u!r}, {mismatch.v!r}, "
+            f"{mismatch.window!r}, theta={mismatch.theta!r}, "
+            f"via_file={via_file!r}) == []",
+        )
     if mismatch.check.startswith("span:"):
         return (
             "from repro.fuzz.differential import check_span_query",

@@ -500,44 +500,72 @@ class QueryEngine:
         )
 
     def _span_batch_indexed(self, batch, window, prefilter) -> List[bool]:
-        """The amortized fast path over a plain TILLIndex."""
+        """The amortized fast path over a plain TILLIndex.
+
+        Three passes: (1) resolve ids / serve cache hits / dedup, (2)
+        same-vertex + prefilter decisions grouped by source so each
+        probe runs once per distinct endpoint, (3) one batch-kernel
+        call over every surviving miss.  With the cache disabled the
+        per-query key shrinks to ``(u, v)`` and the get/put calls are
+        skipped entirely (the miss counter is bumped in bulk); outcome
+        tallies accumulate in locals and flush once per batch.
+        """
         self._queries += len(batch)
         index = self.index
         graph = index.graph
         labels = index.labels
         rank = index.order.rank
         cache = self._cache
+        caching = cache.capacity > 0
         ws, we = window.start, window.end
+        flat = index.flat
         resolve: Dict[Any, int] = {}
         out_ok: Dict[int, bool] = {}
         in_ok: Dict[int, bool] = {}
         results: List[Optional[bool]] = [None] * len(batch)
-        # Pass 1 — resolve ids once per distinct vertex, serve cache
-        # hits, and group the misses by (resolved) source vertex.
+        n_hit = n_same = n_pre = n_reach = n_unreach = lookups = 0
+        # Pass 1 — dedup on the bare pair, serve cache hits, then
+        # resolve ids (only misses pay the id lookups) and group the
+        # misses by (resolved) source vertex.
         by_source: Dict[int, List[Tuple[Tuple, int, List[int]]]] = {}
-        pending: Dict[Tuple, Tuple[int, int, List[int]]] = {}
-        for k, (u, v) in enumerate(batch):
+        pending: Dict[Tuple, List[int]] = {}
+        if batch and type(batch[0]) is not tuple:
+            # ``Pair`` is declared a tuple; tolerate list-like pairs by
+            # normalizing once instead of rebuilding a key per element.
+            batch = [tuple(p) for p in batch]
+        for k, pair in enumerate(batch):
+            slots = pending.get(pair)
+            if slots is not None:  # duplicate within this batch
+                slots.append(k)
+                continue
+            u, v = pair
+            if caching:
+                key = (u, v, ws, we, None)
+                hit = cache.get(key)
+                if hit is not MISS:
+                    results[k] = hit
+                    n_hit += 1
+                    continue
+            else:
+                key = pair
+                lookups += 1
             ui = resolve.get(u)
             if ui is None:
                 ui = resolve[u] = graph.index_of(u)
             vi = resolve.get(v)
             if vi is None:
                 vi = resolve[v] = graph.index_of(v)
-            key = (u, v, ws, we, None)
-            entry = pending.get(key)
-            if entry is not None:  # duplicate within this batch
-                entry[2].append(k)
-                continue
-            hit = cache.get(key)
-            if hit is not MISS:
-                results[k] = hit
-                self._tally("cache-hit")
-                continue
             slots = [k]
-            pending[key] = (ui, vi, slots)
-            by_source.setdefault(ui, []).append((key, vi, slots))
+            pending[pair] = slots
+            group = by_source.get(ui)
+            if group is None:
+                group = by_source[ui] = []
+            group.append((key, vi, slots))
         # Pass 2 — one source group at a time: the source-side prefilter
         # probe and L_out(u) are shared by every target in the group.
+        # Kernel-bound misses are deferred to one batch call.
+        deferred: List[Tuple[Tuple, List[int]]] = []
+        miss_pairs: List[Tuple[int, int]] = []
         for ui, group in by_source.items():
             if prefilter:
                 src_ok = out_ok.get(ui)
@@ -545,10 +573,12 @@ class QueryEngine:
                     src_ok = out_ok[ui] = graph.has_out_edge_in(ui, ws, we)
             for key, vi, slots in group:
                 if ui == vi:
-                    answer, outcome = True, "same-vertex"
+                    answer = True
+                    n_same += len(slots)
                 elif prefilter:
                     if not src_ok:
-                        answer, outcome = False, "prefilter"
+                        answer = False
+                        n_pre += len(slots)
                     else:
                         dst_ok = in_ok.get(vi)
                         if dst_ok is None:
@@ -556,60 +586,112 @@ class QueryEngine:
                                 vi, ws, we
                             )
                         if not dst_ok:
-                            answer, outcome = False, "prefilter"
+                            answer = False
+                            n_pre += len(slots)
                         else:
-                            answer = queries.span_reachable(
-                                graph, labels, rank, ui, vi, window,
-                                prefilter=False,
-                            )
-                            outcome = "reachable" if answer else "unreachable"
+                            deferred.append((key, slots))
+                            miss_pairs.append((ui, vi))
+                            continue
                 else:
-                    answer = queries.span_reachable(
-                        graph, labels, rank, ui, vi, window, prefilter=False
-                    )
-                    outcome = "reachable" if answer else "unreachable"
-                cache.put(key, answer)
-                self._tally(outcome, len(slots))
+                    deferred.append((key, slots))
+                    miss_pairs.append((ui, vi))
+                    continue
+                if caching:
+                    cache.put(key, answer)
                 for k in slots:
                     results[k] = answer
+        # Pass 3 — every surviving miss through one kernel call.
+        if miss_pairs:
+            if flat is not None:
+                answers = queries.flat_span_batch(
+                    flat, rank, miss_pairs, ws, we
+                )
+            else:
+                span = queries.span_reachable
+                answers = [
+                    span(graph, labels, rank, ui, vi, window,
+                         prefilter=False)
+                    for ui, vi in miss_pairs
+                ]
+            for (key, slots), answer in zip(deferred, answers):
+                if answer:
+                    n_reach += len(slots)
+                else:
+                    n_unreach += len(slots)
+                if caching:
+                    cache.put(key, answer)
+                for k in slots:
+                    results[k] = answer
+        if not caching:
+            # Every non-duplicate lookup would have missed the (empty)
+            # cache; keep the stats surface identical in bulk.
+            cache.misses += lookups
+        tally = self._tally
+        if n_hit:
+            tally("cache-hit", n_hit)
+        if n_same:
+            tally("same-vertex", n_same)
+        if n_pre:
+            tally("prefilter", n_pre)
+        if n_reach:
+            tally("reachable", n_reach)
+        if n_unreach:
+            tally("unreachable", n_unreach)
         return results  # type: ignore[return-value]
 
     def _theta_batch_indexed(self, batch, window, theta, kernel,
                              prefilter) -> List[bool]:
-        """Amortized θ batch over a plain TILLIndex."""
+        """Amortized θ batch over a plain TILLIndex (same three-pass
+        structure as :meth:`_span_batch_indexed`)."""
         self._queries += len(batch)
         index = self.index
         graph = index.graph
         labels = index.labels
         rank = index.order.rank
         cache = self._cache
+        caching = cache.capacity > 0
         ws, we = window.start, window.end
+        flat = index.flat
+        sliding = kernel is queries.theta_reachable
         resolve: Dict[Any, int] = {}
         out_ok: Dict[int, bool] = {}
         in_ok: Dict[int, bool] = {}
         results: List[Optional[bool]] = [None] * len(batch)
-        pending: Dict[Tuple, Tuple[int, int, List[int]]] = {}
+        n_hit = n_same = n_pre = n_reach = n_unreach = lookups = 0
+        pending: Dict[Tuple, List[int]] = {}
         by_source: Dict[int, List[Tuple[Tuple, int, List[int]]]] = {}
-        for k, (u, v) in enumerate(batch):
+        if batch and type(batch[0]) is not tuple:
+            batch = [tuple(p) for p in batch]
+        for k, pair in enumerate(batch):
+            slots = pending.get(pair)
+            if slots is not None:
+                slots.append(k)
+                continue
+            u, v = pair
+            if caching:
+                key = (u, v, ws, we, theta)
+                hit = cache.get(key)
+                if hit is not MISS:
+                    results[k] = hit
+                    n_hit += 1
+                    continue
+            else:
+                key = pair
+                lookups += 1
             ui = resolve.get(u)
             if ui is None:
                 ui = resolve[u] = graph.index_of(u)
             vi = resolve.get(v)
             if vi is None:
                 vi = resolve[v] = graph.index_of(v)
-            key = (u, v, ws, we, theta)
-            entry = pending.get(key)
-            if entry is not None:
-                entry[2].append(k)
-                continue
-            hit = cache.get(key)
-            if hit is not MISS:
-                results[k] = hit
-                self._tally("cache-hit")
-                continue
             slots = [k]
-            pending[key] = (ui, vi, slots)
-            by_source.setdefault(ui, []).append((key, vi, slots))
+            pending[pair] = slots
+            group = by_source.get(ui)
+            if group is None:
+                group = by_source[ui] = []
+            group.append((key, vi, slots))
+        deferred: List[Tuple[Tuple, List[int]]] = []
+        miss_pairs: List[Tuple[int, int]] = []
         for ui, group in by_source.items():
             if prefilter:
                 src_ok = out_ok.get(ui)
@@ -617,9 +699,11 @@ class QueryEngine:
                     src_ok = out_ok[ui] = graph.has_out_edge_in(ui, ws, we)
             for key, vi, slots in group:
                 if ui == vi:
-                    answer, outcome = True, "same-vertex"
+                    answer = True
+                    n_same += len(slots)
                 elif prefilter and not src_ok:
-                    answer, outcome = False, "prefilter"
+                    answer = False
+                    n_pre += len(slots)
                 else:
                     if prefilter:
                         dst_ok = in_ok.get(vi)
@@ -628,19 +712,58 @@ class QueryEngine:
                                 vi, ws, we
                             )
                         if not dst_ok:
-                            answer, outcome = False, "prefilter"
-                            cache.put(key, answer)
-                            self._tally(outcome, len(slots))
+                            answer = False
+                            n_pre += len(slots)
+                            if caching:
+                                cache.put(key, answer)
                             for k in slots:
                                 results[k] = answer
                             continue
-                    answer = kernel(
-                        graph, labels, rank, ui, vi, window, theta,
-                        prefilter=False,
-                    )
-                    outcome = "reachable" if answer else "unreachable"
-                cache.put(key, answer)
-                self._tally(outcome, len(slots))
+                    deferred.append((key, slots))
+                    miss_pairs.append((ui, vi))
+                    continue
+                if caching:
+                    cache.put(key, answer)
                 for k in slots:
                     results[k] = answer
+        if miss_pairs:
+            if flat is not None:
+                if sliding:
+                    answers = queries.flat_theta_batch(
+                        flat, rank, miss_pairs, ws, we, theta
+                    )
+                else:
+                    naive = queries.flat_theta_naive
+                    answers = [
+                        naive(flat, rank, ui, vi, ws, we, theta)
+                        for ui, vi in miss_pairs
+                    ]
+            else:
+                answers = [
+                    kernel(graph, labels, rank, ui, vi, window, theta,
+                           prefilter=False)
+                    for ui, vi in miss_pairs
+                ]
+            for (key, slots), answer in zip(deferred, answers):
+                if answer:
+                    n_reach += len(slots)
+                else:
+                    n_unreach += len(slots)
+                if caching:
+                    cache.put(key, answer)
+                for k in slots:
+                    results[k] = answer
+        if not caching:
+            cache.misses += lookups
+        tally = self._tally
+        if n_hit:
+            tally("cache-hit", n_hit)
+        if n_same:
+            tally("same-vertex", n_same)
+        if n_pre:
+            tally("prefilter", n_pre)
+        if n_reach:
+            tally("reachable", n_reach)
+        if n_unreach:
+            tally("unreachable", n_unreach)
         return results  # type: ignore[return-value]

@@ -93,6 +93,9 @@ def _build_shard(payload) -> TILLIndex:
     """
     vertex_labels, edges, directed, vartheta, method, ordering = payload
     sub = _slice_subgraph(vertex_labels, edges, directed)
+    # No flatten here: charging it to every build would cost ~25% of
+    # sharded build time even when the index is never queried.  Shards
+    # flatten lazily on first routed query (``_flat_shard``).
     return TILLIndex.build(sub, vartheta=vartheta, method=method,
                            ordering=ordering)
 
@@ -383,11 +386,20 @@ class ShardedTILLIndex:
                 "larger cap or pass fallback='online'"
             )
 
+    def _flat_shard(self, shard_id: int) -> TILLIndex:
+        """The shard, flattened on first touch: every routed query —
+        contained, stitch hops, θ decomposition — runs the flat kernels
+        without flattening ever being charged to build time."""
+        shard = self.shards[shard_id]
+        if shard.flat is None:
+            shard.flatten()
+        return shard
+
     def _shard_span(self, shard_id: int, ui: int, vi: int,
                     window: Interval, prefilter: bool = True) -> bool:
-        shard = self.shards[shard_id]
-        return queries.span_reachable(
-            shard.graph, shard.labels, shard.order.rank, ui, vi, window,
+        shard = self._flat_shard(shard_id)
+        return queries.span_reachable_flat(
+            shard.graph, shard.flat, shard.order.rank, ui, vi, window,
             prefilter=prefilter,
         )
 
@@ -505,9 +517,9 @@ class ShardedTILLIndex:
         if plan.route == "empty":
             return False
         if plan.route == "contained":
-            shard = self.shards[plan.shards[0]]
-            return queries.theta_reachable(
-                shard.graph, shard.labels, shard.order.rank, ui, vi,
+            shard = self._flat_shard(plan.shards[0])
+            return queries.theta_reachable_flat(
+                shard.graph, shard.flat, shard.order.rank, ui, vi,
                 window, theta, prefilter=prefilter,
             )
         lo = max(window.start, self.partition.t_min - theta + 1)
@@ -553,7 +565,7 @@ class ShardedTILLIndex:
         if self._telemetry is not None:
             self._observe_plan(plan, len(batch))
         if plan.route == "contained":
-            shard = self.shards[plan.shards[0]]
+            shard = self._flat_shard(plan.shards[0])
             return shard.span_reachable_many(batch, plan.window,
                                              prefilter=prefilter)
         memo = {}
@@ -582,7 +594,7 @@ class ShardedTILLIndex:
         plan = self.planner.plan_theta(window, theta)
         if plan.route == "contained":
             self._tally("theta-contained", len(batch))
-            shard = self.shards[plan.shards[0]]
+            shard = self._flat_shard(plan.shards[0])
             return shard.theta_reachable_many(batch, window, theta,
                                               prefilter=prefilter)
         memo: Dict[Pair, bool] = {}
@@ -642,8 +654,9 @@ class ShardedTILLIndex:
 
     def save(self, directory: Union[str, Path]) -> None:
         """Write a shard directory: ``manifest.json`` plus one standard
-        ``.till`` file per slice (format unchanged from
-        :meth:`TILLIndex.save`)."""
+        ``.till`` file per slice (the :meth:`TILLIndex.save` format —
+        format 3, so shard workers can later ``mmap`` the files and
+        share the OS page cache)."""
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
         slices = []
@@ -680,13 +693,17 @@ class ShardedTILLIndex:
     @classmethod
     def load(
         cls, directory: Union[str, Path], graph: TemporalGraph,
-        telemetry=None,
+        telemetry=None, mmap: bool = False,
     ) -> "ShardedTILLIndex":
         """Read a shard directory written by :meth:`save`, rebinding it
         to *graph* (which must match: vertex/edge counts, directedness,
         per-slice edge counts, and every per-shard fingerprint checked
         by :meth:`TILLIndex.load`).  ``telemetry`` attaches a metrics
-        registry to the loaded index, exactly as in :meth:`build`."""
+        registry to the loaded index, exactly as in :meth:`build`.
+        ``mmap=True`` maps each format-3 shard file zero-copy — opening
+        a directory of shards costs O(1) per shard, and worker
+        processes mapping the same files share one copy of the label
+        arrays in the OS page cache."""
         path = Path(directory)
         manifest_path = path / MANIFEST_NAME
         if not manifest_path.exists():
@@ -743,7 +760,7 @@ class ShardedTILLIndex:
                     f"(slice {k})"
                 )
             sub = _slice_subgraph(vertex_labels, buckets[k], graph.directed)
-            shards.append(TILLIndex.load(shard_path, sub))
+            shards.append(TILLIndex.load(shard_path, sub, mmap=mmap))
         meta = manifest.get("meta", {})
         return cls(
             graph,

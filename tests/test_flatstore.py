@@ -1,0 +1,320 @@
+"""Tests for the flat columnar label store and its query kernels.
+
+Covers the CSR flattening itself, the format-3 save / load (eager and
+zero-copy mmap) round trips, backwards compatibility with format-2
+files, corrupt-file handling, and the flat Algorithm 4/5 kernels —
+scalar and batch — differentially against the object path.
+"""
+
+import struct
+
+import pytest
+
+from repro import TemporalGraph, TILLIndex, IndexFormatError
+from repro.core import queries
+from repro.core.flatstore import (
+    ARRAY_FIELDS,
+    FlatTILLLabels,
+    FlatTILLStore,
+)
+from repro.core.labels import LabelSet
+from repro.core.serialization import (
+    MAGIC_V3,
+    _write_label_set,
+    load_flat_store,
+)
+from repro.core.intervals import Interval
+
+from tests.conftest import random_graph
+
+
+def _windows(graph):
+    lo, hi = graph.min_time, graph.max_time
+    span = hi - lo
+    return [
+        (lo, hi),
+        (lo, lo + span // 2),
+        (lo + span // 3, hi),
+        (lo + span // 4, lo + span // 4 + max(1, span // 3)),
+    ]
+
+
+class TestFlattening:
+    def test_store_matches_label_sets(self, paper_index):
+        index = paper_index
+        index.labels.finalize()
+        store = FlatTILLStore.from_labels(index.labels)
+        assert store.validate() == []
+        for direction, sets in (
+            (store.out, index.labels.out_labels),
+            (store.inn, index.labels.in_labels),
+        ):
+            for ui, label in enumerate(sets):
+                view = direction.label_set(ui)
+                assert list(view.hub_ranks) == list(label.hub_ranks)
+                assert list(view.starts) == list(label.starts)
+                assert list(view.ends) == list(label.ends)
+                assert direction.vertex_entry_count(ui) == label.num_entries
+
+    def test_totals_match_object_labels(self, paper_index):
+        paper_index.labels.finalize()
+        store = FlatTILLStore.from_labels(paper_index.labels)
+        assert store.total_entries() == paper_index.labels.total_entries()
+        assert store.estimated_bytes() == paper_index.labels.estimated_bytes()
+
+    def test_undirected_shares_one_direction(self):
+        g = random_graph(7, num_vertices=10, num_edges=25, directed=False)
+        index = TILLIndex.build(g)
+        index.labels.finalize()
+        store = FlatTILLStore.from_labels(index.labels)
+        assert store.inn is store.out
+        adapter = FlatTILLLabels(store)
+        assert adapter.in_labels is adapter.out_labels
+        assert adapter.out_labels[3] is adapter.in_labels[3]
+
+    def test_from_labels_is_idempotent_on_flat_labels(self, paper_index):
+        paper_index.labels.finalize()
+        store = FlatTILLStore.from_labels(paper_index.labels)
+        adapter = FlatTILLLabels(store)
+        assert FlatTILLStore.from_labels(adapter) is store
+
+    def test_compact_routes_queries_through_flat(self, paper_graph):
+        index = TILLIndex.build(paper_graph).compact()
+        assert index.flat is not None
+        plain = TILLIndex.build(paper_graph)
+        assert plain.flat is None
+        for u in ["v1", "v5", "v6"]:
+            for v in ["v4", "v8", "v12"]:
+                for window in [(1, 4), (3, 5), (2, 8)]:
+                    assert index.span_reachable(u, v, window) == \
+                        plain.span_reachable(u, v, window)
+
+    def test_validate_flags_broken_csr(self, paper_index):
+        paper_index.labels.finalize()
+        store = FlatTILLStore.from_labels(paper_index.labels)
+        good = store.out.vertex_offsets[-1]
+        store.out.vertex_offsets[-1] = good + 1
+        assert store.validate() != []
+        store.out.vertex_offsets[-1] = good
+        assert store.validate() == []
+
+
+class TestFlatKernels:
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_scalar_kernels_match_object_path(self, seed, directed):
+        g = random_graph(seed, num_vertices=12, num_edges=40, directed=directed)
+        index = TILLIndex.build(g)
+        index.labels.finalize()
+        store = FlatTILLStore.from_labels(index.labels)
+        rank = index.order.rank
+        for ws, we in _windows(g):
+            window = Interval(ws, we)
+            theta = max(1, window.length // 2)
+            for ui in range(g.num_vertices):
+                for vi in range(g.num_vertices):
+                    if ui == vi:  # the flat kernels assume ui != vi
+                        continue
+                    want = queries.span_reachable(
+                        g, index.labels, rank, ui, vi, window
+                    )
+                    assert queries.flat_span(store, rank, ui, vi, ws, we) \
+                        == want
+                    want_theta = queries.theta_reachable(
+                        g, index.labels, rank, ui, vi, window, theta
+                    )
+                    assert queries.flat_theta(
+                        store, rank, ui, vi, ws, we, theta
+                    ) == want_theta
+                    assert queries.flat_theta_naive(
+                        store, rank, ui, vi, ws, we, theta
+                    ) == want_theta
+
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_batch_kernels_match_scalar(self, seed):
+        g = random_graph(seed, num_vertices=14, num_edges=45)
+        index = TILLIndex.build(g)
+        index.labels.finalize()
+        store = FlatTILLStore.from_labels(index.labels)
+        rank = index.order.rank
+        n = g.num_vertices
+        pairs = [
+            (ui, vi) for ui in range(n) for vi in range(n) if ui != vi
+        ]
+        for ws, we in _windows(g):
+            theta = max(1, (we - ws) // 2)
+            assert queries.flat_span_batch(store, rank, pairs, ws, we) == [
+                queries.flat_span(store, rank, ui, vi, ws, we)
+                for ui, vi in pairs
+            ]
+            assert queries.flat_theta_batch(
+                store, rank, pairs, ws, we, theta
+            ) == [
+                queries.flat_theta(store, rank, ui, vi, ws, we, theta)
+                for ui, vi in pairs
+            ]
+
+    def test_batch_kernels_accept_unsorted_pairs(self, paper_index):
+        index = paper_index.flatten()
+        store, rank = index.flat, index.order.rank
+        n = index.graph.num_vertices
+        # Reverse-interleaved: consecutive pairs rarely share a source,
+        # defeating the source-run hoist's happy path.
+        pairs = [
+            ((i * 7) % n, (i * 3 + 1) % n) for i in range(40)
+            if (i * 7) % n != (i * 3 + 1) % n
+        ]
+        assert queries.flat_span_batch(store, rank, pairs, 1, 8) == [
+            queries.flat_span(store, rank, ui, vi, 1, 8) for ui, vi in pairs
+        ]
+
+
+class TestFormat3Roundtrip:
+    @pytest.mark.parametrize("use_mmap", [False, True])
+    def test_answers_survive_roundtrip(self, tmp_path, use_mmap):
+        g = random_graph(11, num_vertices=12, num_edges=40)
+        index = TILLIndex.build(g, vartheta=None)
+        path = tmp_path / "x.till"
+        index.save(path, format=3)
+        loaded = TILLIndex.load(path, g, mmap=use_mmap)
+        assert loaded.flat is not None
+        for ws, we in _windows(g):
+            for ui in range(g.num_vertices):
+                for vi in range(g.num_vertices):
+                    u, v = g.label_of(ui), g.label_of(vi)
+                    assert loaded.span_reachable(u, v, (ws, we)) == \
+                        index.span_reachable(u, v, (ws, we))
+
+    def test_metadata_preserved(self, tmp_path, paper_graph):
+        index = TILLIndex.build(paper_graph, vartheta=5,
+                                ordering="degree-sum")
+        path = tmp_path / "m.till"
+        index.save(path, format=3)
+        loaded = TILLIndex.load(path, paper_graph, mmap=True)
+        assert loaded.vartheta == 5
+        assert loaded.ordering_name == "degree-sum"
+        assert loaded.method == "optimized"
+
+    def test_undirected_identity_after_load(self, tmp_path):
+        g = random_graph(4, num_vertices=10, num_edges=25, directed=False)
+        index = TILLIndex.build(g)
+        path = tmp_path / "u.till"
+        index.save(path, format=3)
+        for use_mmap in (False, True):
+            loaded = TILLIndex.load(path, g, mmap=use_mmap)
+            assert loaded.flat.inn is loaded.flat.out
+            assert loaded.labels.in_labels is loaded.labels.out_labels
+            loaded.verify(samples=150)
+
+    def test_mmap_store_matches_eager_store(self, tmp_path, paper_index):
+        path = tmp_path / "p.till"
+        paper_index.save(path, format=3)
+        eager, eh = load_flat_store(path, use_mmap=False)
+        mapped, mh = load_flat_store(path, use_mmap=True)
+        assert eh == mh
+        for field, _ in ARRAY_FIELDS:
+            assert list(getattr(eager.out, field)) == \
+                list(getattr(mapped.out, field))
+            assert list(getattr(eager.inn, field)) == \
+                list(getattr(mapped.inn, field))
+
+    def test_stats_work_on_flat_loaded_index(self, tmp_path, paper_index):
+        path = tmp_path / "s.till"
+        paper_index.save(path, format=3)
+        loaded = TILLIndex.load(path, paper_index.graph, mmap=True)
+        stats = loaded.stats()
+        want = paper_index.stats()
+        assert stats.total_entries == want.total_entries
+        assert stats.estimated_bytes == want.estimated_bytes
+
+    def test_negative_timestamps_roundtrip(self, tmp_path):
+        g = TemporalGraph.from_edges(
+            [("a", "b", -(10 ** 12)), ("b", "c", 10 ** 12)]
+        )
+        index = TILLIndex.build(g)
+        path = tmp_path / "n.till"
+        index.save(path, format=3)
+        loaded = TILLIndex.load(path, g, mmap=True)
+        assert loaded.span_reachable("a", "b", (-(10 ** 12), 0))
+
+    def test_format2_files_still_load(self, tmp_path, paper_graph):
+        index = TILLIndex.build(paper_graph)
+        path = tmp_path / "v2.till"
+        index.save(path, format=2)
+        loaded = TILLIndex.load(path, paper_graph)
+        assert loaded.flat is None
+        assert loaded.span_reachable("v1", "v4", (1, 4)) == \
+            index.span_reachable("v1", "v4", (1, 4))
+
+    def test_unknown_format_raises(self, tmp_path, paper_index):
+        with pytest.raises(IndexFormatError, match="unknown .till format"):
+            paper_index.save(tmp_path / "x.till", format=7)
+
+
+class TestFormat3Corruption:
+    def _saved(self, tmp_path, paper_index):
+        path = tmp_path / "c.till"
+        paper_index.save(path, format=3)
+        return path
+
+    def test_bad_magic(self, tmp_path, paper_index):
+        path = self._saved(tmp_path, paper_index)
+        data = bytearray(path.read_bytes())
+        data[:8] = b"NOTINDEX"
+        path.write_bytes(bytes(data))
+        with pytest.raises(IndexFormatError, match="bad magic"):
+            load_flat_store(path)
+
+    def test_truncated_section(self, tmp_path, paper_index):
+        path = self._saved(tmp_path, paper_index)
+        data = path.read_bytes()
+        path.write_bytes(data[:-16])
+        with pytest.raises(IndexFormatError, match="too short"):
+            load_flat_store(path)
+        with pytest.raises(IndexFormatError, match="too short"):
+            load_flat_store(path, use_mmap=True)
+
+    def test_flipped_bit_fails_checksum(self, tmp_path, paper_index):
+        path = self._saved(tmp_path, paper_index)
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0x40
+        path.write_bytes(bytes(data))
+        with pytest.raises(IndexFormatError, match="checksum"):
+            load_flat_store(path)
+
+    def test_header_without_flat_descriptor(self, tmp_path):
+        header = b'{"num_vertices": 1}'
+        path = tmp_path / "h.till"
+        path.write_bytes(
+            MAGIC_V3 + struct.pack("<I", len(header)) + header
+        )
+        with pytest.raises(IndexFormatError, match="flat descriptor"):
+            load_flat_store(path)
+
+
+class TestOffsetWidthRegression:
+    """PR 5 satellite: label offsets must be 64-bit everywhere."""
+
+    def test_compact_offsets_are_int64(self, paper_index):
+        label = paper_index.labels.out_labels[0]
+        label.compact()
+        assert label.offsets.typecode == "q"
+        # A cumulative count past 2^31-1 must not wrap.
+        label.offsets[-1] = 2 ** 31 + 17
+        assert label.offsets[-1] == 2 ** 31 + 17
+
+    def test_flat_offsets_are_int64(self):
+        widths = dict(ARRAY_FIELDS)
+        assert widths["vertex_offsets"] == "q"
+        assert widths["interval_offsets"] == "q"
+
+    def test_format2_rejects_oversized_label_set(self, tmp_path):
+        class HugeLabelSet(LabelSet):
+            @property
+            def num_entries(self):
+                return 2 ** 31
+
+        import io
+
+        with pytest.raises(IndexFormatError, match="format=3"):
+            _write_label_set(io.BytesIO(), HugeLabelSet())

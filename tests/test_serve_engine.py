@@ -417,3 +417,46 @@ class TestEngineStats:
 
     def test_hit_rate_zero_when_unused(self):
         assert EngineStats().hit_rate == 0.0
+
+
+class TestFlatBackend:
+    """The engine's batch misses run the flat kernels when the index
+    carries a FlatTILLStore; answers and stats must match the object
+    path exactly."""
+
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_flat_and_object_engines_agree(self, directed):
+        g = random_graph(8, num_vertices=9, num_edges=35, directed=directed)
+        flat_index = TILLIndex.build(g).compact()
+        object_index = TILLIndex(
+            g, flat_index.order, flat_index.labels, flat_index.vartheta,
+            method=flat_index.method,
+            ordering_name=flat_index.ordering_name,
+        )
+        assert flat_index.flat is not None and object_index.flat is None
+        flat_engine = QueryEngine(flat_index, cache_size=0)
+        object_engine = QueryEngine(object_index, cache_size=0)
+        pairs = _all_pairs(g)
+        for window in [(1, 10), (2, 6), (4, 9)]:
+            assert flat_engine.span_many(pairs, window) == \
+                object_engine.span_many(pairs, window)
+            theta = max(1, (window[1] - window[0]) // 2)
+            assert flat_engine.theta_many(pairs, window, theta) == \
+                object_engine.theta_many(pairs, window, theta)
+            assert flat_engine.theta_many(
+                pairs, window, theta, algorithm="naive"
+            ) == object_engine.theta_many(
+                pairs, window, theta, algorithm="naive"
+            )
+        assert flat_engine.stats().outcomes == object_engine.stats().outcomes
+
+    def test_cache_disabled_still_counts_misses(self):
+        g = random_graph(9, num_vertices=6, num_edges=20)
+        engine = QueryEngine(TILLIndex.build(g).compact(), cache_size=0)
+        pairs = [(0, 1), (0, 1), (2, 3), (4, 5)]
+        engine.span_many(pairs, (1, 10))
+        stats = engine.stats()
+        # Three distinct pairs -> three (disabled-)cache lookups; the
+        # duplicate is deduplicated before it reaches the cache.
+        assert stats.cache_misses == 3
+        assert stats.cache_hits == 0

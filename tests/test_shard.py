@@ -135,6 +135,17 @@ class TestShardedAnswers:
                     assert sharded.span_reachable(u, v, window) == \
                         mono.span_reachable(u, v, window), (u, v, window)
 
+    def test_shards_flatten_lazily_not_at_build(self):
+        # Flattening is charged to the first routed query, never to the
+        # build itself (it cost ~25% of sharded build time when eager).
+        g = random_graph(9, num_vertices=8, num_edges=30, max_time=9)
+        sharded = ShardedTILLIndex.build(g, num_shards=3)
+        assert all(s.flat is None for s in sharded.shards)
+        for window in _all_windows(g):
+            for u in range(8):
+                sharded.span_reachable(u, (u + 1) % 8, window)
+        assert any(s.flat is not None for s in sharded.shards)
+
     def test_all_routes_exercised(self):
         g = random_graph(5, num_vertices=8, num_edges=35, max_time=12)
         sharded = ShardedTILLIndex.build(g, num_shards=3)
