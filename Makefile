@@ -45,14 +45,21 @@ shard-smoke:
 
 # Flat-store smoke stage (<60 s): flat kernels differentially checked
 # against the object path and the brute-force oracle (including a
-# format-3 save -> mmap-load round trip per odd seed), then one real
-# format-3 save / zero-copy mmap load / verify cycle on a dataset.
+# format-3 save -> mmap-load round trip per odd seed, and the numpy
+# batch kernels whenever numpy is importable), then one real format-3
+# save / zero-copy mmap load / verify cycle on a dataset, queried once
+# per batch-kernel backend (auto selects numpy when present and falls
+# back to python silently, so this passes on a no-numpy host too).
 # Deterministic — safe for CI.
 flat-smoke:
 	$(PYTHON) -m repro fuzz --profile flat --seeds 12
 	$(PYTHON) -m repro build chess -o flat_smoke.till --format 3
 	$(PYTHON) -m repro verify chess --index flat_smoke.till --mmap \
 		--samples 300
+	$(PYTHON) -m repro query chess 5 40 0 900 \
+		--index flat_smoke.till --mmap --flat-backend python
+	$(PYTHON) -m repro query chess 5 40 0 900 \
+		--index flat_smoke.till --mmap --flat-backend auto
 	rm -f flat_smoke.till
 
 # Telemetry smoke stage (<60 s): build + query a small graph with
@@ -78,11 +85,13 @@ obs-smoke:
 # batch vs cached query throughput, per-scenario latency percentiles,
 # the online fallback, the monolithic-vs-sharded build/query
 # comparison, the telemetry-overhead scenario, and the flat-vs-object
-# kernel + cold-open scenario.  Writes BENCH_PR5.json; gate a change
-# against a recorded baseline with
-#   python -m repro bench --smoke --compare BENCH_PR4.json --max-regression 15
+# (python vs numpy batch kernel) + cold-open scenario.  Writes
+# BENCH_PR6.json and gates against the recorded PR 5 baseline; tune
+# the gate with e.g.
+#   python -m repro bench --smoke --compare BENCH_PR5.json --max-regression 15
 bench-smoke:
-	$(PYTHON) -m repro bench --smoke -o BENCH_PR5.json
+	$(PYTHON) -m repro bench --smoke -o BENCH_PR6.json \
+		--compare BENCH_PR5.json --max-regression 15
 
 experiments:
 	$(PYTHON) -m repro experiment table2

@@ -257,11 +257,13 @@ def cmd_shard_query(args: argparse.Namespace) -> int:
     telemetry = _make_telemetry(args)
     if args.index:
         index = ShardedTILLIndex.load(args.index, graph, mmap=args.mmap,
-                                      telemetry=telemetry)
+                                      telemetry=telemetry,
+                                      flat_backend=args.flat_backend)
     else:
         index = ShardedTILLIndex.build(
             graph, num_shards=args.shards, policy=args.policy,
             jobs=args.jobs, telemetry=telemetry,
+            flat_backend=args.flat_backend,
         )
     if args.theta is None:
         plan = index.plan_span(window)
@@ -306,6 +308,8 @@ def cmd_query(args: argparse.Namespace) -> int:
             index = TILLIndex.load(args.index, graph, mmap=args.mmap)
         else:
             index = TILLIndex.build(graph, telemetry=telemetry)
+        if args.flat_backend is not None:
+            index.flatten(backend=args.flat_backend)
         if telemetry is not None:
             # Route the scalar query through the serving engine so the
             # snapshot carries the full outcome/latency instrument set.
@@ -586,6 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="map a format-3 --index file zero-copy")
     p.add_argument("--online", action="store_true",
                    help="use the index-free Algorithm 1")
+    p.add_argument("--flat-backend", choices=("auto", "python", "numpy"),
+                   default=None,
+                   help="flatten the index and select the batch-kernel "
+                        "backend (numpy fails loudly when NumPy is "
+                        "missing; auto falls back silently)")
     p.add_argument("--undirected", action="store_true")
     _add_obs_args(p)
     p.set_defaults(func=cmd_query)
@@ -637,6 +646,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", choices=("equal-edges", "equal-span"),
                    default="equal-edges")
     p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--flat-backend", choices=("auto", "python", "numpy"),
+                   default="python",
+                   help="batch-kernel backend applied when shards are "
+                        "flattened on first touch (default python)")
     p.add_argument("--undirected", action="store_true")
     _add_obs_args(p)
     p.set_defaults(func=cmd_shard_query)
@@ -693,9 +706,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small fixed suite (<60 s), suitable for CI")
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed (default 0)")
-    p.add_argument("-o", "--output", default="BENCH_PR5.json",
-                   help="results file (default BENCH_PR5.json)")
-    p.add_argument("--label", default="PR5",
+    p.add_argument("-o", "--output", default="BENCH_PR6.json",
+                   help="results file (default BENCH_PR6.json)")
+    p.add_argument("--label", default="PR6",
                    help="label recorded in the results document")
     p.add_argument("--datasets", help="comma-separated dataset override")
     p.add_argument("--batch-size", type=int, default=2000,

@@ -230,6 +230,16 @@ class FlatTILLStore:
         return cls(labels.directed, out, inn)
 
     @property
+    def is_mmap(self) -> bool:
+        """Is this store a zero-copy view over a memory-mapped file?
+
+        Mmap-backed stores are read-only: mutation layers refuse to
+        invalidate them in place (see
+        :meth:`repro.core.index.TILLIndex.invalidate_flat`).
+        """
+        return self._mmap is not None
+
+    @property
     def num_vertices(self) -> int:
         return self.out.num_vertices
 

@@ -90,6 +90,9 @@ class IncrementalTILLIndex:
         self._index = TILLIndex.build(
             self._base_graph, vartheta=vartheta, **build_kwargs
         )
+        # Flat-kernel backend to restore after rebuilds; ``None`` until
+        # :meth:`compact` opts the base index into the flat store.
+        self._flat_backend: Optional[str] = None
 
     # ------------------------------------------------------------------
 
@@ -133,8 +136,32 @@ class IncrementalTILLIndex:
             self._base_graph.num_edges + len(self._delta) - self.removed_size
         )
 
+    def compact(self, backend: str = "python") -> "IncrementalTILLIndex":
+        """Compact the base index and build its flat store (*backend*
+        as in :meth:`repro.core.index.TILLIndex.flatten`).
+
+        Between mutations, base-index queries then run the flat
+        kernels.  Any :meth:`add_edge` / :meth:`remove_edge` drops the
+        flat store again before touching state — pre-mutation flat
+        arrays are never consulted — and :meth:`rebuild` re-compacts
+        the fresh index with the same backend.  Returns ``self``.
+        """
+        self._flat_backend = backend
+        self._index.compact(backend)
+        return self
+
+    def _drop_flat(self) -> None:
+        """Invalidate the base index's flat store ahead of a mutation.
+
+        Called *before* any state changes so an mmap-backed store (its
+        arrays are read-only views over a file) refuses the mutation
+        with :class:`GraphError` while the wrapper is still consistent.
+        """
+        self._index.invalidate_flat()
+
     def add_edge(self, u: Vertex, v: Vertex, t: int) -> None:
         """Append a streamed temporal edge; may trigger a rebuild."""
+        self._drop_flat()
         self._delta.append((u, v, t))
         self._notify_mutation()
         if len(self._delta) + self.removed_size >= self.rebuild_threshold:
@@ -163,6 +190,7 @@ class IncrementalTILLIndex:
         Raises :class:`GraphError` when no live instance exists.  May
         trigger a rebuild.
         """
+        self._drop_flat()
         probe = (u, v, t)
         if probe in self._delta:
             self._delta.remove(probe)
@@ -204,6 +232,8 @@ class IncrementalTILLIndex:
         self._index = TILLIndex.build(
             merged, vartheta=self.vartheta, **self._build_kwargs
         )
+        if self._flat_backend is not None:
+            self._index.compact(self._flat_backend)
         self._delta.clear()
         self._removed.clear()
         self._rebuilds += 1

@@ -111,6 +111,13 @@ class TILLIndex:
         #: :meth:`compact`, or at :meth:`load` time for format-3 files).
         #: When present, every query runs on the flat kernels.
         self.flat: Optional[FlatTILLStore] = None
+        #: Optional vectorized batch kernels bound to ``flat`` (see
+        #: :meth:`flatten` ``backend=``); ``None`` means the pure-python
+        #: kernels answer batch queries.
+        self.flat_kernels: Optional[Any] = None
+        #: Resolved batch-kernel backend: ``"python"`` or ``"numpy"``.
+        self.flat_backend: str = "python"
+        self._flat_requested: Optional[str] = None
         if isinstance(labels, FlatTILLLabels):
             self.flat = labels.store
 
@@ -509,23 +516,82 @@ class TILLIndex:
                 f"index disagrees with oracle: {mismatches[0]}"
             )
 
-    def compact(self) -> "TILLIndex":
+    def compact(self, backend: Optional[str] = None) -> "TILLIndex":
         """Repack label arrays into typed buffers (~4x less memory) and
         build the flat columnar store (queries switch to the flat
         kernels).  Answers are unchanged; returns ``self`` for chaining.
+
+        *backend* selects the batch-kernel implementation, see
+        :meth:`flatten`.
         """
         self.labels.compact()
-        return self.flatten()
+        return self.flatten(backend)
 
-    def flatten(self) -> "TILLIndex":
+    def flatten(self, backend: Optional[str] = None) -> "TILLIndex":
         """Build the :class:`~repro.core.flatstore.FlatTILLStore` twin
         of the labels and route all queries through the flat Algorithm
         4/5 kernels.  Idempotent; returns ``self`` for chaining.
+
+        *backend* selects the **batch**-kernel implementation used by
+        the query engine (scalar queries always run the python flat
+        kernels):
+
+        * ``"python"`` — the pure-python kernels (default; no
+          dependencies);
+        * ``"numpy"`` — the vectorized kernels from
+          :mod:`repro.core.flatkernels`; raises
+          :class:`~repro.errors.IndexBuildError` when numpy is not
+          importable;
+        * ``"auto"`` — numpy when importable, python otherwise;
+        * ``None`` — keep the current selection.
+
+        Answers are identical across backends (the ``flat`` fuzz
+        profile cross-checks them against the brute-force oracle).
         """
+        from repro.core import flatkernels
+
         if self.flat is None:
             self.labels.finalize()
             self.flat = FlatTILLStore.from_labels(self.labels)
+        if backend is None:
+            backend = self._flat_requested or "python"
+        if backend != self._flat_requested:
+            self.flat_kernels = flatkernels.select(
+                self.flat, self.order.rank, backend
+            )
+            self.flat_backend = (
+                "numpy" if self.flat_kernels is not None else "python"
+            )
+            self._flat_requested = backend
         return self
+
+    def invalidate_flat(self) -> None:
+        """Drop the flat store (and any vectorized kernels) so queries
+        fall back to the object labels.
+
+        Mutating layers (:class:`~repro.core.incremental.
+        IncrementalTILLIndex`) call this before touching the graph so a
+        previously flattened index can never answer from pre-mutation
+        flat arrays.  Raises :class:`~repro.errors.GraphError` when the
+        store is mmap-backed: those label arrays are read-only views
+        over the saved file and cannot follow in-place mutation —
+        reload with ``mmap=False`` (or rebuild) before mutating.
+        """
+        if self.flat is None:
+            return
+        if self.flat.is_mmap:
+            from repro.errors import GraphError
+
+            raise GraphError(
+                "cannot mutate an index whose flat store is mmap-backed: "
+                "the label arrays are read-only views over the saved "
+                "file; reload with mmap=False (or rebuild the index) "
+                "before mutating"
+            )
+        self.flat = None
+        self.flat_kernels = None
+        self.flat_backend = "python"
+        self._flat_requested = None
 
     # ------------------------------------------------------------------
     # persistence

@@ -466,8 +466,16 @@ def flat_theta(store, rank, ui, vi, ws, we, theta) -> bool:
 
 
 def flat_theta_naive(store, rank, ui, vi, ws, we, theta) -> bool:
-    """Unchecked ``ES-Reach`` baseline over a flat store: one
-    :func:`flat_span` probe per θ-position."""
+    """``ES-Reach`` baseline over a flat store: one :func:`flat_span`
+    probe per θ-position.
+
+    Unlike the other flat kernels this validates the θ-window itself:
+    an unguarded ``theta > we - ws + 1`` would make the probe range
+    empty and silently answer ``False`` where the object path
+    (:func:`theta_reachable_naive`) raises — the two baselines must
+    disagree with the oracle identically or not at all.
+    """
+    validate_theta_window((ws, we), theta)
     for start in range(ws, we - theta + 2):
         if flat_span(store, rank, ui, vi, start, start + theta - 1):
             return True

@@ -559,6 +559,17 @@ def _flat_view(index: "TILLIndex", via_file: bool):
     return store
 
 
+def _numpy_kernels(index, store):
+    """Vectorized kernels over *store*, or ``None`` without numpy.
+
+    Built fresh per call (construction is just zero-copy array views),
+    so replayed repros need nothing beyond the graph and the query.
+    """
+    from repro.core.flatkernels import select
+
+    return select(store, index.order.rank, "auto")
+
+
 def _check_flat_span(index, store, u, v, win, found, prefix) -> None:
     from repro.core import queries
 
@@ -584,6 +595,16 @@ def _check_flat_span(index, store, u, v, win, found, prefix) -> None:
         if flat != want:
             _mismatch(found, prefix + "span-oracle",
                       f"flat={flat}, oracle={want}", u, v, win)
+    # The numpy backend must track the python batch kernel bit-for-bit
+    # (which the checks above pin to the object path and the oracle).
+    kern = _numpy_kernels(index, store)
+    if kern is not None and ui != vi:
+        py = queries.flat_span_batch(store, rank, [(ui, vi)],
+                                     win.start, win.end)[0]
+        npy = kern.span_batch([(ui, vi)], win.start, win.end)[0]
+        if npy != py:
+            _mismatch(found, prefix + "span-numpy",
+                      f"numpy={npy}, python batch={py}", u, v, win)
 
 
 def _check_flat_theta(index, store, u, v, win, theta, found, prefix) -> None:
@@ -615,6 +636,20 @@ def _check_flat_theta(index, store, u, v, win, theta, found, prefix) -> None:
         if flat != want:
             _mismatch(found, prefix + "theta-oracle",
                       f"flat={flat}, oracle={want}", u, v, win, theta)
+    kern = _numpy_kernels(index, store)
+    if kern is not None and ui != vi:
+        py = queries.flat_theta_batch(store, rank, [(ui, vi)],
+                                      win.start, win.end, theta)[0]
+        npy = kern.theta_batch([(ui, vi)], win.start, win.end, theta)[0]
+        if npy != py:
+            _mismatch(found, prefix + "theta-numpy",
+                      f"numpy={npy}, python batch={py}", u, v, win, theta)
+        npn = kern.theta_naive_batch([(ui, vi)], win.start, win.end,
+                                     theta)[0]
+        if npn != naive:
+            _mismatch(found, prefix + "theta-naive-numpy",
+                      f"numpy naive={npn}, flat naive={naive}",
+                      u, v, win, theta)
 
 
 def check_flat_query(
@@ -695,6 +730,50 @@ def check_flat_index(
         _check_flat_theta(index, store, u, v, win, theta, found, prefix)
         if found and first_failure:
             return found[:1]
+
+    # Whole-batch numpy-vs-python pass: wide batches with repeated
+    # sources exercise the python kernels' per-source run reuse and the
+    # vectorized merge-join on many rows at once, which the single-pair
+    # probes above cannot.
+    kern = _numpy_kernels(index, store)
+    if kern is not None:
+        from repro.core import queries
+
+        rank = index.order.rank
+        pairs = []
+        for _ in range(min(4 * samples, 8 * n)):
+            ui, vi = rng.randrange(n), rng.randrange(n)
+            if ui != vi:
+                pairs.append((ui, vi))
+        pairs.sort()  # adjacent duplicates share a source run
+        if pairs:
+            length = rng.randint(1, lifetime + 1)
+            start = rng.randint(lo - 1, hi)
+            win = Interval(start, start + length - 1)
+            theta = rng.randint(1, win.length)
+            py = queries.flat_span_batch(store, rank, pairs,
+                                         win.start, win.end)
+            npy = kern.span_batch(pairs, win.start, win.end)
+            for (ui, vi), a, b in zip(pairs, py, npy):
+                if a != b:
+                    _mismatch(found, prefix + "span-numpy",
+                              f"numpy={b}, python batch={a} (in batch of "
+                              f"{len(pairs)})",
+                              graph.label_of(ui), graph.label_of(vi), win)
+                    break
+            py = queries.flat_theta_batch(store, rank, pairs,
+                                          win.start, win.end, theta)
+            npy = kern.theta_batch(pairs, win.start, win.end, theta)
+            for (ui, vi), a, b in zip(pairs, py, npy):
+                if a != b:
+                    _mismatch(found, prefix + "theta-numpy",
+                              f"numpy={b}, python batch={a} (in batch of "
+                              f"{len(pairs)})",
+                              graph.label_of(ui), graph.label_of(vi), win,
+                              theta)
+                    break
+    if found and first_failure:
+        return found[:1]
     return found
 
 

@@ -67,6 +67,18 @@ HIGHER_IS_BETTER = frozenset({
     "flat_vs_object_speedup",
     "flat_theta_speedup",
     "cold_open_speedup",
+    # Vectorized (numpy) batch kernels; absent from documents recorded
+    # without numpy, in which case ``compare_results`` skips them.
+    "python_span_kernel_qps",
+    "python_theta_kernel_qps",
+    "numpy_span_kernel_qps",
+    "numpy_theta_kernel_qps",
+    "numpy_span_kernel_speedup",
+    "numpy_theta_kernel_speedup",
+    "numpy_span_batch_qps",
+    "numpy_theta_batch_qps",
+    "numpy_vs_flat_span_speedup",
+    "numpy_vs_flat_theta_speedup",
 })
 
 #: Cost-style metrics: a *rise* beyond tolerance is a regression.
@@ -363,6 +375,14 @@ def bench_flat(
     time from opening a saved file to the first answered query,
     format-2 eager parse vs. format-3 ``mmap=True``.  Answers are
     asserted equal on every timed pass.
+
+    When numpy is importable, two more comparisons are recorded (they
+    are simply absent otherwise, and ``compare_results`` skips them
+    against numpy-less baselines): the resolved batch straight through
+    the python vs. numpy batch kernels (``*_kernel_qps`` — the pure
+    kernel rewrite, no engine overhead), and a third engine over the
+    same store with ``backend="auto"`` (``numpy_*_batch_qps`` — the
+    end-to-end serving effect).
     """
     import os
     import shutil
@@ -380,15 +400,34 @@ def bench_flat(
     theta = max(1, graph.lifetime // 3)
     batch = make_serving_batch(graph, batch_size, 12, 60, seed)
 
+    from repro.core import flatkernels
+
+    kern = flatkernels.select(index.flat, index.order.rank, "auto")
+    numpy_index = None
+    if kern is not None:
+        # A third facade sharing the same order/labels/flat store but
+        # with the numpy kernels selected, so the engine ratio
+        # isolates the backend switch.
+        numpy_index = TILLIndex(
+            graph, index.order, index.labels, index.vartheta,
+            method=index.method, ordering_name=index.ordering_name,
+        )
+        numpy_index.flat = index.flat
+        numpy_index.flatten(backend="numpy")
+
     flat_engine = QueryEngine(index, cache_size=0)
     object_engine = QueryEngine(object_index, cache_size=0)
+    numpy_engine = (
+        QueryEngine(numpy_index, cache_size=0) if kern is not None else None
+    )
     # Interleave the flat/object passes (best-of each) so CPU frequency
     # drift and background load hit both configurations alike — the
     # recorded ratio measures the kernels, not the machine's mood.
-    flat_secs = object_secs = float("inf")
-    flat_theta_secs = object_theta_secs = float("inf")
-    flat_answers = object_answers = None
+    flat_secs = object_secs = numpy_secs = float("inf")
+    flat_theta_secs = object_theta_secs = numpy_theta_secs = float("inf")
+    flat_answers = object_answers = numpy_answers = None
     flat_theta_answers = object_theta_answers = None
+    numpy_theta_answers = None
     for _ in range(max(3, repeats)):
         secs, flat_answers = _timed(
             lambda: flat_engine.span_many(batch, window), 1
@@ -406,12 +445,83 @@ def bench_flat(
             lambda: object_engine.theta_many(batch, window, theta), 1
         )
         object_theta_secs = min(object_theta_secs, secs)
+        if numpy_engine is not None:
+            secs, numpy_answers = _timed(
+                lambda: numpy_engine.span_many(batch, window), 1
+            )
+            numpy_secs = min(numpy_secs, secs)
+            secs, numpy_theta_answers = _timed(
+                lambda: numpy_engine.theta_many(batch, window, theta), 1
+            )
+            numpy_theta_secs = min(numpy_theta_secs, secs)
     assert flat_answers == object_answers, (
         f"flat/object span answer mismatch on {name}"
     )
     assert flat_theta_answers == object_theta_answers, (
         f"flat/object theta answer mismatch on {name}"
     )
+    if numpy_engine is not None:
+        assert numpy_answers == flat_answers, (
+            f"numpy/python span answer mismatch on {name}"
+        )
+        assert numpy_theta_answers == flat_theta_answers, (
+            f"numpy/python theta answer mismatch on {name}"
+        )
+
+    # Kernel-level comparison: the resolved batch straight through the
+    # two batch-kernel implementations — no dedup, no cache, no
+    # prefilter — so the ratio is the vectorization itself.
+    kernel_metrics: Dict[str, Any] = {}
+    if kern is not None:
+        from repro.core import queries as _queries
+
+        store, rank = index.flat, index.order.rank
+        resolved_pairs = [
+            (graph.index_of(u), graph.index_of(v))
+            for u, v in batch if u != v
+        ]
+        ws, we = window
+        py_span = py_theta = np_span = np_theta = float("inf")
+        py_span_ans = np_span_ans = py_theta_ans = np_theta_ans = None
+        for _ in range(max(3, repeats)):
+            secs, py_span_ans = _timed(
+                lambda: _queries.flat_span_batch(
+                    store, rank, resolved_pairs, ws, we
+                ), 1,
+            )
+            py_span = min(py_span, secs)
+            secs, np_span_ans = _timed(
+                lambda: kern.span_batch(resolved_pairs, ws, we), 1
+            )
+            np_span = min(np_span, secs)
+            secs, py_theta_ans = _timed(
+                lambda: _queries.flat_theta_batch(
+                    store, rank, resolved_pairs, ws, we, theta
+                ), 1,
+            )
+            py_theta = min(py_theta, secs)
+            secs, np_theta_ans = _timed(
+                lambda: kern.theta_batch(resolved_pairs, ws, we, theta), 1
+            )
+            np_theta = min(np_theta, secs)
+        assert np_span_ans == py_span_ans, (
+            f"numpy/python span kernel mismatch on {name}"
+        )
+        assert np_theta_ans == py_theta_ans, (
+            f"numpy/python theta kernel mismatch on {name}"
+        )
+        kqps = lambda secs: (
+            (len(resolved_pairs) / secs) if secs > 0 else float("inf")
+        )
+        kernel_metrics = {
+            "kernel_batch_size": len(resolved_pairs),
+            "python_span_kernel_qps": kqps(py_span),
+            "numpy_span_kernel_qps": kqps(np_span),
+            "numpy_span_kernel_speedup": py_span / np_span,
+            "python_theta_kernel_qps": kqps(py_theta),
+            "numpy_theta_kernel_qps": kqps(np_theta),
+            "numpy_theta_kernel_speedup": py_theta / np_theta,
+        }
 
     # Cold open: load-to-first-answer.  The eager pass parses every
     # per-vertex label block; the mmap pass maps the flat section and
@@ -448,7 +558,7 @@ def bench_flat(
     object_qps = qps(object_secs, len(batch))
     flat_theta_qps = qps(flat_theta_secs, len(batch))
     object_theta_qps = qps(object_theta_secs, len(batch))
-    return {
+    results = {
         "dataset": name,
         "batch_size": len(batch),
         "theta": theta,
@@ -465,6 +575,17 @@ def bench_flat(
         "file_bytes_v2": v2_bytes,
         "file_bytes_v3": v3_bytes,
     }
+    if kern is not None:
+        numpy_qps = qps(numpy_secs, len(batch))
+        numpy_theta_qps = qps(numpy_theta_secs, len(batch))
+        results.update(kernel_metrics)
+        results.update({
+            "numpy_span_batch_qps": numpy_qps,
+            "numpy_theta_batch_qps": numpy_theta_qps,
+            "numpy_vs_flat_span_speedup": numpy_qps / flat_qps,
+            "numpy_vs_flat_theta_speedup": numpy_theta_qps / flat_theta_qps,
+        })
+    return results
 
 
 def bench_overhead(
@@ -547,7 +668,7 @@ def run_suite(
     smoke: bool = True,
     seed: int = 0,
     datasets: Optional[Sequence[str]] = None,
-    label: str = "PR5",
+    label: str = "PR6",
     batch_size: int = 2000,
     repeats: int = 3,
     telemetry=None,
@@ -612,6 +733,24 @@ def run_suite(
     )
     speedups = [m["batch_speedup"] for m in per_dataset.values()]
     hit_rates = [m["cache_hit_rate"] for m in per_dataset.values()]
+    summary = {
+        "min_batch_speedup": min(speedups),
+        "mean_cache_hit_rate": sum(hit_rates) / len(hit_rates),
+        "total_build_seconds": sum(
+            m["build_seconds"] for m in per_dataset.values()
+        ),
+        "parallel_build_speedup": sharded["parallel_build_speedup"],
+        "telemetry_serve_overhead_pct": overhead["serve_overhead_pct"],
+        "flat_vs_object_speedup": flat["flat_vs_object_speedup"],
+        "cold_open_speedup": flat["cold_open_speedup"],
+    }
+    if "numpy_span_kernel_speedup" in flat:
+        summary["numpy_span_kernel_speedup"] = (
+            flat["numpy_span_kernel_speedup"]
+        )
+        summary["numpy_theta_kernel_speedup"] = (
+            flat["numpy_theta_kernel_speedup"]
+        )
     return {
         "schema": SCHEMA,
         "label": label,
@@ -626,17 +765,7 @@ def run_suite(
         "sharded": {"dataset": names[-1], **sharded},
         "flat": flat,
         "telemetry_overhead": overhead,
-        "summary": {
-            "min_batch_speedup": min(speedups),
-            "mean_cache_hit_rate": sum(hit_rates) / len(hit_rates),
-            "total_build_seconds": sum(
-                m["build_seconds"] for m in per_dataset.values()
-            ),
-            "parallel_build_speedup": sharded["parallel_build_speedup"],
-            "telemetry_serve_overhead_pct": overhead["serve_overhead_pct"],
-            "flat_vs_object_speedup": flat["flat_vs_object_speedup"],
-            "cold_open_speedup": flat["cold_open_speedup"],
-        },
+        "summary": summary,
     }
 
 
@@ -734,6 +863,17 @@ def format_results(results: Dict[str, Any]) -> str:
             f"cold open {flat['cold_open_mmap_seconds'] * 1000.0:.1f}ms "
             f"mmap vs {flat['cold_open_eager_seconds'] * 1000.0:.1f}ms "
             f"eager ({flat['cold_open_speedup']:.1f}x)"
+        )
+    if flat and "numpy_span_kernel_qps" in flat:
+        lines.append(
+            f"  numpy[{flat['dataset']}]: span kernel "
+            f"{flat['numpy_span_kernel_qps']:.0f} q/s "
+            f"({flat['numpy_span_kernel_speedup']:.2f}x of python "
+            f"{flat['python_span_kernel_qps']:.0f} q/s), "
+            f"theta kernel {flat['numpy_theta_kernel_qps']:.0f} q/s "
+            f"({flat['numpy_theta_kernel_speedup']:.2f}x), "
+            f"serving span {flat['numpy_span_batch_qps']:.0f} q/s "
+            f"({flat['numpy_vs_flat_span_speedup']:.2f}x of python flat)"
         )
     overhead = results.get("telemetry_overhead")
     if overhead:

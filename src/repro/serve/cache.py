@@ -32,7 +32,7 @@ class GenerationalLRUCache:
     __slots__ = (
         "capacity", "generation",
         "hits", "misses", "evictions", "stale_drops",
-        "_data",
+        "_data", "_stale",
     )
 
     def __init__(self, capacity: int = 4096):
@@ -43,9 +43,16 @@ class GenerationalLRUCache:
         self.evictions = 0
         self.stale_drops = 0
         self._data: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+        # Count of stored entries stamped with an older generation.
+        # Stale entries always sit at the LRU front: a lookup either
+        # deletes one or refreshes a live entry to the back, so lazily
+        # dropping from the front under pressure only touches them.
+        self._stale = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        """Number of *live* entries (stale ones are already dead — they
+        can never be served again, only dropped)."""
+        return len(self._data) - self._stale
 
     @property
     def hit_rate(self) -> float:
@@ -56,6 +63,7 @@ class GenerationalLRUCache:
     def bump_generation(self) -> int:
         """Invalidate every current entry; returns the new generation."""
         self.generation += 1
+        self._stale = len(self._data)
         return self.generation
 
     def get(self, key: Hashable) -> Any:
@@ -71,6 +79,7 @@ class GenerationalLRUCache:
         gen, value = entry
         if gen != self.generation:
             del self._data[key]
+            self._stale -= 1
             self.stale_drops += 1
             self.misses += 1
             return MISS
@@ -84,10 +93,19 @@ class GenerationalLRUCache:
             return
         data = self._data
         if key in data:
+            if data[key][0] != self.generation:
+                self._stale -= 1  # overwritten with a fresh stamp
             data[key] = (self.generation, value)
             data.move_to_end(key)
             return
         data[key] = (self.generation, value)
+        # Under pressure, drop dead (stale) entries first so they never
+        # push out live answers, and attribute them to ``stale_drops``
+        # — ``evictions`` counts only live entries lost to capacity.
+        while len(data) > self.capacity and self._stale:
+            data.popitem(last=False)
+            self._stale -= 1
+            self.stale_drops += 1
         if len(data) > self.capacity:
             data.popitem(last=False)
             self.evictions += 1
@@ -95,3 +113,4 @@ class GenerationalLRUCache:
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""
         self._data.clear()
+        self._stale = 0

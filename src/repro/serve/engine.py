@@ -600,9 +600,13 @@ class QueryEngine:
                     cache.put(key, answer)
                 for k in slots:
                     results[k] = answer
-        # Pass 3 — every surviving miss through one kernel call.
+        # Pass 3 — every surviving miss through one kernel call
+        # (vectorized when the index selected the numpy backend).
         if miss_pairs:
-            if flat is not None:
+            kernels = index.flat_kernels
+            if kernels is not None:
+                answers = kernels.span_batch(miss_pairs, ws, we)
+            elif flat is not None:
                 answers = queries.flat_span_batch(
                     flat, rank, miss_pairs, ws, we
                 )
@@ -727,7 +731,15 @@ class QueryEngine:
                 for k in slots:
                     results[k] = answer
         if miss_pairs:
-            if flat is not None:
+            kernels = index.flat_kernels
+            if kernels is not None:
+                if sliding:
+                    answers = kernels.theta_batch(miss_pairs, ws, we, theta)
+                else:
+                    answers = kernels.theta_naive_batch(
+                        miss_pairs, ws, we, theta
+                    )
+            elif flat is not None:
                 if sliding:
                     answers = queries.flat_theta_batch(
                         flat, rank, miss_pairs, ws, we, theta

@@ -158,6 +158,7 @@ class ShardedTILLIndex:
         jobs: int = 1,
         build_seconds: float = 0.0,
         telemetry=None,
+        flat_backend: str = "python",
     ):
         if len(shards) != partition.num_shards:
             raise IndexBuildError(
@@ -174,6 +175,9 @@ class ShardedTILLIndex:
         self.ordering_name = ordering_name
         self.jobs = jobs
         self.build_seconds = build_seconds
+        #: Batch-kernel backend applied when a shard is flattened on
+        #: first touch (see :meth:`TILLIndex.flatten`).
+        self.flat_backend = flat_backend
         self.planner = CrossShardPlanner(
             partition, [s.graph for s in self.shards], stitch_limit
         )
@@ -221,6 +225,7 @@ class ShardedTILLIndex:
         stitch_limit: int = 64,
         progress=None,
         telemetry=None,
+        flat_backend: str = "python",
     ) -> "ShardedTILLIndex":
         """Partition *graph*'s timeline and build one index per slice.
 
@@ -253,6 +258,10 @@ class ShardedTILLIndex:
             route counters on the returned index.  Worker processes
             never see the telemetry object — per-shard timings are
             taken from each shard's own build clock.
+        flat_backend:
+            Batch-kernel backend applied when shards are flattened on
+            first query (``"python"``/``"numpy"``/``"auto"``, see
+            :meth:`TILLIndex.flatten`).
         """
         if jobs < 1:
             raise IndexBuildError(f"jobs must be >= 1, got {jobs}")
@@ -339,6 +348,7 @@ class ShardedTILLIndex:
             jobs=jobs,
             build_seconds=elapsed,
             telemetry=telemetry,
+            flat_backend=flat_backend,
         )
 
     # ------------------------------------------------------------------
@@ -389,10 +399,16 @@ class ShardedTILLIndex:
     def _flat_shard(self, shard_id: int) -> TILLIndex:
         """The shard, flattened on first touch: every routed query —
         contained, stitch hops, θ decomposition — runs the flat kernels
-        without flattening ever being charged to build time."""
+        without flattening ever being charged to build time.  The
+        index-level ``flat_backend`` selects the shard's batch kernels.
+
+        Hot path: stitch routing calls this once per BFS hop, so the
+        already-flattened case must stay one attribute compare — never
+        a :meth:`TILLIndex.flatten` call (idempotent but not free).
+        """
         shard = self.shards[shard_id]
-        if shard.flat is None:
-            shard.flatten()
+        if shard._flat_requested != self.flat_backend:
+            shard.flatten(backend=self.flat_backend)
         return shard
 
     def _shard_span(self, shard_id: int, ui: int, vi: int,
@@ -693,7 +709,7 @@ class ShardedTILLIndex:
     @classmethod
     def load(
         cls, directory: Union[str, Path], graph: TemporalGraph,
-        telemetry=None, mmap: bool = False,
+        telemetry=None, mmap: bool = False, flat_backend: str = "python",
     ) -> "ShardedTILLIndex":
         """Read a shard directory written by :meth:`save`, rebinding it
         to *graph* (which must match: vertex/edge counts, directedness,
@@ -703,7 +719,9 @@ class ShardedTILLIndex:
         ``mmap=True`` maps each format-3 shard file zero-copy — opening
         a directory of shards costs O(1) per shard, and worker
         processes mapping the same files share one copy of the label
-        arrays in the OS page cache."""
+        arrays in the OS page cache.  ``flat_backend`` selects the
+        batch kernels shards use once queried (zero-copy over the
+        mapped arrays when numpy)."""
         path = Path(directory)
         manifest_path = path / MANIFEST_NAME
         if not manifest_path.exists():
@@ -773,6 +791,7 @@ class ShardedTILLIndex:
             jobs=meta.get("jobs", 1),
             build_seconds=meta.get("build_seconds", 0.0),
             telemetry=telemetry,
+            flat_backend=flat_backend,
         )
 
     def __repr__(self) -> str:

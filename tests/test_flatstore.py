@@ -11,7 +11,8 @@ import struct
 import pytest
 
 from repro import TemporalGraph, TILLIndex, IndexFormatError
-from repro.core import queries
+from repro.core import flatkernels, queries
+from repro.errors import IndexBuildError, InvalidIntervalError
 from repro.core.flatstore import (
     ARRAY_FIELDS,
     FlatTILLLabels,
@@ -167,6 +168,142 @@ class TestFlatKernels:
         assert queries.flat_span_batch(store, rank, pairs, 1, 8) == [
             queries.flat_span(store, rank, ui, vi, 1, 8) for ui, vi in pairs
         ]
+
+
+@pytest.mark.skipif(not flatkernels.available(),
+                    reason="numpy not importable; the python kernels are "
+                           "covered by TestFlatKernels")
+class TestNumPyKernels:
+    """PR 6 tentpole: the vectorized batch kernels must agree with the
+    pure-python kernels (and through them with the object-path oracle)
+    on every answer, on both the GEMM and the join-fallback regimes,
+    and degrade cleanly when NumPy is absent."""
+
+    def _flat(self, seed, directed=True):
+        g = random_graph(seed, num_vertices=14, num_edges=45,
+                         directed=directed)
+        index = TILLIndex.build(g).flatten(backend="numpy")
+        return g, index
+
+    @pytest.mark.parametrize("seed", [2, 6, 13])
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_numpy_matches_python_and_oracle(self, seed, directed):
+        from repro.core.intervals import Interval
+
+        g, index = self._flat(seed, directed)
+        store, rank = index.flat, index.order.rank
+        kern = index.flat_kernels
+        assert kern is not None
+        n = g.num_vertices
+        pairs = [(ui, vi) for ui in range(n) for vi in range(n) if ui != vi]
+        for ws, we in _windows(g):
+            theta = max(1, (we - ws) // 2)
+            window = Interval(ws, we)
+            oracle = [
+                queries.span_reachable(g, index.labels, rank, ui, vi, window)
+                for ui, vi in pairs
+            ]
+            assert queries.flat_span_batch(store, rank, pairs, ws, we) \
+                == oracle
+            assert kern.span_batch(pairs, ws, we) == oracle
+            oracle_t = [
+                queries.theta_reachable(g, index.labels, rank, ui, vi,
+                                        window, theta)
+                for ui, vi in pairs
+            ]
+            assert queries.flat_theta_batch(
+                store, rank, pairs, ws, we, theta
+            ) == oracle_t
+            assert kern.theta_batch(pairs, ws, we, theta) == oracle_t
+            assert kern.theta_naive_batch(pairs, ws, we, theta) == oracle_t
+
+    @pytest.mark.parametrize("seed", [4, 8])
+    def test_join_fallback_matches_gemm(self, seed, monkeypatch):
+        """Past the GEMM memory budget the kernels switch to a
+        searchsorted join — force budget 0 and require identical
+        answers."""
+        g, index = self._flat(seed)
+        kern = index.flat_kernels
+        n = g.num_vertices
+        pairs = [(ui, vi) for ui in range(n) for vi in range(n) if ui != vi]
+        ws, we = g.min_time, g.max_time
+        theta = max(1, (we - ws) // 2)
+        span = kern.span_batch(pairs, ws, we)
+        theta_ans = kern.theta_batch(pairs, ws, we, theta)
+        monkeypatch.setattr(flatkernels, "GEMM_BUDGET_BYTES", 0)
+        assert kern.span_batch(pairs, ws, we) == span
+        assert kern.theta_batch(pairs, ws, we, theta) == theta_ans
+
+    def test_save_mmap_load_numpy_query_roundtrip(self, tmp_path):
+        g = random_graph(17, num_vertices=12, num_edges=40)
+        index = TILLIndex.build(g)
+        path = tmp_path / "k.till"
+        index.save(path, format=3)
+        loaded = TILLIndex.load(path, g, mmap=True).flatten(backend="numpy")
+        assert loaded.flat.is_mmap
+        assert loaded.flat_kernels is not None
+        n = g.num_vertices
+        pairs = [(ui, vi) for ui in range(n) for vi in range(n) if ui != vi]
+        for ws, we in _windows(g):
+            want = queries.flat_span_batch(
+                loaded.flat, loaded.order.rank, pairs, ws, we
+            )
+            assert loaded.flat_kernels.span_batch(pairs, ws, we) == want
+
+    def test_naive_batch_validates_theta_window(self, paper_index):
+        index = paper_index.flatten(backend="numpy")
+        with pytest.raises(InvalidIntervalError):
+            index.flat_kernels.theta_naive_batch([(0, 1)], 1, 4, 9)
+        with pytest.raises(InvalidIntervalError):
+            index.flat_kernels.theta_naive_batch([(0, 1)], 1, 4, 0)
+
+    def test_select_backends(self, paper_index):
+        paper_index.labels.finalize()
+        store = FlatTILLStore.from_labels(paper_index.labels)
+        rank = paper_index.order.rank
+        assert flatkernels.select(store, rank, "python") is None
+        assert flatkernels.select(store, rank, "auto") is not None
+        with pytest.raises(IndexBuildError, match="unknown flat backend"):
+            flatkernels.select(store, rank, "fortran")
+
+    def test_flatten_backend_recorded(self, paper_graph):
+        index = TILLIndex.build(paper_graph).flatten(backend="numpy")
+        assert index.flat_backend == "numpy"
+        assert index.flat_kernels is not None
+        index.invalidate_flat()
+        assert index.flat_backend == "python"
+        assert index.flat_kernels is None
+
+
+class TestMissingNumPy:
+    """The mandatory-fallback half of the backend contract — runs with
+    or without a real numpy installed."""
+
+    def test_missing_numpy_falls_back(self, paper_index, monkeypatch):
+        """With NumPy gone, ``auto`` silently yields the python kernels
+        and ``numpy`` fails loudly — never a silent wrong answer."""
+        paper_index.labels.finalize()
+        store = FlatTILLStore.from_labels(paper_index.labels)
+        rank = paper_index.order.rank
+        monkeypatch.setattr(flatkernels, "_np", None)
+        assert not flatkernels.available()
+        assert flatkernels.select(store, rank, "auto") is None
+        with pytest.raises(IndexBuildError, match="numpy is not"):
+            flatkernels.select(store, rank, "numpy")
+
+    def test_flatten_auto_falls_back_to_python(self, paper_graph,
+                                               monkeypatch):
+        from repro.core import flatkernels as fk
+
+        monkeypatch.setattr(fk, "_np", None)
+        index = TILLIndex.build(paper_graph).flatten(backend="auto")
+        assert index.flat is not None  # the store itself needs no numpy
+        assert index.flat_kernels is None
+        assert index.flat_backend == "python"
+        plain = TILLIndex.build(paper_graph)
+        for window in [(1, 4), (2, 8)]:
+            assert index.span_reachable("v1", "v4", window) == \
+                plain.span_reachable("v1", "v4", window)
 
 
 class TestFormat3Roundtrip:

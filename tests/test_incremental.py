@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro import TemporalGraph, TILLIndex, InvalidIntervalError
 from repro.core.incremental import IncrementalTILLIndex
+from repro.errors import GraphError
 from repro.graph.projection import (
     span_reaches_bruteforce,
     theta_reaches_bruteforce,
@@ -70,6 +71,58 @@ class TestBasics:
         g = TemporalGraph.from_edges([("a", "b", 1)])
         inc = IncrementalTILLIndex(g)
         assert inc.span_reachable("q", "q", (1, 1))
+
+
+class TestFlatInvalidation:
+    """PR 6 satellite regression: a flattened incremental index must
+    never answer a post-mutation query from pre-mutation flat arrays."""
+
+    def test_add_edge_drops_flat_and_answers_fresh(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g).compact()
+        assert inc._index.flat is not None
+        # Warm every answer path against the flat store first.
+        assert not inc.span_reachable("a", "c", (1, 2))
+        inc.add_edge("b", "c", 2)
+        assert inc._index.flat is None  # dropped, not left stale
+        assert inc.span_reachable("a", "c", (1, 2))
+        assert inc.theta_reachable("a", "c", (1, 2), 2)
+
+    def test_remove_edge_drops_flat_and_answers_fresh(self):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 2)])
+        inc = IncrementalTILLIndex(g).compact()
+        assert inc.span_reachable("a", "c", (1, 2))
+        inc.remove_edge("b", "c", 2)
+        assert inc._index.flat is None
+        assert not inc.span_reachable("a", "c", (1, 2))
+
+    def test_rebuild_restores_flat_with_same_backend(self):
+        g = TemporalGraph.from_edges([("a", "b", 1)])
+        inc = IncrementalTILLIndex(g, rebuild_threshold=2).compact()
+        inc.add_edge("b", "c", 2)  # buffered; flat dropped
+        assert inc._index.flat is None
+        inc.add_edge("c", "d", 3)  # hits the threshold -> rebuild
+        assert inc.rebuilds == 1
+        assert inc._index.flat is not None  # re-compacted automatically
+        assert inc.span_reachable("a", "d", (1, 3))
+
+    def test_mutating_mmap_backed_store_refuses(self, tmp_path):
+        g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 2)])
+        inc = IncrementalTILLIndex(g)
+        path = tmp_path / "base.till"
+        inc._index.save(path, format=3)
+        # Serve the base index zero-copy from the saved file — its flat
+        # arrays are read-only views, so mutation must refuse up front.
+        inc._index = TILLIndex.load(path, g, mmap=True)
+        assert inc._index.flat.is_mmap
+        with pytest.raises(GraphError, match="mmap"):
+            inc.add_edge("c", "d", 3)
+        with pytest.raises(GraphError, match="mmap"):
+            inc.remove_edge("a", "b", 1)
+        # The refusal happened before any state change: the wrapper
+        # still answers, and still from the mapped store.
+        assert inc._index.flat is not None
+        assert inc.span_reachable("a", "c", (1, 2))
 
 
 class TestRebuild:

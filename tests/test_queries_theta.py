@@ -143,3 +143,24 @@ class TestMalformedWindowRejected:
         want = theta_reaches_bruteforce(paper_index.graph, "v1", "v12", (1, 3), 3)
         assert _sliding(paper_index, "v1", "v12", (1, 3), 3) == want
         assert _naive(paper_index, "v1", "v12", (1, 3), 3) == want
+
+    def test_flat_naive_rejects_like_object_naive(self, paper_index):
+        """PR 6 satellite regression: ``flat_theta_naive`` used to fall
+        through its empty sliding ``range`` and silently answer
+        ``False`` where the object-path baseline raises — the two
+        baselines must fail identically."""
+        from repro.core.queries import flat_theta_naive
+
+        index = paper_index.flatten()
+        store, rank = index.flat, index.order.rank
+        ui = index.graph.index_of("v1")
+        vi = index.graph.index_of("v12")
+        for window, theta in [((1, 2), 5), ((1, 5), 0), ((1, 5), -3)]:
+            with pytest.raises(InvalidIntervalError):
+                _naive(index, "v1", "v12", window, theta)
+            with pytest.raises(InvalidIntervalError):
+                flat_theta_naive(store, rank, ui, vi,
+                                 window[0], window[1], theta)
+        # And on a well-formed query the two baselines still agree.
+        assert flat_theta_naive(store, rank, ui, vi, 1, 3, 3) == \
+            _naive(index, "v1", "v12", (1, 3), 3)

@@ -405,6 +405,30 @@ class TestGenerationalLRUCache:
         assert cache.get("k") is MISS
         assert len(cache) == 0
 
+    def test_stale_entries_leave_len_and_evict_first(self):
+        """PR 6 satellite regression: after a generation bump, dead
+        entries must not count toward ``len()`` and must be pushed out
+        *before* any live answer, attributed to ``stale_drops`` — not
+        ``evictions``."""
+        cache = GenerationalLRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.bump_generation()  # both entries are now dead
+        assert len(cache) == 0
+        cache.put("c", 3)  # pressure drops a dead entry, not a live one
+        assert len(cache) == 1
+        assert cache.stale_drops == 1
+        assert cache.evictions == 0
+        cache.put("d", 4)  # drops the second dead entry
+        assert len(cache) == 2
+        assert cache.stale_drops == 2
+        assert cache.evictions == 0
+        assert cache.get("c") == 3 and cache.get("d") == 4
+        cache.put("e", 5)  # no dead entries left: a real LRU eviction
+        assert cache.get("c") is MISS
+        assert cache.stale_drops == 2
+        assert cache.evictions == 1
+
 
 class TestEngineStats:
     def test_as_dict_round_trip(self):
@@ -449,6 +473,34 @@ class TestFlatBackend:
                 pairs, window, theta, algorithm="naive"
             )
         assert flat_engine.stats().outcomes == object_engine.stats().outcomes
+
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_numpy_engine_agrees_with_python_engine(self, directed):
+        """PR 6 tentpole: an engine over numpy-backed kernels answers
+        every batch identically to the pure-python flat path."""
+        from repro.core import flatkernels
+
+        if not flatkernels.available():
+            pytest.skip("numpy not importable")
+        g = random_graph(12, num_vertices=10, num_edges=38,
+                         directed=directed)
+        python_index = TILLIndex.build(g).compact()
+        numpy_index = TILLIndex.build(g).compact(backend="numpy")
+        assert numpy_index.flat_kernels is not None
+        python_engine = QueryEngine(python_index, cache_size=0)
+        numpy_engine = QueryEngine(numpy_index, cache_size=0)
+        pairs = _all_pairs(g)
+        for window in [(1, 10), (2, 7), (3, 9)]:
+            assert numpy_engine.span_many(pairs, window) == \
+                python_engine.span_many(pairs, window)
+            theta = max(1, (window[1] - window[0]) // 2)
+            assert numpy_engine.theta_many(pairs, window, theta) == \
+                python_engine.theta_many(pairs, window, theta)
+            assert numpy_engine.theta_many(
+                pairs, window, theta, algorithm="naive"
+            ) == python_engine.theta_many(
+                pairs, window, theta, algorithm="naive"
+            )
 
     def test_cache_disabled_still_counts_misses(self):
         g = random_graph(9, num_vertices=6, num_edges=20)
