@@ -3,8 +3,11 @@
 PYTHON ?= python
 # Make every target work from a plain checkout (no install needed).
 export PYTHONPATH := src
+# Scratch directory for smoke-stage artifacts (metrics snapshots,
+# traces, throwaway indexes) — never committed, wiped by `make clean`.
+SCRATCH := .scratch
 
-.PHONY: install test bench bench-smoke experiments examples verify fuzz-smoke fuzz shard-smoke flat-smoke obs-smoke clean
+.PHONY: install test bench bench-smoke experiments examples verify fuzz-smoke fuzz shard-smoke flat-smoke obs-smoke serve-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -16,6 +19,7 @@ test:
 	$(MAKE) shard-smoke
 	$(MAKE) flat-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) bench-smoke
 
 # Fixed-seed differential fuzzing smoke stage (<30 s): every answer
@@ -52,46 +56,64 @@ shard-smoke:
 # back to python silently, so this passes on a no-numpy host too).
 # Deterministic — safe for CI.
 flat-smoke:
+	mkdir -p $(SCRATCH)
+	$(PYTHON) -m repro build chess -o $(SCRATCH)/flat_smoke.till --format 3
 	$(PYTHON) -m repro fuzz --profile flat --seeds 12
-	$(PYTHON) -m repro build chess -o flat_smoke.till --format 3
-	$(PYTHON) -m repro verify chess --index flat_smoke.till --mmap \
-		--samples 300
+	$(PYTHON) -m repro verify chess --index $(SCRATCH)/flat_smoke.till \
+		--mmap --samples 300
 	$(PYTHON) -m repro query chess 5 40 0 900 \
-		--index flat_smoke.till --mmap --flat-backend python
+		--index $(SCRATCH)/flat_smoke.till --mmap --flat-backend python
 	$(PYTHON) -m repro query chess 5 40 0 900 \
-		--index flat_smoke.till --mmap --flat-backend auto
-	rm -f flat_smoke.till
+		--index $(SCRATCH)/flat_smoke.till --mmap --flat-backend auto
+	rm -f $(SCRATCH)/flat_smoke.till
 
 # Telemetry smoke stage (<60 s): build + query a small graph with
 # metrics/trace export through every surfaced flag, then validate the
 # documents against the repro-metrics/1 and repro-trace/1 schemas.
+# Artifacts land in $(SCRATCH)/, not the repo root.
 # Deterministic — safe for CI.
 obs-smoke:
+	mkdir -p $(SCRATCH)
 	$(PYTHON) -m repro build chess --progress \
-		--metrics-out obs_build_metrics.json \
-		--trace-out obs_build_trace.jsonl
+		--metrics-out $(SCRATCH)/obs_build_metrics.json \
+		--trace-out $(SCRATCH)/obs_build_trace.jsonl
 	$(PYTHON) -m repro query chess 5 40 0 900 \
-		--metrics-out obs_query_metrics.json \
-		--trace-out obs_query_trace.jsonl
+		--metrics-out $(SCRATCH)/obs_query_metrics.json \
+		--trace-out $(SCRATCH)/obs_query_trace.jsonl
 	$(PYTHON) -m repro stats chess --shards 3 --queries 200 \
-		--format prometheus --metrics-out obs_stats_metrics.json \
-		--trace-out obs_stats_trace.jsonl > /dev/null
+		--format prometheus \
+		--metrics-out $(SCRATCH)/obs_stats_metrics.json \
+		--trace-out $(SCRATCH)/obs_stats_trace.jsonl > /dev/null
 	$(PYTHON) -m repro.obs.validate \
-		obs_build_metrics.json obs_build_trace.jsonl \
-		obs_query_metrics.json obs_query_trace.jsonl \
-		obs_stats_metrics.json obs_stats_trace.jsonl
+		$(SCRATCH)/obs_build_metrics.json \
+		$(SCRATCH)/obs_build_trace.jsonl \
+		$(SCRATCH)/obs_query_metrics.json \
+		$(SCRATCH)/obs_query_trace.jsonl \
+		$(SCRATCH)/obs_stats_metrics.json \
+		$(SCRATCH)/obs_stats_trace.jsonl
 
-# Seeded perf baseline (<60 s): build time, label size, scalar vs
+# Network-serving smoke stage (<60 s): builds a format-3 index, boots
+# a pre-fork server pool on a scratch Unix socket (every worker mmaps
+# the same file), drives a few hundred pipelined span/theta queries
+# through the load generator, hot-swaps the index mid-traffic (reload
+# op + SIGHUP), and asserts zero failed queries and a clean SIGTERM
+# shutdown.  Deterministic — safe for CI.
+serve-smoke:
+	$(PYTHON) -m repro.serve.smoke --workers 2 --queries 400
+
+# Seeded perf baseline (<90 s): build time, label size, scalar vs
 # batch vs cached query throughput, per-scenario latency percentiles,
 # the online fallback, the monolithic-vs-sharded build/query
-# comparison, the telemetry-overhead scenario, and the flat-vs-object
-# (python vs numpy batch kernel) + cold-open scenario.  Writes
-# BENCH_PR6.json and gates against the recorded PR 5 baseline; tune
+# comparison, the telemetry-overhead scenario, the flat-vs-object
+# (python vs numpy batch kernel) + cold-open scenario, and the network
+# serving scenario (concurrent QPS + p50/p95/p99 vs worker count vs
+# the in-process engine ceiling, with a hot swap under load).  Writes
+# BENCH_PR8.json and gates against the recorded PR 6 baseline; tune
 # the gate with e.g.
-#   python -m repro bench --smoke --compare BENCH_PR5.json --max-regression 15
+#   python -m repro bench --smoke --compare BENCH_PR6.json --max-regression 15
 bench-smoke:
-	$(PYTHON) -m repro bench --smoke -o BENCH_PR6.json \
-		--compare BENCH_PR5.json --max-regression 15
+	$(PYTHON) -m repro bench --smoke -o BENCH_PR8.json \
+		--compare BENCH_PR6.json --max-regression 15
 
 experiments:
 	$(PYTHON) -m repro experiment table2
@@ -110,6 +132,6 @@ verify:
 	$(PYTHON) -m repro verify enron --samples 500
 
 clean:
-	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis $(SCRATCH)
 	rm -f obs_*_metrics.json obs_*_trace.jsonl flat_smoke.till
 	find . -name __pycache__ -type d -exec rm -rf {} +

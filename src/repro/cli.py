@@ -47,6 +47,18 @@ Subcommands
     workload through the serving engine, and print the resulting
     metrics snapshot as text, JSON, or Prometheus exposition.
 
+``repro serve SOURCE [--index FILE --mmap] [--socket P | --port N]``
+    Serve span/θ queries over newline-delimited JSON on a Unix or TCP
+    socket: micro-batch coalescing into the engine's batch kernels,
+    per-tenant quotas (``--quota tenant=rate[:burst]``), bounded
+    in-flight admission, SIGHUP-triggered index hot swap, and a
+    pre-fork worker pool (``--workers N``) sharing one mmap'd index
+    (see :mod:`repro.serve.server` and docs/usage.md).
+
+``repro loadgen SOURCE [--socket P | --port N] [-n N] [-c N]``
+    Drive a running ``repro serve`` with a seeded span/θ workload and
+    report QPS and p50/p95/p99 latency (:mod:`repro.serve.client`).
+
 Observability flags
 -------------------
 
@@ -305,7 +317,11 @@ def cmd_query(args: argparse.Namespace) -> int:
                 span.__exit__(None, None, None)
     else:
         if args.index:
-            index = TILLIndex.load(args.index, graph, mmap=args.mmap)
+            # --mmap is a demand, not a hint: a format-2 file fails
+            # loudly with the rebuild command instead of silently
+            # falling back to an eager load.
+            index = TILLIndex.load(args.index, graph, mmap=args.mmap,
+                                   require_mmap=args.mmap)
         else:
             index = TILLIndex.build(graph, telemetry=telemetry)
         if args.flat_backend is not None:
@@ -508,6 +524,107 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.admission import parse_quota
+    from repro.serve.server import (
+        IndexProvider,
+        ReachabilityServer,
+        ServerConfig,
+        bind_socket,
+        serve_prefork,
+    )
+
+    graph = _load_source(args.source, directed=not args.undirected)
+    quotas = {}
+    default_quota = None
+    for spec in args.quota or []:
+        try:
+            tenant, quota = parse_quota(spec)
+        except ValueError as exc:
+            raise ReproError(str(exc))
+        if tenant == "*":
+            default_quota = quota
+        else:
+            quotas[tenant] = quota
+    provider = IndexProvider(
+        graph,
+        index_path=args.index,
+        mmap=args.mmap,
+        flat_backend=args.flat_backend or "auto",
+        vartheta=args.vartheta,
+    )
+    config = ServerConfig(
+        max_batch=args.max_batch,
+        batch_delay=args.batch_delay_ms / 1000.0,
+        max_inflight=args.max_inflight,
+        quotas=quotas,
+        default_quota=default_quota,
+        cache_size=args.cache_size,
+    )
+    if args.index:
+        # Fail fast (--mmap on a format-2 file, bad path) in the parent,
+        # before binding the socket or forking anything; a format-3 mmap
+        # open is cheap, so the duplicate load costs microseconds.
+        provider.open()
+    sock = bind_socket(socket_path=args.socket, host=args.host,
+                       port=args.port)
+    where = args.socket or "%s:%d" % sock.getsockname()[:2]
+    telemetry = _make_telemetry(args)
+    if telemetry is not None and args.workers > 1:
+        print("warning: --metrics-out/--trace-out need --workers 1; "
+              "ignoring", file=sys.stderr)
+        telemetry = None
+    print(f"serving {args.source} on {where} "
+          f"({args.workers} worker(s); SIGHUP reloads the index, "
+          "SIGTERM stops)")
+    try:
+        if args.workers <= 1:
+            server = ReachabilityServer(provider, config,
+                                        telemetry=telemetry)
+            asyncio.run(server.serve(sock=sock, install_signals=True))
+            status = 0
+        else:
+            status = serve_prefork(provider, config, sock, args.workers,
+                                   log=lambda msg: print(msg))
+    except KeyboardInterrupt:
+        status = 0
+    finally:
+        sock.close()
+        if args.socket:
+            import os
+
+            try:
+                os.unlink(args.socket)
+            except OSError:
+                pass
+    _finish_telemetry(args, telemetry)
+    return status
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import run_loadgen
+    from repro.serve.smoke import make_queries
+
+    graph = _load_source(args.source, directed=not args.undirected)
+    queries = make_queries(graph, args.queries, seed=args.seed)
+    result = run_loadgen(
+        queries,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        concurrency=args.concurrency,
+        pipeline=args.pipeline,
+        tenant=args.tenant,
+    )
+    print(json.dumps(result, indent=2, sort_keys=True))
+    ok = not result["errors"] and not result["failures"]
+    return 0 if ok else 1
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     if args.name == "list":
         for name in sorted(EXPERIMENTS):
@@ -706,9 +823,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small fixed suite (<60 s), suitable for CI")
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed (default 0)")
-    p.add_argument("-o", "--output", default="BENCH_PR6.json",
-                   help="results file (default BENCH_PR6.json)")
-    p.add_argument("--label", default="PR6",
+    p.add_argument("-o", "--output", default="BENCH_PR8.json",
+                   help="results file (default BENCH_PR8.json)")
+    p.add_argument("--label", default="PR8",
                    help="label recorded in the results document")
     p.add_argument("--datasets", help="comma-separated dataset override")
     p.add_argument("--batch-size", type=int, default=2000,
@@ -749,6 +866,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--undirected", action="store_true")
     _add_obs_args(p)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve reachability queries over NDJSON (Unix/TCP socket)",
+    )
+    p.add_argument("source", help="dataset name or graph file")
+    p.add_argument("--index", help="saved .till to serve (default: build "
+                                   "in-process at startup)")
+    p.add_argument("--mmap", action="store_true",
+                   help="require zero-copy mmap of --index (format 3); a "
+                        "format-2 file is rejected with the rebuild "
+                        "command — every worker then shares one physical "
+                        "copy via the page cache")
+    p.add_argument("--socket", metavar="PATH",
+                   help="serve on a Unix domain socket at PATH")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind host (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port (default: an ephemeral port, printed)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="pre-fork worker processes (default 1)")
+    p.add_argument("--max-batch", type=int, default=512,
+                   help="flush a micro-batch at this size (default 512)")
+    p.add_argument("--batch-delay-ms", type=float, default=2.0,
+                   help="max milliseconds a query waits to coalesce "
+                        "(default 2)")
+    p.add_argument("--max-inflight", type=int, default=4096,
+                   help="admitted-but-unanswered bound per worker; beyond "
+                        "it requests are rejected 'overloaded' "
+                        "(default 4096, 0 = unbounded)")
+    p.add_argument("--quota", action="append", metavar="TENANT=RATE[:BURST]",
+                   help="per-tenant token-bucket quota in queries/second "
+                        "(repeatable; tenant '*' sets the default quota)")
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="engine result-cache entries per worker")
+    p.add_argument("--vartheta", type=int, default=None,
+                   help="length cap when building in-process (no --index)")
+    p.add_argument("--flat-backend", choices=("auto", "python", "numpy"),
+                   default=None,
+                   help="batch-kernel backend (default auto)")
+    p.add_argument("--undirected", action="store_true")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a running 'repro serve' and report QPS + latency",
+    )
+    p.add_argument("source", help="dataset name or graph file (for the "
+                                  "query workload's vertex universe)")
+    p.add_argument("--socket", metavar="PATH",
+                   help="connect to a Unix domain socket at PATH")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("-n", "--queries", type=int, default=1000,
+                   help="total queries to issue (default 1000)")
+    p.add_argument("-c", "--concurrency", type=int, default=4,
+                   help="concurrent connections (default 4)")
+    p.add_argument("--pipeline", type=int, default=16,
+                   help="requests in flight per connection (default 16; "
+                        "1 measures true per-query latency)")
+    p.add_argument("--tenant", default=None,
+                   help="tenant id stamped on every request")
+    p.add_argument("--seed", type=int, default=8,
+                   help="workload seed (default 8)")
+    p.add_argument("--undirected", action="store_true")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("name", help="experiment id, or 'list'")

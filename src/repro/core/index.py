@@ -643,6 +643,7 @@ class TILLIndex:
         path: Union[str, Path],
         graph: TemporalGraph,
         mmap: bool = False,
+        require_mmap: bool = False,
     ) -> "TILLIndex":
         """Read an index written by :meth:`save`, rebinding it to *graph*.
 
@@ -654,9 +655,24 @@ class TILLIndex:
         processes).  Files of both formats load either way — a format-2
         file is always read eagerly, and flat-loaded indexes answer
         every query through the flat kernels.
+
+        ``require_mmap=True`` makes that fallback loud instead of
+        silent: a file that *cannot* be memory-mapped (a legacy
+        format-2 file) raises :class:`~repro.errors.IndexFormatError`
+        naming the rebuild command.  The serving tier insists on this —
+        a worker fleet that silently eager-loads N private copies of an
+        index defeats the one-physical-copy deployment it was asked
+        for.
         """
         with open(path, "rb") as fh:
             magic = fh.read(len(MAGIC_V3))
+        if mmap and require_mmap and magic != MAGIC_V3:
+            raise IndexFormatError(
+                f"{path} is not a format-3 .till file, so it cannot be "
+                "memory-mapped (mmap was explicitly requested; refusing "
+                "to fall back to an eager per-process load). Rebuild it "
+                f"with: repro build SOURCE -o {path} --format 3"
+            )
         if magic == MAGIC_V3:
             store, header = load_flat_store(path, use_mmap=mmap)
             labels: TILLLabels = FlatTILLLabels(store)

@@ -1,0 +1,161 @@
+"""Admission control: bounded in-flight work and per-tenant quotas.
+
+A serving tier that accepts everything does not have lower latency —
+it has *unbounded* latency, paid by every request already in the
+queue.  This module makes overload explicit instead: a request is
+either admitted (and counted in-flight until its response is written)
+or rejected immediately with a machine-readable code, so clients can
+back off while p95/p99 for admitted traffic stays flat.
+
+Two independent gates, checked in order:
+
+* **per-tenant token bucket** — each tenant id refills at
+  ``rate`` tokens/second up to ``burst``; an empty bucket rejects with
+  ``quota-exceeded``.  Tenants without an explicit quota share the
+  default quota (``None`` = unmetered).
+* **global in-flight bound** — at most ``max_inflight`` admitted
+  requests may be queued/executing at once; past that the server is
+  genuinely behind and rejects with ``overloaded``.
+
+The controller is used from a single event loop (the server's
+per-worker asyncio loop), so it does not lock; the clock is injected
+for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.serve.protocol import OVERLOADED, QUOTA_EXCEEDED
+
+#: (rate tokens/second, burst) — the shape of one tenant quota.
+Quota = Tuple[float, float]
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/s, capacity ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        if rate < 0 or burst <= 0:
+            raise ValueError("token bucket needs rate >= 0 and burst > 0")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def allow(self, now: float, cost: float = 1.0) -> bool:
+        """Take *cost* tokens if available; refills lazily from *now*."""
+        if now > self.updated:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self.updated) * self.rate
+            )
+            self.updated = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+
+class AdmissionController:
+    """The two-gate admission decision for one worker.
+
+    Parameters
+    ----------
+    max_inflight:
+        Global bound on admitted-but-unanswered requests (``0`` or
+        negative disables the bound).
+    quotas:
+        Per-tenant ``{tenant: (rate, burst)}`` overrides.
+    default_quota:
+        Quota applied to tenants not listed in *quotas*; ``None``
+        (default) leaves them unmetered.
+    clock:
+        Monotonic-seconds callable, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 1024,
+        quotas: Optional[Dict[str, Quota]] = None,
+        default_quota: Optional[Quota] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.max_inflight = max_inflight
+        self.inflight = 0
+        self._clock = clock
+        self._quotas = dict(quotas or {})
+        self._default_quota = default_quota
+        self._buckets: Dict[str, TokenBucket] = {}
+        # Peak in-flight since start; a cheap high-water mark for stats.
+        self.peak_inflight = 0
+        self.admitted = 0
+        self.rejected: Dict[str, int] = {}
+
+    def _bucket(self, tenant: str) -> Optional[TokenBucket]:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            quota = self._quotas.get(tenant, self._default_quota)
+            if quota is None:
+                return None
+            bucket = self._buckets[tenant] = TokenBucket(
+                quota[0], quota[1], self._clock()
+            )
+        return bucket
+
+    def try_admit(self, tenant: str) -> Optional[str]:
+        """Admit one request for *tenant*; returns a rejection code or
+        ``None`` (admitted — the caller MUST :meth:`release` later)."""
+        bucket = self._bucket(tenant)
+        if bucket is not None and not bucket.allow(self._clock()):
+            self.rejected[QUOTA_EXCEEDED] = (
+                self.rejected.get(QUOTA_EXCEEDED, 0) + 1
+            )
+            return QUOTA_EXCEEDED
+        if 0 < self.max_inflight <= self.inflight:
+            self.rejected[OVERLOADED] = self.rejected.get(OVERLOADED, 0) + 1
+            return OVERLOADED
+        self.inflight += 1
+        self.admitted += 1
+        if self.inflight > self.peak_inflight:
+            self.peak_inflight = self.inflight
+        return None
+
+    def release(self) -> None:
+        """One admitted request finished (its response was written)."""
+        self.inflight -= 1
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "inflight": self.inflight,
+            "peak_inflight": self.peak_inflight,
+            "max_inflight": self.max_inflight,
+            "admitted": self.admitted,
+            "rejected": dict(self.rejected),
+        }
+
+
+def parse_quota(spec: str) -> Tuple[str, Quota]:
+    """Parse one CLI quota spec ``tenant=rate[:burst]``.
+
+    ``rate`` is tokens/second; ``burst`` defaults to ``max(rate, 1)``.
+    The tenant name ``*`` sets the default quota for unlisted tenants.
+    """
+    if "=" not in spec:
+        raise ValueError(
+            f"bad quota {spec!r}: expected tenant=rate[:burst]"
+        )
+    tenant, _, rest = spec.partition("=")
+    rate_s, _, burst_s = rest.partition(":")
+    try:
+        rate = float(rate_s)
+        burst = float(burst_s) if burst_s else max(rate, 1.0)
+    except ValueError:
+        raise ValueError(
+            f"bad quota {spec!r}: rate and burst must be numbers"
+        )
+    if not tenant:
+        raise ValueError(f"bad quota {spec!r}: empty tenant name")
+    return tenant, (rate, burst)

@@ -1,0 +1,138 @@
+"""Micro-batching: coalesce concurrent point queries into batch calls.
+
+The :class:`~repro.serve.QueryEngine` batch path amortizes window
+validation, id resolution, prefilter probes and the kernel call across
+a whole batch — but a network front end receives *point* queries, one
+line at a time, from many connections.  The coalescer bridges the two:
+every admitted query parks a future in a pending batch keyed by
+``(op, window, θ)`` (the unit over which the engine amortizes), and
+the batch is flushed to one ``span_many``/``theta_many`` call when it
+reaches ``max_batch`` entries **or** ``max_delay`` seconds after its
+first entry, whichever comes first.
+
+The trade is explicit: up to ``max_delay`` of added latency on a lone
+query buys kernel-rate throughput when traffic is concurrent — under
+load batches fill long before the timer fires, so the knob costs the
+most exactly when it matters least.
+
+The batcher lives on one event loop; batch execution happens off-loop
+(the ``execute`` coroutine typically wraps ``run_in_executor``), so
+the loop keeps reading and coalescing the *next* micro-batch while the
+current one runs.  That concurrency is why the engine underneath must
+be constructed ``thread_safe=True``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+#: Batch key: (op, t1, t2, theta) — exactly the engine's amortization unit.
+BatchKey = Tuple[str, int, int, Optional[int]]
+
+#: ``execute(key, pairs) -> answers`` — provided by the server; runs
+#: the engine batch call (usually in an executor thread).
+Executor = Callable[[BatchKey, List[Tuple[Any, Any]]], Awaitable[List[bool]]]
+
+
+class _Pending:
+    __slots__ = ("key", "pairs", "futures", "timer")
+
+    def __init__(self, key: BatchKey):
+        self.key = key
+        self.pairs: List[Tuple[Any, Any]] = []
+        self.futures: List[asyncio.Future] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class MicroBatcher:
+    """Time/size-windowed coalescing of point queries into batches."""
+
+    def __init__(
+        self,
+        execute: Executor,
+        max_batch: int = 512,
+        max_delay: float = 0.002,
+        telemetry=None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._execute = execute
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._pending: Dict[BatchKey, _Pending] = {}
+        self._tasks: "set[asyncio.Task]" = set()
+        self.flushed_batches = 0
+        self.flushed_queries = 0
+        self._obs_batch_size = None
+        self._obs_flush = None
+        if telemetry is not None:
+            from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
+
+            m = telemetry.metrics
+            self._obs_batch_size = m.histogram(
+                "server_batch_size", DEFAULT_SIZE_BUCKETS,
+                "Coalesced queries per micro-batch flush",
+            )
+            self._obs_flush = m.counter(
+                "server_batch_flush_total",
+                "Micro-batch flushes by trigger (size window vs timer)",
+            )
+
+    def submit(self, op: str, pair: Tuple[Any, Any], t1: int, t2: int,
+               theta: Optional[int]) -> "asyncio.Future[bool]":
+        """Park one query; the returned future resolves with its answer
+        (or the batch's exception) when its micro-batch flushes."""
+        loop = asyncio.get_running_loop()
+        key: BatchKey = (op, t1, t2, theta)
+        batch = self._pending.get(key)
+        if batch is None:
+            batch = self._pending[key] = _Pending(key)
+            batch.timer = loop.call_later(
+                self.max_delay, self._flush, key, "timer"
+            )
+        future: "asyncio.Future[bool]" = loop.create_future()
+        batch.pairs.append(pair)
+        batch.futures.append(future)
+        if len(batch.pairs) >= self.max_batch:
+            self._flush(key, "size")
+        return future
+
+    def _flush(self, key: BatchKey, cause: str) -> None:
+        batch = self._pending.pop(key, None)
+        if batch is None:  # already flushed by the other trigger
+            return
+        if batch.timer is not None:
+            batch.timer.cancel()
+        self.flushed_batches += 1
+        self.flushed_queries += len(batch.pairs)
+        if self._obs_flush is not None:
+            self._obs_flush.inc(cause=cause)
+            self._obs_batch_size.observe(len(batch.pairs))
+        task = asyncio.get_running_loop().create_task(self._run(batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run(self, batch: _Pending) -> None:
+        try:
+            answers = await self._execute(batch.key, batch.pairs)
+        except Exception as exc:  # delivered per future, not raised here
+            for future in batch.futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for future, answer in zip(batch.futures, answers):
+            if not future.done():
+                future.set_result(answer)
+
+    @property
+    def pending_queries(self) -> int:
+        return sum(len(b.pairs) for b in self._pending.values())
+
+    async def drain(self) -> None:
+        """Flush everything pending and wait for in-flight batches —
+        graceful shutdown never drops an admitted query."""
+        for key in list(self._pending):
+            self._flush(key, "drain")
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)

@@ -79,6 +79,12 @@ HIGHER_IS_BETTER = frozenset({
     "numpy_theta_batch_qps",
     "numpy_vs_flat_span_speedup",
     "numpy_vs_flat_theta_speedup",
+    # Network serving scenario (absent when the platform lacks
+    # os.fork/AF_UNIX — ``compare_results`` then skips them).
+    "engine_baseline_qps",
+    "serve_qps_1w",
+    "serve_qps_best",
+    "multi_worker_speedup",
 })
 
 #: Cost-style metrics: a *rise* beyond tolerance is a regression.
@@ -93,6 +99,10 @@ LOWER_IS_BETTER = frozenset({
     "sharded_label_entries",
     "sharded_estimated_bytes",
     "cold_open_mmap_seconds",
+    "serve_latency_p50_ms",
+    "serve_latency_p95_ms",
+    "serve_latency_p99_ms",
+    "hot_swap_load_errors",
 })
 
 
@@ -428,7 +438,7 @@ def bench_flat(
     flat_answers = object_answers = numpy_answers = None
     flat_theta_answers = object_theta_answers = None
     numpy_theta_answers = None
-    for _ in range(max(3, repeats)):
+    for _ in range(max(7, repeats)):
         secs, flat_answers = _timed(
             lambda: flat_engine.span_many(batch, window), 1
         )
@@ -483,7 +493,7 @@ def bench_flat(
         ws, we = window
         py_span = py_theta = np_span = np_theta = float("inf")
         py_span_ans = np_span_ans = py_theta_ans = np_theta_ans = None
-        for _ in range(max(3, repeats)):
+        for _ in range(max(7, repeats)):
             secs, py_span_ans = _timed(
                 lambda: _queries.flat_span_batch(
                     store, rank, resolved_pairs, ws, we
@@ -664,6 +674,171 @@ def bench_overhead(
     }
 
 
+def bench_serving(
+    name: str = "chess",
+    seed: int = 0,
+    queries: int = 1200,
+    concurrency: int = 4,
+    pipeline: int = 8,
+    worker_counts: Optional[Sequence[int]] = None,
+) -> Dict[str, Any]:
+    """Network-serving scenario: concurrent QPS and latency percentiles
+    vs. worker count, against the in-process single-engine baseline.
+
+    Boots a real pre-fork server pool on a scratch Unix socket (every
+    worker mmapping the same format-3 file), drives it with the load
+    generator, and measures:
+
+    * ``engine_baseline_qps`` — the identical workload pushed through
+      one in-process :class:`QueryEngine` (no network, no JSON): the
+      ceiling the serving tier is amortizing toward;
+    * ``serve_qps_{N}w`` — pipelined concurrent throughput per worker
+      count, plus p50/p95/p99 per-query latency (``pipeline=1``);
+    * ``hot_swap_load_errors`` — failed queries while an index hot
+      swap lands mid-traffic (the acceptance target is **zero**);
+    * ``multi_worker_speedup`` — best multi-worker QPS over one
+      worker.  On a multi-core host (>= 4 cores) the expectation is
+      >= 2x; ``cpu_count`` is recorded so single-core CI runs are
+      interpretable rather than failures.
+
+    Returns ``{"skipped": reason}`` where ``os.fork``/Unix sockets are
+    unavailable; ``compare_results`` skips absent metrics.
+    """
+    import os
+    import signal as signal_module
+    import socket
+    import tempfile
+    import threading
+
+    if not hasattr(os, "fork") or not hasattr(socket, "AF_UNIX"):
+        return {"skipped": "needs os.fork and AF_UNIX sockets"}
+
+    from repro.serve.client import run_loadgen
+    from repro.serve.server import (
+        IndexProvider,
+        ServerConfig,
+        bind_socket,
+        serve_prefork,
+    )
+    from repro.serve.smoke import make_queries, wait_for_server
+
+    cpu_count = os.cpu_count() or 1
+    if worker_counts is None:
+        worker_counts = sorted({1, min(4, max(2, cpu_count))})
+    graph = load_dataset(name)
+    workload = make_queries(graph, queries, seed=seed + 8)
+    window = (graph.min_time, graph.max_time)
+    theta = max(1, graph.lifetime // 3)
+
+    metrics: Dict[str, Any] = {
+        "dataset": name,
+        "queries": len(workload),
+        "concurrency": concurrency,
+        "pipeline": pipeline,
+        "cpu_count": cpu_count,
+        "worker_counts": list(worker_counts),
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as scratch:
+        index_path = os.path.join(scratch, "bench.till")
+        index = TILLIndex.build(graph).compact()
+        index.save(index_path, format=3)
+
+        # In-process ceiling: the same mixed workload through one
+        # engine, coalesced exactly as the server's batcher would.
+        engine = QueryEngine(index)
+        span_pairs = [(u, v) for (u, v, _t1, _t2, th) in workload
+                      if th is None]
+        theta_pairs = [(u, v) for (u, v, _t1, _t2, th) in workload
+                       if th is not None]
+        engine_seconds, _ = _timed(
+            lambda: (
+                engine.span_many(span_pairs, window),
+                engine.theta_many(theta_pairs, window, theta),
+            ),
+            repeats=3,
+        )
+        metrics["engine_baseline_qps"] = (
+            len(workload) / engine_seconds if engine_seconds > 0 else 0.0
+        )
+
+        provider = IndexProvider(graph, index_path, mmap=True)
+        config = ServerConfig(max_batch=256, batch_delay=0.001)
+        best_qps = 0.0
+        for workers in worker_counts:
+            socket_path = os.path.join(scratch, f"serve-{workers}.sock")
+            sock = bind_socket(socket_path=socket_path)
+            pool_pid = os.fork()
+            if pool_pid == 0:
+                status = 1
+                try:
+                    status = serve_prefork(provider, config, sock, workers)
+                finally:
+                    os._exit(status)
+            sock.close()
+            try:
+                wait_for_server(socket_path)
+                run_loadgen(workload[:200], socket_path=socket_path,
+                            concurrency=concurrency,
+                            pipeline=pipeline)  # warm page cache + caches
+                throughput = run_loadgen(
+                    workload, socket_path=socket_path,
+                    concurrency=concurrency, pipeline=pipeline,
+                )
+                latency = run_loadgen(
+                    workload[: max(200, len(workload) // 4)],
+                    socket_path=socket_path, concurrency=1, pipeline=1,
+                )
+                # One hot swap landing mid-traffic; the acceptance
+                # criterion is zero failed in-flight queries.
+                swap_failed = []
+
+                def swapper():
+                    from repro.serve.client import ServeClient
+
+                    try:
+                        with ServeClient(socket_path=socket_path) as c:
+                            if not c.reload().get("ok"):
+                                swap_failed.append("reload not ok")
+                    except Exception as exc:
+                        swap_failed.append(repr(exc))
+
+                swap_thread = threading.Thread(target=swapper)
+                swap_thread.start()
+                under_swap = run_loadgen(
+                    workload, socket_path=socket_path,
+                    concurrency=concurrency, pipeline=pipeline,
+                )
+                swap_thread.join(30)
+            finally:
+                try:
+                    os.kill(pool_pid, signal_module.SIGTERM)
+                except ProcessLookupError:
+                    pass
+                os.waitpid(pool_pid, 0)
+            qps = throughput["qps"]
+            best_qps = max(best_qps, qps)
+            metrics[f"serve_qps_{workers}w"] = qps
+            metrics[f"serve_errors_{workers}w"] = (
+                throughput["errors"] + len(throughput["failures"])
+            )
+            if workers == worker_counts[-1]:
+                metrics["serve_latency_p50_ms"] = latency["latency_p50_ms"]
+                metrics["serve_latency_p95_ms"] = latency["latency_p95_ms"]
+                metrics["serve_latency_p99_ms"] = latency["latency_p99_ms"]
+            metrics[f"hot_swap_errors_{workers}w"] = (
+                under_swap["errors"] + len(under_swap["failures"])
+                + len(swap_failed)
+            )
+    metrics["serve_qps_best"] = best_qps
+    metrics["hot_swap_load_errors"] = sum(
+        metrics[f"hot_swap_errors_{w}w"] for w in worker_counts
+    )
+    if metrics.get("serve_qps_1w"):
+        metrics["multi_worker_speedup"] = best_qps / metrics["serve_qps_1w"]
+    return metrics
+
+
 def run_suite(
     smoke: bool = True,
     seed: int = 0,
@@ -731,6 +906,10 @@ def run_suite(
             names[0], seed=seed, batch_size=batch_size, repeats=repeats
         ),
     )
+    serving = staged(
+        f"serving:{names[0]}",
+        lambda: bench_serving(names[0], seed=seed),
+    )
     speedups = [m["batch_speedup"] for m in per_dataset.values()]
     hit_rates = [m["cache_hit_rate"] for m in per_dataset.values()]
     summary = {
@@ -751,6 +930,13 @@ def run_suite(
         summary["numpy_theta_kernel_speedup"] = (
             flat["numpy_theta_kernel_speedup"]
         )
+    if "serve_qps_best" in serving:
+        summary["serve_qps_best"] = serving["serve_qps_best"]
+        summary["hot_swap_load_errors"] = serving["hot_swap_load_errors"]
+        if "multi_worker_speedup" in serving:
+            summary["multi_worker_speedup"] = (
+                serving["multi_worker_speedup"]
+            )
     return {
         "schema": SCHEMA,
         "label": label,
@@ -765,6 +951,7 @@ def run_suite(
         "sharded": {"dataset": names[-1], **sharded},
         "flat": flat,
         "telemetry_overhead": overhead,
+        "serving": serving,
         "summary": summary,
     }
 
@@ -814,6 +1001,8 @@ def compare_results(
             check(name, now_datasets[name], base_metrics)
     check("sharded", current.get("sharded", {}), baseline.get("sharded", {}))
     check("flat", current.get("flat", {}), baseline.get("flat", {}))
+    check("serving", current.get("serving", {}),
+          baseline.get("serving", {}))
     check("summary", current.get("summary", {}), baseline.get("summary", {}))
     return problems
 
@@ -875,6 +1064,25 @@ def format_results(results: Dict[str, Any]) -> str:
             f"serving span {flat['numpy_span_batch_qps']:.0f} q/s "
             f"({flat['numpy_vs_flat_span_speedup']:.2f}x of python flat)"
         )
+    serving = results.get("serving")
+    if serving and "serve_qps_best" in serving:
+        per_worker = ", ".join(
+            f"{w}w {serving[f'serve_qps_{w}w']:.0f} q/s"
+            for w in serving["worker_counts"]
+        )
+        speedup = serving.get("multi_worker_speedup")
+        lines.append(
+            f"  serving[{serving['dataset']}]: {per_worker} "
+            f"(engine ceiling {serving['engine_baseline_qps']:.0f} q/s, "
+            f"{serving['cpu_count']} core(s)"
+            + (f", {speedup:.2f}x multi-worker" if speedup else "")
+            + f"), p50/p95/p99 {serving['serve_latency_p50_ms']:.2f}/"
+            f"{serving['serve_latency_p95_ms']:.2f}/"
+            f"{serving['serve_latency_p99_ms']:.2f} ms, "
+            f"hot-swap errors {serving['hot_swap_load_errors']}"
+        )
+    elif serving and "skipped" in serving:
+        lines.append(f"  serving: skipped ({serving['skipped']})")
     overhead = results.get("telemetry_overhead")
     if overhead:
         lines.append(

@@ -10,10 +10,18 @@ pays a full-cache sweep on the hot path.
 
 Counters (hits / misses / evictions / stale drops) are plain attributes
 read by :class:`repro.serve.QueryEngine` for its observability surface.
+
+Concurrency contract: by default the cache is single-threaded (the
+engine's documented per-worker isolation).  ``thread_safe=True`` guards
+every mutating path with one lock so concurrent batch submission —
+the network server's coalescer flushing from an executor thread while
+the event loop reads stats or hot-swaps the index — cannot corrupt the
+LRU order, the stale accounting, or the counters.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Tuple
 
@@ -26,16 +34,18 @@ class GenerationalLRUCache:
 
     ``capacity <= 0`` disables storage entirely (every ``get`` misses,
     every ``put`` is a no-op) — used where batch dedup is wanted but
-    cross-call memoization is not.
+    cross-call memoization is not.  ``thread_safe=True`` serializes
+    ``get``/``put``/``bump_generation``/``clear`` behind a lock (see
+    the module docstring); the default pays no locking cost.
     """
 
     __slots__ = (
         "capacity", "generation",
         "hits", "misses", "evictions", "stale_drops",
-        "_data", "_stale",
+        "_data", "_stale", "_lock",
     )
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096, thread_safe: bool = False):
         self.capacity = capacity
         self.generation = 0
         self.hits = 0
@@ -48,6 +58,7 @@ class GenerationalLRUCache:
         # deletes one or refreshes a live entry to the back, so lazily
         # dropping from the front under pressure only touches them.
         self._stale = 0
+        self._lock = threading.Lock() if thread_safe else None
 
     def __len__(self) -> int:
         """Number of *live* entries (stale ones are already dead — they
@@ -62,9 +73,15 @@ class GenerationalLRUCache:
 
     def bump_generation(self) -> int:
         """Invalidate every current entry; returns the new generation."""
-        self.generation += 1
-        self._stale = len(self._data)
-        return self.generation
+        lock = self._lock
+        if lock is None:
+            self.generation += 1
+            self._stale = len(self._data)
+            return self.generation
+        with lock:
+            self.generation += 1
+            self._stale = len(self._data)
+            return self.generation
 
     def get(self, key: Hashable) -> Any:
         """The cached value for *key*, or :data:`MISS`.
@@ -72,6 +89,13 @@ class GenerationalLRUCache:
         Entries stamped with an older generation are treated as absent
         and removed on the spot.
         """
+        lock = self._lock
+        if lock is None:
+            return self._get(key)
+        with lock:
+            return self._get(key)
+
+    def _get(self, key: Hashable) -> Any:
         entry = self._data.get(key)
         if entry is None:
             self.misses += 1
@@ -91,6 +115,14 @@ class GenerationalLRUCache:
         """Store *value* under *key* at the current generation."""
         if self.capacity <= 0:
             return
+        lock = self._lock
+        if lock is None:
+            self._put(key, value)
+        else:
+            with lock:
+                self._put(key, value)
+
+    def _put(self, key: Hashable, value: Any) -> None:
         data = self._data
         if key in data:
             if data[key][0] != self.generation:
@@ -110,7 +142,27 @@ class GenerationalLRUCache:
             data.popitem(last=False)
             self.evictions += 1
 
+    def note_misses(self, n: int) -> None:
+        """Bulk-count *n* lookups that bypassed storage (cache off).
+
+        Keeps the stats surface identical whether or not storage is
+        enabled; goes through the lock so a concurrent :meth:`get`
+        cannot lose the update.
+        """
+        lock = self._lock
+        if lock is None:
+            self.misses += n
+            return
+        with lock:
+            self.misses += n
+
     def clear(self) -> None:
         """Drop all entries (counters are preserved)."""
-        self._data.clear()
-        self._stale = 0
+        lock = self._lock
+        if lock is None:
+            self._data.clear()
+            self._stale = 0
+            return
+        with lock:
+            self._data.clear()
+            self._stale = 0

@@ -1,0 +1,248 @@
+"""Synchronous client and load generator for the serving tier.
+
+:class:`ServeClient` is a blocking, dependency-free NDJSON client —
+the reference implementation of the wire protocol and the thing tests
+and the ``repro loadgen`` CLI drive.  It supports *pipelining*: send
+``k`` requests before reading any response, which is what lets a
+single connection keep the server's micro-batcher fed.
+
+:func:`run_loadgen` is the measurement harness: N threads, each with
+its own connection, issuing span/theta queries over a vertex-pair
+universe with per-query latency sampling and p50/p95/p99 percentiles.
+It powers both ``repro loadgen`` and the PR8 bench scenario.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.serve.protocol import decode_response
+
+#: (u, v, t1, t2, theta_or_None) — one loadgen query.
+LoadQuery = Tuple[Any, Any, int, int, Optional[int]]
+
+
+class ServeClient:
+    """A blocking NDJSON client over a Unix socket or TCP.
+
+    Exactly one of ``socket_path`` or ``host``/``port`` selects the
+    transport.  Not thread-safe: one client per thread (the load
+    generator does exactly that).
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+        tenant: Optional[str] = None,
+    ):
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            self._sock = socket.create_connection(
+                (host or "127.0.0.1", int(port)), timeout=timeout
+            )
+        self._file = self._sock.makefile("rwb")
+        self.tenant = tenant
+        self._next_id = 0
+
+    # -- framing -------------------------------------------------------
+
+    def send(self, doc: Dict[str, Any]) -> Any:
+        """Write one request line (auto-assigns ``id``); returns the id.
+
+        Does not flush — callers batch writes and :meth:`flush` once
+        per pipeline window."""
+        import json
+
+        if "id" not in doc:
+            doc["id"] = self._next_id
+            self._next_id += 1
+        if self.tenant is not None and "tenant" not in doc:
+            doc["tenant"] = self.tenant
+        self._file.write(json.dumps(doc, separators=(",", ":"))
+                         .encode("utf-8") + b"\n")
+        return doc["id"]
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def recv(self) -> Dict[str, Any]:
+        """Read one response line (blocking)."""
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_response(line)
+
+    def call(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """One request, one response."""
+        self.send(doc)
+        self.flush()
+        return self.recv()
+
+    # -- convenience ops -----------------------------------------------
+
+    def span(self, u: Any, v: Any, t1: int, t2: int) -> Dict[str, Any]:
+        return self.call({"op": "span", "u": u, "v": v, "t1": t1, "t2": t2})
+
+    def theta(self, u: Any, v: Any, t1: int, t2: int,
+              theta: int) -> Dict[str, Any]:
+        return self.call({"op": "theta", "u": u, "v": v,
+                          "t1": t1, "t2": t2, "theta": theta})
+
+    def ping(self) -> Dict[str, Any]:
+        return self.call({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call({"op": "stats"})
+
+    def reload(self) -> Dict[str, Any]:
+        """Trigger an index hot swap and wait for its acknowledgement."""
+        return self.call({"op": "reload"})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _percentile(sorted_samples: Sequence[float], q: float) -> float:
+    if not sorted_samples:
+        return 0.0
+    pos = q * (len(sorted_samples) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_samples) - 1)
+    frac = pos - lo
+    return sorted_samples[lo] * (1 - frac) + sorted_samples[hi] * frac
+
+
+class _WorkerResult:
+    __slots__ = ("ok", "errors", "codes", "latencies", "failure")
+
+    def __init__(self):
+        self.ok = 0
+        self.errors = 0
+        self.codes: Dict[str, int] = {}
+        self.latencies: List[float] = []
+        self.failure: Optional[str] = None
+
+
+def _loadgen_worker(
+    connect: Dict[str, Any],
+    queries: Sequence[LoadQuery],
+    pipeline: int,
+    result: _WorkerResult,
+    tenant: Optional[str],
+) -> None:
+    try:
+        client = ServeClient(tenant=tenant, **connect)
+    except OSError as exc:
+        result.failure = f"connect failed: {exc}"
+        return
+    try:
+        n = len(queries)
+        i = 0
+        while i < n:
+            window = queries[i:i + pipeline]
+            started = time.perf_counter()
+            for (u, v, t1, t2, theta) in window:
+                if theta is None:
+                    client.send({"op": "span", "u": u, "v": v,
+                                 "t1": t1, "t2": t2})
+                else:
+                    client.send({"op": "theta", "u": u, "v": v,
+                                 "t1": t1, "t2": t2, "theta": theta})
+            client.flush()
+            for _ in window:
+                response = client.recv()
+                if response.get("ok"):
+                    result.ok += 1
+                else:
+                    result.errors += 1
+                    code = response.get("code", "unknown")
+                    result.codes[code] = result.codes.get(code, 0) + 1
+            # With pipeline=1 this is true per-query latency; with
+            # deeper pipelines it is the per-window round trip.
+            elapsed = time.perf_counter() - started
+            result.latencies.append(elapsed / max(1, len(window)))
+            i += pipeline
+    except (OSError, ConnectionError) as exc:
+        result.failure = f"connection lost: {exc}"
+    finally:
+        client.close()
+
+
+def run_loadgen(
+    queries: Iterable[LoadQuery],
+    socket_path: Optional[str] = None,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    concurrency: int = 4,
+    pipeline: int = 16,
+    tenant: Optional[str] = None,
+    timeout: float = 30.0,
+) -> Dict[str, Any]:
+    """Drive the server with *queries* from *concurrency* connections.
+
+    The query list is dealt round-robin across connections; each
+    connection pipelines *pipeline* requests per flush.  Returns a
+    result dict with ``qps``, ``ok``/``errors``/``codes``, and
+    latency percentiles (seconds; per-query when ``pipeline=1``).
+    """
+    all_queries: List[LoadQuery] = list(queries)
+    connect = {"socket_path": socket_path, "host": host, "port": port,
+               "timeout": timeout}
+    shards: List[List[LoadQuery]] = [[] for _ in range(max(1, concurrency))]
+    for i, query in enumerate(all_queries):
+        shards[i % len(shards)].append(query)
+    results = [_WorkerResult() for _ in shards]
+    threads = [
+        threading.Thread(
+            target=_loadgen_worker,
+            args=(connect, shard, max(1, pipeline), result, tenant),
+            daemon=True,
+        )
+        for shard, result in zip(shards, results)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    ok = sum(r.ok for r in results)
+    errors = sum(r.errors for r in results)
+    codes: Dict[str, int] = {}
+    for r in results:
+        for code, count in r.codes.items():
+            codes[code] = codes.get(code, 0) + count
+    failures = [r.failure for r in results if r.failure]
+    latencies = sorted(x for r in results for x in r.latencies)
+    return {
+        "queries": len(all_queries),
+        "ok": ok,
+        "errors": errors,
+        "codes": codes,
+        "failures": failures,
+        "concurrency": len(shards),
+        "pipeline": max(1, pipeline),
+        "elapsed_seconds": elapsed,
+        "qps": (ok + errors) / elapsed if elapsed > 0 else 0.0,
+        "latency_p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "latency_p95_ms": _percentile(latencies, 0.95) * 1e3,
+        "latency_p99_ms": _percentile(latencies, 0.99) * 1e3,
+    }

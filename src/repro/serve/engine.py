@@ -29,6 +29,7 @@ work counters.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -114,6 +115,17 @@ class QueryEngine:
         runs under an ``engine.span-batch`` / ``engine.theta-batch``
         tracer span.  ``None`` (default) records nothing; the hot path
         pays one attribute check.
+    thread_safe:
+        The engine's default concurrency contract is *per-worker
+        isolation*: one thread (or process) owns the engine, so stat
+        tallies and the cache stay lock-free.  ``thread_safe=True``
+        guards the result cache and every stat/telemetry mutation with
+        locks so multiple threads may call :meth:`span_many` /
+        :meth:`theta_many` concurrently — the network server's
+        micro-batch coalescer relies on this when flushing from
+        executor threads.  Each in-flight batch binds the backing
+        index once at entry, so :meth:`swap_index` (hot swap) never
+        mixes two indexes within one batch.
 
     Examples
     --------
@@ -131,11 +143,14 @@ class QueryEngine:
         index: Any,
         cache_size: int = 4096,
         telemetry=None,
+        thread_safe: bool = False,
     ):
         self._incremental = isinstance(index, IncrementalTILLIndex)
         self._sharded = isinstance(index, ShardedTILLIndex)
         self.index = index
-        self._cache = GenerationalLRUCache(cache_size)
+        self._cache = GenerationalLRUCache(cache_size,
+                                           thread_safe=thread_safe)
+        self._lock = threading.Lock() if thread_safe else None
         self._queries = 0
         self._batches = 0
         self._outcomes: Dict[str, int] = {}
@@ -234,13 +249,15 @@ class QueryEngine:
 
     def _span_many(self, batch, interval, prefilter, fallback) -> List[bool]:
         window = as_interval(interval)
-        self._batches += 1
-        if self._incremental:
+        # Bind the backing index ONCE: a concurrent hot swap
+        # (:meth:`swap_index`) must never mix two indexes in one batch.
+        index = self.index
+        self._note_batch(len(batch))
+        if isinstance(index, IncrementalTILLIndex):
             return self._run_batch(
                 batch, window, None,
-                lambda u, v: self.index.span_reachable(u, v, window),
+                lambda u, v: index.span_reachable(u, v, window),
             )
-        index = self.index
         if index.vartheta is not None and window.length > index.vartheta:
             if fallback != "online":
                 # Same contract as the facade: an over-cap window
@@ -250,10 +267,10 @@ class QueryEngine:
                     f"index was built with vartheta={index.vartheta}; rebuild "
                     "with a larger cap or pass fallback='online'"
                 )
-            return self._span_batch_online(batch, window)
-        if self._sharded:
-            return self._span_batch_sharded(batch, window, prefilter)
-        return self._span_batch_indexed(batch, window, prefilter)
+            return self._span_batch_online(index, batch, window)
+        if isinstance(index, ShardedTILLIndex):
+            return self._span_batch_sharded(index, batch, window, prefilter)
+        return self._span_batch_indexed(index, batch, window, prefilter)
 
     def theta_many(
         self,
@@ -286,11 +303,12 @@ class QueryEngine:
     def _theta_many(self, batch, interval, theta, algorithm,
                     prefilter) -> List[bool]:
         window = validate_theta_window(interval, theta)
-        self._batches += 1
-        if self._incremental:
+        index = self.index  # bound once; see _span_many
+        self._note_batch(len(batch))
+        if isinstance(index, IncrementalTILLIndex):
             return self._run_batch(
                 batch, window, theta,
-                lambda u, v: self.index.theta_reachable(u, v, window, theta),
+                lambda u, v: index.theta_reachable(u, v, window, theta),
             )
         if algorithm == "sliding":
             kernel = queries.theta_reachable
@@ -301,16 +319,16 @@ class QueryEngine:
                 f"unknown theta algorithm {algorithm!r}; use 'sliding' or "
                 "'naive'"
             )
-        index = self.index
         index._check_support(theta)
-        if self._sharded:
+        if isinstance(index, ShardedTILLIndex):
             if algorithm != "sliding":
                 raise InvalidIntervalError(
                     "the sharded backend only implements the 'sliding' "
                     "theta algorithm"
                 )
-            return self._theta_batch_sharded(batch, window, theta, prefilter)
-        return self._theta_batch_indexed(batch, window, theta, kernel,
+            return self._theta_batch_sharded(index, batch, window, theta,
+                                             prefilter)
+        return self._theta_batch_indexed(index, batch, window, theta, kernel,
                                          prefilter)
 
     # ------------------------------------------------------------------
@@ -358,6 +376,30 @@ class QueryEngine:
         """Manually drop every cached answer (bumps the generation)."""
         self._cache.bump_generation()
 
+    def swap_index(self, index: Any) -> Any:
+        """Hot-swap the backing index; returns the one replaced.
+
+        The serving tier uses this to roll a rebuilt ``.till`` file in
+        under live traffic: the reference swap is atomic, the cache
+        generation is bumped so every answer computed against the old
+        index is invalidated, and in-flight batches — which bound the
+        old index at entry — complete against it untouched (an
+        mmap-backed flat store stays mapped for exactly as long as
+        someone still references it).  The caller is responsible for
+        the new index answering the same query population (same graph
+        semantics); nothing here checks graph equality.
+        """
+        old = self.index
+        self._incremental = isinstance(index, IncrementalTILLIndex)
+        self._sharded = isinstance(index, ShardedTILLIndex)
+        self.index = index
+        if self._incremental:
+            index.subscribe_invalidation(
+                lambda _gen: self._cache.bump_generation()
+            )
+        self._cache.bump_generation()
+        return old
+
     def profile_many(self, span_queries: Iterable[Tuple[Any, Any, IntervalLike]],
                      prefilter: bool = True, theta: Optional[int] = None):
         """Deep per-condition work counters for a span (or θ) workload.
@@ -380,11 +422,36 @@ class QueryEngine:
     # internals
     # ------------------------------------------------------------------
 
+    def _note_batch(self, n: int) -> None:
+        """Count one batch of *n* queries (locked when thread-safe)."""
+        lock = self._lock
+        if lock is None:
+            self._batches += 1
+            self._queries += n
+        else:
+            with lock:
+                self._batches += 1
+                self._queries += n
+
     def _tally(self, outcome: str, n: int = 1) -> None:
-        self._outcomes[outcome] = self._outcomes.get(outcome, 0) + n
+        lock = self._lock
+        if lock is None:
+            self._outcomes[outcome] = self._outcomes.get(outcome, 0) + n
+        else:
+            with lock:
+                self._outcomes[outcome] = self._outcomes.get(outcome, 0) + n
 
     def _record_batch(self, kind: str, size: int, seconds: float) -> None:
         """Registry-side per-batch recording (telemetry enabled only)."""
+        lock = self._lock
+        if lock is None:
+            self._record_batch_inner(kind, size, seconds)
+        else:
+            with lock:
+                self._record_batch_inner(kind, size, seconds)
+
+    def _record_batch_inner(self, kind: str, size: int,
+                            seconds: float) -> None:
         flushed = self._obs_flushed
         for outcome, total in self._outcomes.items():
             delta = total - flushed.get(outcome, 0)
@@ -402,7 +469,6 @@ class QueryEngine:
     def _run_batch(self, batch, window, theta, compute) -> List[bool]:
         """Cache-and-dedup driver used by the incremental and online
         paths, where per-pair computation is already encapsulated."""
-        self._queries += len(batch)
         cache = self._cache
         ws, we = window.start, window.end
         results: List[Optional[bool]] = [None] * len(batch)
@@ -427,9 +493,9 @@ class QueryEngine:
                 results[k] = answer
         return results  # type: ignore[return-value]
 
-    def _span_batch_online(self, batch, window) -> List[bool]:
+    def _span_batch_online(self, index, batch, window) -> List[bool]:
         """Over-cap windows answered per pair by Algorithm 1."""
-        graph = self.index.graph
+        graph = index.graph
 
         def compute(u, v):
             self._tally("online-fallback")
@@ -449,7 +515,6 @@ class QueryEngine:
         ``(u, v, ws, we, θ)``, unchanged from the monolithic backend,
         so a cache warmed by one backend is valid for the other.
         """
-        self._queries += len(batch)
         cache = self._cache
         ws, we = window.start, window.end
         results: List[Optional[bool]] = [None] * len(batch)
@@ -482,24 +547,26 @@ class QueryEngine:
                     results[k] = answer
         return results  # type: ignore[return-value]
 
-    def _span_batch_sharded(self, batch, window, prefilter) -> List[bool]:
+    def _span_batch_sharded(self, index, batch, window,
+                            prefilter) -> List[bool]:
         return self._sharded_batch(
             batch, window, None, prefilter,
-            lambda pairs: self.index.span_reachable_many(
+            lambda pairs: index.span_reachable_many(
                 pairs, window, prefilter=prefilter
             ),
         )
 
-    def _theta_batch_sharded(self, batch, window, theta,
+    def _theta_batch_sharded(self, index, batch, window, theta,
                              prefilter) -> List[bool]:
         return self._sharded_batch(
             batch, window, theta, prefilter,
-            lambda pairs: self.index.theta_reachable_many(
+            lambda pairs: index.theta_reachable_many(
                 pairs, window, theta, prefilter=prefilter
             ),
         )
 
-    def _span_batch_indexed(self, batch, window, prefilter) -> List[bool]:
+    def _span_batch_indexed(self, index, batch, window,
+                            prefilter) -> List[bool]:
         """The amortized fast path over a plain TILLIndex.
 
         Three passes: (1) resolve ids / serve cache hits / dedup, (2)
@@ -510,8 +577,6 @@ class QueryEngine:
         skipped entirely (the miss counter is bumped in bulk); outcome
         tallies accumulate in locals and flush once per batch.
         """
-        self._queries += len(batch)
-        index = self.index
         graph = index.graph
         labels = index.labels
         rank = index.order.rank
@@ -629,7 +694,7 @@ class QueryEngine:
         if not caching:
             # Every non-duplicate lookup would have missed the (empty)
             # cache; keep the stats surface identical in bulk.
-            cache.misses += lookups
+            cache.note_misses(lookups)
         tally = self._tally
         if n_hit:
             tally("cache-hit", n_hit)
@@ -643,12 +708,10 @@ class QueryEngine:
             tally("unreachable", n_unreach)
         return results  # type: ignore[return-value]
 
-    def _theta_batch_indexed(self, batch, window, theta, kernel,
+    def _theta_batch_indexed(self, index, batch, window, theta, kernel,
                              prefilter) -> List[bool]:
         """Amortized θ batch over a plain TILLIndex (same three-pass
         structure as :meth:`_span_batch_indexed`)."""
-        self._queries += len(batch)
-        index = self.index
         graph = index.graph
         labels = index.labels
         rank = index.order.rank
@@ -766,7 +829,7 @@ class QueryEngine:
                 for k in slots:
                     results[k] = answer
         if not caching:
-            cache.misses += lookups
+            cache.note_misses(lookups)
         tally = self._tally
         if n_hit:
             tally("cache-hit", n_hit)

@@ -1,0 +1,623 @@
+"""The network serving tier: asyncio front end + pre-fork worker pool.
+
+This is the "millions of users" layer: it turns one machine's TILL
+index into a service.  The pieces, and why each exists:
+
+* **One physical index copy.**  Every worker process opens the same
+  format-3 ``.till`` with ``mmap=True`` (enforced loudly via
+  ``require_mmap``), so the flat label arrays live once in the OS page
+  cache no matter how many workers serve them — the disk-resident
+  posture that makes worker count a CPU knob, not a memory knob.
+* **Micro-batching** (:mod:`repro.serve.batching`).  Concurrent point
+  queries coalesce into ``(op, window, θ)`` batches and run through
+  the :class:`~repro.serve.QueryEngine` batch-kernel path, so the
+  network tier serves at batch throughput, not scalar throughput.
+* **Admission control** (:mod:`repro.serve.admission`).  A bounded
+  in-flight queue and per-tenant token buckets reject overload
+  explicitly (``overloaded`` / ``quota-exceeded``) instead of letting
+  queue latency grow without bound.
+* **Hot swap.**  ``SIGHUP`` (or the ``reload`` op) re-opens the index
+  file, atomically swaps it into the engine, and generation-bumps the
+  result cache.  In-flight batches bound the old index at entry and
+  complete against it; the old mapping is dropped when the last
+  reference dies.  Zero in-flight queries fail.
+* **Pre-fork workers.**  The parent binds the listening socket, forks
+  N children, and forwards ``SIGHUP``/``SIGTERM``; each child runs its
+  own event loop, engine, and executor, so workers share nothing but
+  the socket and the page cache — which is why the per-worker engine
+  only needs ``thread_safe=True`` against its own coalescer, never
+  cross-process locks.
+
+Protocol: newline-delimited JSON (:mod:`repro.serve.protocol`) over a
+Unix socket or TCP.  Telemetry: ``server_*`` metrics in
+:mod:`repro.obs` (see docs/usage.md, "Serving over the network").
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import socket as socket_module
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.index import TILLIndex
+from repro.errors import (
+    InvalidIntervalError,
+    ReproError,
+    UnknownVertexError,
+    UnsupportedIntervalError,
+)
+from repro.serve.admission import AdmissionController, Quota
+from repro.serve.batching import BatchKey, MicroBatcher
+from repro.serve.engine import QueryEngine
+from repro.serve.protocol import (
+    BAD_WINDOW,
+    INTERNAL,
+    SHUTTING_DOWN,
+    UNKNOWN_VERTEX,
+    UNSUPPORTED,
+    ProtocolError,
+    Request,
+    encode_answer,
+    encode_error,
+    encode_result,
+    parse_request,
+)
+
+
+def _code_for(exc: BaseException) -> str:
+    """Map an engine/graph exception to a wire error code."""
+    if isinstance(exc, UnknownVertexError):
+        return UNKNOWN_VERTEX
+    if isinstance(exc, UnsupportedIntervalError):
+        return UNSUPPORTED
+    if isinstance(exc, InvalidIntervalError):
+        return BAD_WINDOW
+    return INTERNAL
+
+
+@dataclass
+class ServerConfig:
+    """Tuning knobs for one worker (shared by all workers of a pool)."""
+
+    #: Flush a micro-batch at this many queries even before the timer.
+    max_batch: int = 512
+    #: Seconds a lone query may wait for company before flushing.
+    batch_delay: float = 0.002
+    #: Global bound on admitted-but-unanswered queries (0 = unbounded).
+    max_inflight: int = 4096
+    #: Per-tenant ``{tenant: (rate/s, burst)}`` token-bucket overrides.
+    quotas: Dict[str, Quota] = field(default_factory=dict)
+    #: Quota for tenants not listed in ``quotas`` (None = unmetered).
+    default_quota: Optional[Quota] = None
+    #: Engine result-cache capacity (per worker).
+    cache_size: int = 4096
+    #: Threads executing engine batch calls (1 keeps batches serial
+    #: while the loop coalesces the next one; >1 needs nothing extra —
+    #: the engine is constructed thread-safe either way).
+    executor_threads: int = 1
+
+
+class IndexProvider:
+    """Opens — and re-opens, for hot swap — one worker's index.
+
+    ``index_path`` set: loads the saved ``.till``; with ``mmap=True``
+    (the serving default) the flat section is mapped zero-copy and a
+    non-mappable format-2 file is rejected with the rebuild command
+    (``require_mmap``).  ``index_path`` unset: builds the index from
+    the graph in-process (small datasets, tests).
+    """
+
+    def __init__(
+        self,
+        graph,
+        index_path: Optional[str] = None,
+        mmap: bool = True,
+        flat_backend: Optional[str] = "auto",
+        vartheta: Optional[int] = None,
+    ):
+        self.graph = graph
+        self.index_path = index_path
+        self.mmap = mmap
+        self.flat_backend = flat_backend
+        self.vartheta = vartheta
+
+    def open(self) -> TILLIndex:
+        if self.index_path is not None:
+            index = TILLIndex.load(
+                self.index_path, self.graph,
+                mmap=self.mmap, require_mmap=self.mmap,
+            )
+        else:
+            index = TILLIndex.build(self.graph, vartheta=self.vartheta)
+            index.compact()
+        if self.flat_backend is not None:
+            index.flatten(backend=self.flat_backend)
+        return index
+
+
+class ReachabilityServer:
+    """One worker: an asyncio acceptor over a thread-safe engine."""
+
+    def __init__(
+        self,
+        provider: IndexProvider,
+        config: Optional[ServerConfig] = None,
+        telemetry=None,
+        worker_id: int = 0,
+    ):
+        self.provider = provider
+        self.config = config or ServerConfig()
+        self.telemetry = telemetry
+        self.worker_id = worker_id
+        self.engine: Optional[QueryEngine] = None
+        self.generation = 0
+        self.hot_swaps = 0
+        self._started = time.time()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._batcher: Optional[MicroBatcher] = None
+        self._draining = False
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            quotas=self.config.quotas,
+            default_quota=self.config.default_quota,
+        )
+        # --- telemetry instruments (None when telemetry is off) ---
+        self._obs = None
+        if telemetry is not None:
+            from repro.obs.metrics import DEFAULT_TIME_BUCKETS
+
+            m = telemetry.metrics
+            self._obs = {
+                "requests": m.counter(
+                    "server_requests_total",
+                    "Requests by op and outcome (ok or error code)",
+                ),
+                "rejections": m.counter(
+                    "server_rejections_total",
+                    "Admission rejections by reason",
+                ),
+                "tenants": m.counter(
+                    "server_tenant_requests_total",
+                    "Admitted queries per tenant",
+                ),
+                "latency": m.histogram(
+                    "server_request_seconds", DEFAULT_TIME_BUCKETS,
+                    "Admission-to-response latency per query op",
+                ),
+                "inflight": m.gauge(
+                    "server_inflight",
+                    "Admitted queries currently queued or executing",
+                ),
+                "connections": m.counter(
+                    "server_connections_total", "Accepted connections"
+                ),
+                "open_connections": m.gauge(
+                    "server_connections_open", "Currently open connections"
+                ),
+                "swaps": m.counter(
+                    "server_hot_swaps_total", "Completed index hot swaps"
+                ),
+                "generation": m.gauge(
+                    "server_index_generation",
+                    "Index generation (bumped by each hot swap)",
+                ),
+            }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def open_engine(self) -> None:
+        """Open the index and build this worker's engine (idempotent)."""
+        if self.engine is None:
+            self.engine = QueryEngine(
+                self.provider.open(),
+                cache_size=self.config.cache_size,
+                telemetry=self.telemetry,
+                thread_safe=True,
+            )
+
+    async def serve(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        sock: Optional[socket_module.socket] = None,
+        ready=None,
+        install_signals: bool = False,
+    ) -> None:
+        """Accept and serve until :meth:`stop` (or SIGTERM/SIGINT).
+
+        Exactly one of ``socket_path``, ``host``/``port``, or an
+        already-bound listening ``sock`` (the pre-fork case) selects
+        the transport.  ``ready`` (a ``threading.Event``) is set once
+        accepting — test harnesses block on it.  ``install_signals``
+        wires SIGHUP→hot swap and SIGTERM/SIGINT→graceful stop (only
+        possible on a main-thread loop).
+        """
+        self.open_engine()
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._stop = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, self.config.executor_threads),
+            thread_name_prefix=f"serve-w{self.worker_id}",
+        )
+        self._batcher = MicroBatcher(
+            self._execute_batch,
+            max_batch=self.config.max_batch,
+            max_delay=self.config.batch_delay,
+            telemetry=self.telemetry,
+        )
+        if install_signals:
+            try:
+                loop.add_signal_handler(signal.SIGHUP, self.request_hot_swap)
+                loop.add_signal_handler(signal.SIGTERM, self.stop)
+                loop.add_signal_handler(signal.SIGINT, self.stop)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or unsupported platform
+        if sock is not None:
+            if sock.family == getattr(socket_module, "AF_UNIX", None):
+                server = await asyncio.start_unix_server(
+                    self._serve_connection, sock=sock
+                )
+            else:
+                server = await asyncio.start_server(
+                    self._serve_connection, sock=sock
+                )
+        elif socket_path is not None:
+            server = await asyncio.start_unix_server(
+                self._serve_connection, path=socket_path
+            )
+        else:
+            server = await asyncio.start_server(
+                self._serve_connection, host=host or "127.0.0.1",
+                port=0 if port is None else port,
+            )
+        try:
+            if ready is not None:
+                ready.set()
+            await self._stop.wait()
+        finally:
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            # Graceful: every admitted query gets its response.
+            await self._batcher.drain()
+            self._executor.shutdown(wait=True)
+
+    def stop(self) -> None:
+        """Request a graceful stop (thread-safe and signal-safe)."""
+        loop, stop = self._loop, self._stop
+        if loop is None or stop is None:
+            return
+        loop.call_soon_threadsafe(stop.set)
+
+    # ------------------------------------------------------------------
+    # hot swap
+    # ------------------------------------------------------------------
+
+    def request_hot_swap(self) -> None:
+        """Schedule a hot swap on the loop (SIGHUP handler)."""
+        if self._loop is not None:
+            self._loop.create_task(self.hot_swap())
+
+    async def hot_swap(self) -> Dict[str, Any]:
+        """Open the index anew and swap it in under live traffic.
+
+        The (slow) open runs on the loop's default executor so serving
+        continues; the swap itself is one reference assignment plus a
+        cache generation bump.  Queries batched before the swap finish
+        against the old mapping; queries batched after it answer from
+        the new one; none fail.
+        """
+        started = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        new_index = await loop.run_in_executor(None, self.provider.open)
+        self.engine.swap_index(new_index)
+        self.generation += 1
+        self.hot_swaps += 1
+        seconds = time.perf_counter() - started
+        if self._obs is not None:
+            self._obs["swaps"].inc()
+            self._obs["generation"].set(self.generation)
+        return {
+            "generation": self.generation,
+            "swap_seconds": seconds,
+            "cache_generation": self.engine.stats().generation,
+        }
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs["connections"].inc()
+            obs["open_connections"].add(1)
+        # Responses go back in request order even though batches
+        # complete out of order: each request contributes one slot to
+        # a FIFO of futures the writer coroutine drains.  (Pipelined
+        # clients may also match on the echoed "id".)
+        queue: "asyncio.Queue[Optional[Any]]" = asyncio.Queue()
+        writer_task = asyncio.get_running_loop().create_task(
+            self._write_responses(queue, writer)
+        )
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                queue.put_nowait(self._dispatch(line))
+        finally:
+            queue.put_nowait(None)
+            await writer_task
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            if obs is not None:
+                obs["open_connections"].add(-1)
+
+    async def _write_responses(self, queue, writer) -> None:
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            payload = await item if asyncio.isfuture(item) else item
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return  # client went away; keep draining admissions
+
+    def _dispatch(self, line: bytes):
+        """One request line → response bytes, or a future of them."""
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self._count("?", exc.code)
+            return encode_error(None, exc.code, str(exc))
+        if request.op == "ping":
+            self._count("ping", "ok")
+            return encode_result(request.id, {
+                "pong": True, "worker": self.worker_id,
+                "generation": self.generation,
+            })
+        if request.op == "stats":
+            self._count("stats", "ok")
+            return encode_result(request.id, self.describe())
+        if request.op == "reload":
+            future = asyncio.get_running_loop().create_task(
+                self._reload_response(request)
+            )
+            return future
+        return self._dispatch_query(request)
+
+    async def _reload_response(self, request: Request) -> bytes:
+        try:
+            info = await self.hot_swap()
+        except Exception as exc:  # e.g. the file was replaced corrupt
+            self._count("reload", INTERNAL)
+            return encode_error(request.id, INTERNAL,
+                               f"hot swap failed: {exc}")
+        self._count("reload", "ok")
+        return encode_result(request.id, info)
+
+    def _dispatch_query(self, request: Request):
+        op = request.op
+        if self._draining:
+            self._count(op, SHUTTING_DOWN)
+            return encode_error(request.id, SHUTTING_DOWN,
+                               "server is draining")
+        graph = self.provider.graph
+        # Pre-resolve vertices so one bad id rejects THIS request, not
+        # the whole micro-batch it would have been coalesced into.
+        try:
+            graph.index_of(request.u)
+            graph.index_of(request.v)
+        except UnknownVertexError as exc:
+            self._count(op, UNKNOWN_VERTEX)
+            return encode_error(request.id, UNKNOWN_VERTEX, str(exc))
+        rejection = self.admission.try_admit(request.tenant)
+        if rejection is not None:
+            self._count(op, rejection)
+            if self._obs is not None:
+                self._obs["rejections"].inc(reason=rejection)
+            return encode_error(
+                request.id, rejection,
+                f"request rejected ({rejection}); retry with backoff",
+            )
+        obs = self._obs
+        if obs is not None:
+            obs["inflight"].set(self.admission.inflight)
+            obs["tenants"].inc(tenant=request.tenant)
+        admitted_at = time.perf_counter()
+        answer_future = self._batcher.submit(
+            op, (request.u, request.v), request.t1, request.t2, request.theta
+        )
+        return asyncio.get_running_loop().create_task(
+            self._finish_query(request, answer_future, admitted_at)
+        )
+
+    async def _finish_query(self, request: Request, answer_future,
+                            admitted_at: float) -> bytes:
+        op = request.op
+        try:
+            answer = await answer_future
+        except ReproError as exc:
+            code = _code_for(exc)
+            self._count(op, code)
+            return encode_error(request.id, code, str(exc))
+        except Exception as exc:
+            self._count(op, INTERNAL)
+            return encode_error(request.id, INTERNAL,
+                               f"internal error: {exc}")
+        finally:
+            self.admission.release()
+            obs = self._obs
+            if obs is not None:
+                obs["inflight"].set(self.admission.inflight)
+                obs["latency"].observe(
+                    time.perf_counter() - admitted_at, op=op
+                )
+        self._count(op, "ok")
+        return encode_answer(request.id, answer)
+
+    async def _execute_batch(self, key: BatchKey,
+                             pairs: List[Tuple[Any, Any]]) -> List[bool]:
+        """Run one coalesced batch on the executor thread."""
+        op, t1, t2, theta = key
+        engine = self.engine
+        loop = asyncio.get_running_loop()
+        if op == "span":
+            return await loop.run_in_executor(
+                self._executor,
+                lambda: engine.span_many(pairs, (t1, t2)),
+            )
+        return await loop.run_in_executor(
+            self._executor,
+            lambda: engine.theta_many(pairs, (t1, t2), theta),
+        )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def _count(self, op: str, outcome: str) -> None:
+        if self._obs is not None:
+            self._obs["requests"].inc(op=op, outcome=outcome)
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``stats`` op payload: engine + admission + batcher."""
+        batcher = self._batcher
+        return {
+            "worker": self.worker_id,
+            "pid": os.getpid(),
+            "uptime_seconds": time.time() - self._started,
+            "generation": self.generation,
+            "hot_swaps": self.hot_swaps,
+            "engine": self.engine.stats().as_dict()
+            if self.engine is not None else None,
+            "admission": self.admission.stats(),
+            "batcher": {
+                "max_batch": self.config.max_batch,
+                "batch_delay": self.config.batch_delay,
+                "flushed_batches": batcher.flushed_batches
+                if batcher is not None else 0,
+                "flushed_queries": batcher.flushed_queries
+                if batcher is not None else 0,
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# sockets + pre-fork pool
+# ----------------------------------------------------------------------
+
+
+def bind_socket(socket_path: Optional[str] = None,
+                host: Optional[str] = None,
+                port: Optional[int] = None,
+                backlog: int = 128) -> socket_module.socket:
+    """Bind the listening socket the parent hands to every worker."""
+    if socket_path is not None:
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+        sock = socket_module.socket(socket_module.AF_UNIX,
+                                    socket_module.SOCK_STREAM)
+        sock.bind(socket_path)
+    else:
+        sock = socket_module.socket(socket_module.AF_INET,
+                                    socket_module.SOCK_STREAM)
+        sock.setsockopt(socket_module.SOL_SOCKET,
+                        socket_module.SO_REUSEADDR, 1)
+        sock.bind((host or "127.0.0.1", port or 0))
+    sock.listen(backlog)
+    sock.setblocking(False)
+    return sock
+
+
+def _run_worker(provider: IndexProvider, config: ServerConfig,
+                sock: socket_module.socket, worker_id: int,
+                telemetry=None) -> None:
+    server = ReachabilityServer(provider, config, telemetry=telemetry,
+                                worker_id=worker_id)
+    asyncio.run(server.serve(sock=sock, install_signals=True))
+
+
+def serve_prefork(
+    provider: IndexProvider,
+    config: ServerConfig,
+    sock: socket_module.socket,
+    workers: int,
+    telemetry=None,
+    log=None,
+) -> int:
+    """Fork *workers* children accepting on *sock*; parent supervises.
+
+    Every child opens its own engine — the same ``.till`` mapped
+    read-only, one physical copy in the page cache — and runs an
+    independent event loop.  The parent forwards ``SIGHUP`` (hot swap
+    every worker), ``SIGTERM`` and ``SIGINT`` (graceful stop), then
+    reaps.  Returns the worst child exit status.
+    """
+    if not hasattr(os, "fork"):
+        raise ReproError(
+            "pre-fork serving needs os.fork(); run with --workers 1 "
+            "on this platform"
+        )
+    pids: List[int] = []
+    for worker_id in range(workers):
+        pid = os.fork()
+        if pid == 0:  # child
+            status = 0
+            try:
+                _run_worker(provider, config, sock, worker_id,
+                            telemetry=telemetry)
+            except BaseException:
+                status = 1
+            finally:
+                os._exit(status)
+        pids.append(pid)
+    if log is not None:
+        log(f"forked {workers} worker(s): {pids}")
+
+    def forward(signum, _frame):
+        for pid in pids:
+            try:
+                os.kill(pid, signum)
+            except ProcessLookupError:
+                pass
+
+    previous = {}
+    for signum in (signal.SIGHUP, signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, forward)
+    worst = 0
+    try:
+        for pid in pids:
+            while True:
+                try:
+                    _, status = os.waitpid(pid, 0)
+                    break
+                except InterruptedError:
+                    continue  # signal arrived; keep waiting for exit
+            code = os.waitstatus_to_exitcode(status)
+            worst = max(worst, abs(code))
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return worst
