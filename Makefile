@@ -94,12 +94,27 @@ obs-smoke:
 
 # Network-serving smoke stage (<60 s): builds a format-3 index, boots
 # a pre-fork server pool on a scratch Unix socket (every worker mmaps
-# the same file), drives a few hundred pipelined span/theta queries
-# through the load generator, hot-swaps the index mid-traffic (reload
-# op + SIGHUP), and asserts zero failed queries and a clean SIGTERM
-# shutdown.  Deterministic — safe for CI.
+# the same file) with fleet observability on, drives a few hundred
+# pipelined span/theta queries through the load generator (the second
+# wave fully traced), hot-swaps the index mid-traffic (reload op +
+# SIGHUP), asserts the `metrics` wire op aggregates every worker's
+# counters to the exact client-side total and zero failed queries,
+# then validates the merged fleet artifacts (metrics document +
+# cross-process trace) and judges the aggregated latency against the
+# recorded bench baseline (wide 900% budget: this is a format/plumbing
+# check on a shared CI box, not a perf judgement).
+# Deterministic — safe for CI.
 serve-smoke:
-	$(PYTHON) -m repro.serve.smoke --workers 2 --queries 400
+	mkdir -p $(SCRATCH)
+	$(PYTHON) -m repro.serve.smoke --workers 2 --queries 400 \
+		--fleet-metrics-out $(SCRATCH)/serve_fleet_metrics.json \
+		--fleet-trace-out $(SCRATCH)/serve_fleet_trace.jsonl
+	$(PYTHON) -m repro.obs.validate \
+		$(SCRATCH)/serve_fleet_metrics.json \
+		$(SCRATCH)/serve_fleet_trace.jsonl
+	$(PYTHON) -m repro slo \
+		--metrics $(SCRATCH)/serve_fleet_metrics.json \
+		--baseline BENCH_PR8.json --max-burn 900
 
 # Seeded perf baseline (<90 s): build time, label size, scalar vs
 # batch vs cached query throughput, per-scenario latency percentiles,
@@ -107,13 +122,14 @@ serve-smoke:
 # comparison, the telemetry-overhead scenario, the flat-vs-object
 # (python vs numpy batch kernel) + cold-open scenario, and the network
 # serving scenario (concurrent QPS + p50/p95/p99 vs worker count vs
-# the in-process engine ceiling, with a hot swap under load).  Writes
-# BENCH_PR8.json and gates against the recorded PR 6 baseline; tune
-# the gate with e.g.
-#   python -m repro bench --smoke --compare BENCH_PR6.json --max-regression 15
+# the in-process engine ceiling, with a hot swap under load, plus a
+# fleet-observability rerun recording its overhead and SLO estimates).
+# Writes BENCH_PR9.json and gates against the recorded PR 8 baseline;
+# tune the gate with e.g.
+#   python -m repro bench --smoke --compare BENCH_PR8.json --max-regression 15
 bench-smoke:
-	$(PYTHON) -m repro bench --smoke -o BENCH_PR8.json \
-		--compare BENCH_PR6.json --max-regression 15
+	$(PYTHON) -m repro bench --smoke -o BENCH_PR9.json \
+		--compare BENCH_PR8.json --max-regression 15 --repeats 6
 
 experiments:
 	$(PYTHON) -m repro experiment table2

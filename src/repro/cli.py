@@ -477,10 +477,51 @@ def _render_metrics_text(snapshot) -> str:
     return "\n".join(lines)
 
 
+def _print_metrics_doc(doc, fmt: str, heading: str = "") -> None:
+    """Render a ``repro-metrics/1`` document in the requested format."""
+    if fmt == "json":
+        import json
+
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    elif fmt == "prometheus":
+        from repro.obs.fleet import render_prometheus
+
+        print(render_prometheus(doc), end="")
+    else:
+        if heading:
+            print(heading)
+        print(_render_metrics_text(doc))
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs import Telemetry
     from repro.serve.bench import make_serving_batch
     from repro.serve.engine import QueryEngine
+
+    if args.live:
+        # Live mode: ask a running server for the fleet-aggregated
+        # view (the ``metrics`` wire op) instead of running a local
+        # workload.  Any worker answers for the whole pool.
+        from repro.serve.client import ServeClient
+
+        with ServeClient(socket_path=args.live) as client:
+            response = client.metrics()
+        if not response.get("ok"):
+            raise ReproError(
+                f"metrics op failed: {response.get('error')} "
+                f"(code {response.get('code')})"
+            )
+        doc = response["result"]
+        fleet = doc.get("fleet") or {}
+        heading = (f"fleet metrics from {args.live} "
+                   f"({len(fleet.get('workers') or [])} worker "
+                   "snapshot(s))")
+        _print_metrics_doc(doc, args.format, heading)
+        for problem in doc.get("problems") or []:
+            print(f"warning: {problem}", file=sys.stderr)
+        return 0
+    if not args.source:
+        raise ReproError("stats needs a source (or --live SOCKET)")
 
     telemetry = Telemetry()
     graph = _load_source(args.source, directed=not args.undirected)
@@ -555,6 +596,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         flat_backend=args.flat_backend or "auto",
         vartheta=args.vartheta,
     )
+    if args.metrics_port is not None and not args.obs_dir:
+        raise ReproError(
+            "--metrics-port aggregates a fleet spool; add --obs-dir DIR"
+        )
     config = ServerConfig(
         max_batch=args.max_batch,
         batch_delay=args.batch_delay_ms / 1000.0,
@@ -562,6 +607,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         quotas=quotas,
         default_quota=default_quota,
         cache_size=args.cache_size,
+        obs_dir=args.obs_dir,
+        metrics_interval=args.metrics_interval,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
+        slow_query_ms=args.slow_query_ms,
+        slow_query_log=args.slow_query_log,
+        slow_query_rate=args.slow_query_rate,
     )
     if args.index:
         # Fail fast (--mmap on a format-2 file, bad path) in the parent,
@@ -571,18 +623,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
     sock = bind_socket(socket_path=args.socket, host=args.host,
                        port=args.port)
     where = args.socket or "%s:%d" % sock.getsockname()[:2]
-    telemetry = _make_telemetry(args)
-    if telemetry is not None and args.workers > 1:
-        print("warning: --metrics-out/--trace-out need --workers 1; "
-              "ignoring", file=sys.stderr)
-        telemetry = None
     print(f"serving {args.source} on {where} "
           f"({args.workers} worker(s); SIGHUP reloads the index, "
           "SIGTERM stops)")
+    metrics_server = None
+    if args.metrics_port is not None:
+        # Parent-side Prometheus endpoint: aggregates the spool on
+        # every scrape, so it reflects all workers without touching
+        # any of them.
+        import os
+
+        from repro.obs.fleet import serve_metrics_http
+
+        os.makedirs(args.obs_dir, exist_ok=True)
+        metrics_server = serve_metrics_http(
+            args.obs_dir, port=args.metrics_port, host=args.host
+        )
+        print(f"fleet metrics on http://{args.host}:"
+              f"{metrics_server.server_address[1]}/metrics")
     try:
         if args.workers <= 1:
-            server = ReachabilityServer(provider, config,
-                                        telemetry=telemetry)
+            # ReachabilityServer builds its own telemetry from the
+            # config (spool reporter, trace stream, slow-query log)
+            # and writes --metrics-out at shutdown.
+            server = ReachabilityServer(provider, config)
             asyncio.run(server.serve(sock=sock, install_signals=True))
             status = 0
         else:
@@ -591,6 +655,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         status = 0
     finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
         sock.close()
         if args.socket:
             import os
@@ -599,7 +665,6 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 os.unlink(args.socket)
             except OSError:
                 pass
-    _finish_telemetry(args, telemetry)
     return status
 
 
@@ -619,10 +684,60 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         concurrency=args.concurrency,
         pipeline=args.pipeline,
         tenant=args.tenant,
+        trace_every=args.trace_every,
+        with_metrics=bool(args.metrics_out),
     )
+    metrics_doc = result.pop("metrics_doc", None)
+    trace_ids = result.pop("trace_ids", None)
+    if trace_ids is not None:
+        result["trace_ids_sampled"] = len(trace_ids)
     print(json.dumps(result, indent=2, sort_keys=True))
+    if metrics_doc is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(metrics_doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote client metrics to {args.metrics_out}",
+              file=sys.stderr)
     ok = not result["errors"] and not result["failures"]
     return 0 if ok else 1
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.slowlog import check_slo
+
+    if bool(args.metrics) == bool(args.live):
+        raise ReproError(
+            "slo needs exactly one of --metrics FILE or --live SOCKET"
+        )
+    if args.live:
+        from repro.serve.client import ServeClient
+
+        with ServeClient(socket_path=args.live) as client:
+            response = client.metrics()
+        if not response.get("ok"):
+            raise ReproError(
+                f"metrics op failed: {response.get('error')} "
+                f"(code {response.get('code')})"
+            )
+        metrics_doc = response["result"]
+    else:
+        with open(args.metrics, "r", encoding="utf-8") as fh:
+            metrics_doc = json.load(fh)
+    with open(args.baseline, "r", encoding="utf-8") as fh:
+        bench_doc = json.load(fh)
+    ok, report = check_slo(
+        metrics_doc, bench_doc, max_burn_pct=args.max_burn
+    )
+    for line in report:
+        print(line)
+    if ok:
+        print(f"SLO OK (burn tolerance {args.max_burn:g}%)")
+        return 0
+    print(f"SLO BURN exceeds {args.max_burn:g}% vs {args.baseline}",
+          file=sys.stderr)
+    return 1
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -823,9 +938,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small fixed suite (<60 s), suitable for CI")
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed (default 0)")
-    p.add_argument("-o", "--output", default="BENCH_PR8.json",
-                   help="results file (default BENCH_PR8.json)")
-    p.add_argument("--label", default="PR8",
+    p.add_argument("-o", "--output", default="BENCH_PR9.json",
+                   help="results file (default BENCH_PR9.json)")
+    p.add_argument("--label", default="PR9",
                    help="label recorded in the results document")
     p.add_argument("--datasets", help="comma-separated dataset override")
     p.add_argument("--batch-size", type=int, default=2000,
@@ -848,7 +963,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a seeded workload with telemetry on and print the "
              "metrics snapshot",
     )
-    p.add_argument("source", help="dataset name or graph file")
+    p.add_argument("source", nargs="?", default=None,
+                   help="dataset name or graph file (omit with --live)")
+    p.add_argument("--live", metavar="SOCKET",
+                   help="fetch the fleet-aggregated snapshot from a "
+                        "running server's Unix socket instead of "
+                        "running a workload")
     p.add_argument("--shards", type=int, default=None,
                    help="use a time-sharded index with this many slices")
     p.add_argument("--vartheta", type=int, default=None,
@@ -907,6 +1027,29 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="batch-kernel backend (default auto)")
     p.add_argument("--undirected", action="store_true")
+    p.add_argument("--obs-dir", metavar="DIR",
+                   help="fleet spool directory: every worker publishes "
+                        "metrics-{pid}.json snapshots and streams "
+                        "trace-{pid}.jsonl here; enables the 'metrics' "
+                        "wire op and 'repro stats --live'")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="serve the fleet-aggregated Prometheus view on "
+                        "http://HOST:PORT/metrics from the parent "
+                        "(0 = ephemeral, printed; needs --obs-dir)")
+    p.add_argument("--metrics-interval", type=float, default=2.0,
+                   help="seconds between spool snapshot flushes "
+                        "(default 2)")
+    p.add_argument("--slow-query-ms", type=float, default=None,
+                   metavar="MS",
+                   help="log queries slower than MS milliseconds as "
+                        "structured JSON (0 logs everything)")
+    p.add_argument("--slow-query-log", metavar="FILE",
+                   help="slow-query log path; {pid}/{worker} expand "
+                        "per worker (default: slow-{pid}.jsonl in "
+                        "--obs-dir)")
+    p.add_argument("--slow-query-rate", type=float, default=10.0,
+                   help="max slow-query lines per second; the excess "
+                        "is counted, not written (default 10)")
     _add_obs_args(p)
     p.set_defaults(func=cmd_serve)
 
@@ -931,8 +1074,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tenant id stamped on every request")
     p.add_argument("--seed", type=int, default=8,
                    help="workload seed (default 8)")
+    p.add_argument("--trace-every", type=int, default=0, metavar="K",
+                   help="stamp every K-th request per connection with "
+                        "a distributed-trace id (0 = off)")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write the client-side view (latency histogram, "
+                        "per-code error counts) as repro-metrics/1 JSON")
     p.add_argument("--undirected", action="store_true")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "slo",
+        help="compare live/recorded serving latency against a bench "
+             "baseline; non-zero exit on burn",
+    )
+    p.add_argument("--metrics", metavar="FILE",
+                   help="a repro-metrics/1 document (e.g. the merged "
+                        "fleet artifact) to judge")
+    p.add_argument("--live", metavar="SOCKET",
+                   help="fetch the fleet snapshot from a running "
+                        "server's Unix socket instead")
+    p.add_argument("--baseline", required=True, metavar="BENCH.json",
+                   help="bench results file holding the "
+                        "serve_latency_p95/p99_ms baseline")
+    p.add_argument("--max-burn", type=float, default=50.0, metavar="PCT",
+                   help="tolerated p95/p99 increase over the baseline "
+                        "in percent (default 50)")
+    p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument("name", help="experiment id, or 'list'")

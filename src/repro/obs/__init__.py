@@ -31,13 +31,25 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.fleet import (
+    FleetReporter,
+    aggregate_spool,
+    merge_metrics_docs,
+    merge_trace_files,
+    reassemble_request,
+    render_prometheus,
+    serve_metrics_http,
+)
 from repro.obs.progress import ProgressPrinter
+from repro.obs.slowlog import SlowQueryLog, check_slo, histogram_quantile
 from repro.obs.telemetry import Telemetry
 from repro.obs.trace import (
     NULL_TRACER,
     TRACE_SCHEMA,
+    AppendSink,
     NullTracer,
     SpanTracer,
+    open_stream_tracer,
     read_trace,
 )
 # NOTE: repro.obs.validate is deliberately NOT imported here — it is
@@ -46,9 +58,11 @@ from repro.obs.trace import (
 # the checkers from the submodule directly.
 
 __all__ = [
+    "AppendSink",
     "Counter",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
+    "FleetReporter",
     "Gauge",
     "Histogram",
     "METRICS_SCHEMA",
@@ -56,8 +70,18 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "ProgressPrinter",
+    "SlowQueryLog",
     "SpanTracer",
     "Telemetry",
     "TRACE_SCHEMA",
+    "aggregate_spool",
+    "check_slo",
+    "histogram_quantile",
+    "merge_metrics_docs",
+    "merge_trace_files",
+    "open_stream_tracer",
     "read_trace",
+    "reassemble_request",
+    "render_prometheus",
+    "serve_metrics_http",
 ]

@@ -1,0 +1,277 @@
+"""Slow-query log and SLO watchdog for the serving tier.
+
+The paper's headline is microsecond span/θ answers (Algorithms 4/5);
+in production the interesting queries are the ones that *aren't*.
+This module gives the server two tools:
+
+* :class:`SlowQueryLog` — structured JSON lines (one complete
+  ``os.write`` per line, O_APPEND-safe across pre-fork workers) for
+  every request whose server-side wall time crosses a threshold,
+  rate-limited by a token bucket so a latency storm cannot turn the
+  log into its own outage.  Each record carries the query shape (op,
+  window, θ, tenant), the route through the server (batch id and
+  size), the trace id when the client sent one, and the duration — the
+  exact tuple needed to go from "p99 regressed" to "these queries,
+  this batch shape".
+* SLO arithmetic — :func:`histogram_quantile` estimates p50/p95/p99
+  from the fixed-bucket ``server_request_seconds`` histogram (same
+  linear-interpolation rule Prometheus uses), and :func:`check_slo`
+  compares a live/aggregated metrics document against the latency
+  baseline recorded in a ``BENCH_*.json`` so ``repro slo`` can exit
+  non-zero on burn.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+SLOWLOG_SCHEMA = "repro-slowlog/1"
+
+#: The serving-latency histogram the SLO math reads by default.
+LATENCY_METRIC = "server_request_seconds"
+
+
+class SlowQueryLog:
+    """Rate-limited structured log of over-threshold requests.
+
+    ``maybe_record`` is cheap for the common (fast) case: one float
+    compare.  Over-threshold requests increment
+    ``server_slow_queries_total{op=...}`` unconditionally, then pass a
+    token bucket (capacity = ``max_per_sec``, refilled continuously)
+    before a line is written — suppressed lines are themselves counted
+    (``server_slow_queries_suppressed_total``) so the log's sampling is
+    visible, never silent.
+    """
+
+    def __init__(self, path, threshold_s: float,
+                 max_per_sec: float = 10.0,
+                 telemetry=None, worker: Optional[int] = None,
+                 clock=time.monotonic):
+        self.path = str(path)
+        self.threshold_s = float(threshold_s)
+        self._clock = clock
+        self._capacity = max(1.0, float(max_per_sec))
+        self._rate = float(max_per_sec)
+        self._tokens = self._capacity
+        self._refilled = clock()
+        self.worker = worker
+        self.pid = os.getpid()
+        self._fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self._slow_total = self._suppressed_total = None
+        if telemetry is not None:
+            self._slow_total = telemetry.metrics.counter(
+                "server_slow_queries_total",
+                "Requests over the slow-query threshold",
+            )
+            self._suppressed_total = telemetry.metrics.counter(
+                "server_slow_queries_suppressed_total",
+                "Slow-query log lines dropped by rate limiting",
+            )
+
+    def _take_token(self) -> bool:
+        now = self._clock()
+        self._tokens = min(
+            self._capacity,
+            self._tokens + (now - self._refilled) * self._rate,
+        )
+        self._refilled = now
+        if self._tokens < 1.0:
+            return False
+        self._tokens -= 1.0
+        return True
+
+    def maybe_record(self, duration_s: float, op: str = "",
+                     **fields: Any) -> bool:
+        """Log the request if slow; returns True when a line was written."""
+        if duration_s < self.threshold_s:
+            return False
+        if self._slow_total is not None:
+            self._slow_total.inc(op=op or "unknown")
+        if not self._take_token():
+            if self._suppressed_total is not None:
+                self._suppressed_total.inc()
+            return False
+        record = {
+            "type": "slow_query",
+            "schema": SLOWLOG_SCHEMA,
+            "unix_time": time.time(),
+            "duration_ms": duration_s * 1000.0,
+            "threshold_ms": self.threshold_s * 1000.0,
+            "op": op,
+            "pid": self.pid,
+            "worker": self.worker,
+        }
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+        return True
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+
+def read_slowlog(path) -> List[Dict[str, Any]]:
+    """Parse a slow-query log back into records (tolerant of tails)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if obj.get("type") == "slow_query":
+                records.append(obj)
+    return records
+
+
+# ----------------------------------------------------------------------
+# SLO arithmetic over fixed-bucket histograms
+# ----------------------------------------------------------------------
+
+
+def histogram_quantile(buckets: Sequence[float], counts: Sequence[int],
+                       q: float,
+                       observed_max: Optional[float] = None,
+                       ) -> Optional[float]:
+    """Estimate the *q*-quantile of a cumulative-bucket histogram.
+
+    *buckets* are the finite upper bounds, *counts* the per-bucket
+    (non-cumulative) tallies with the implicit ``+Inf`` bucket last —
+    exactly the ``repro-metrics/1`` histogram series shape.  Linear
+    interpolation inside the landing bucket (Prometheus's rule); a
+    quantile landing in ``+Inf`` returns *observed_max* when known,
+    else the largest finite bound.  ``None`` when the histogram is
+    empty.
+    """
+    total = sum(counts)
+    if total <= 0:
+        return None
+    target = q * total
+    cumulative = 0.0
+    for i, bound in enumerate(buckets):
+        previous = cumulative
+        cumulative += counts[i]
+        if cumulative >= target:
+            lower = buckets[i - 1] if i > 0 else 0.0
+            if counts[i] == 0:
+                return bound
+            return lower + (bound - lower) * (target - previous) / counts[i]
+    if observed_max is not None and observed_max != float("-inf"):
+        return float(observed_max)
+    return float(buckets[-1]) if buckets else None
+
+
+def extract_latency_quantiles(
+    doc: Dict[str, Any],
+    metric: str = LATENCY_METRIC,
+    quantiles: Sequence[float] = (0.5, 0.95, 0.99),
+) -> Dict[str, Any]:
+    """Fleet-wide latency quantiles from a metrics document.
+
+    Sums the named histogram's bucket counts across every series (all
+    ops, all label sets) and estimates each requested quantile.
+    Returns ``{"count": N, "p50": seconds|None, ...}``; all-``None``
+    quantiles with ``count == 0`` when the metric is absent or empty.
+    """
+    entry = (doc.get("metrics") or {}).get(metric) or {}
+    buckets = entry.get("buckets") or []
+    combined: Optional[List[int]] = None
+    observed_max = float("-inf")
+    total = 0
+    for series in entry.get("series") or []:
+        counts = series.get("counts") or []
+        if combined is None:
+            combined = list(counts)
+        elif len(counts) == len(combined):
+            combined = [a + b for a, b in zip(combined, counts)]
+        observed_max = max(observed_max, series.get("max", float("-inf")))
+        total += series.get("count", 0)
+    out: Dict[str, Any] = {"count": total, "metric": metric}
+    for q in quantiles:
+        key = f"p{int(round(q * 100))}"
+        out[key] = (
+            histogram_quantile(buckets, combined, q,
+                               observed_max=observed_max)
+            if combined else None
+        )
+    return out
+
+
+def baseline_latencies(bench_doc: Dict[str, Any]) -> Dict[str, float]:
+    """Pull the serving-latency baseline out of a ``repro-bench/1`` doc.
+
+    Returns ``{"p50": ms, "p95": ms, "p99": ms}`` for whichever
+    percentiles the document recorded (``serving.serve_latency_*_ms``).
+    """
+    serving = bench_doc.get("serving") or {}
+    out = {}
+    for key in ("p50", "p95", "p99"):
+        value = serving.get(f"serve_latency_{key}_ms")
+        if isinstance(value, (int, float)) and value > 0:
+            out[key] = float(value)
+    return out
+
+
+def check_slo(
+    metrics_doc: Dict[str, Any],
+    bench_doc: Dict[str, Any],
+    max_burn_pct: float = 50.0,
+    metric: str = LATENCY_METRIC,
+    quantile_keys: Sequence[str] = ("p95", "p99"),
+) -> Tuple[bool, List[str]]:
+    """Compare live latency quantiles against a bench baseline.
+
+    Returns ``(ok, report_lines)``.  For each requested quantile with
+    both a live estimate and a baseline, the burn is the relative
+    increase in percent; any burn past *max_burn_pct* flips *ok* to
+    False.  Missing live data (no traffic, metric absent) also fails —
+    an SLO check that silently passes on no data hides outages.
+    """
+    report: List[str] = []
+    live = extract_latency_quantiles(
+        metrics_doc, metric=metric,
+        quantiles=[int(k[1:]) / 100.0 for k in quantile_keys],
+    )
+    baseline = baseline_latencies(bench_doc)
+    if live["count"] == 0:
+        return False, [f"no observations in {metric!r} — nothing to check"]
+    ok = True
+    compared = 0
+    for key in quantile_keys:
+        live_s = live.get(key)
+        base_ms = baseline.get(key)
+        if live_s is None:
+            continue
+        live_ms = live_s * 1000.0
+        if base_ms is None:
+            report.append(
+                f"{key}: live {live_ms:.3f}ms (no baseline recorded)"
+            )
+            continue
+        compared += 1
+        burn = (live_ms - base_ms) / base_ms * 100.0
+        line = (f"{key}: live {live_ms:.3f}ms vs baseline {base_ms:.3f}ms "
+                f"({burn:+.1f}%, budget {max_burn_pct:g}%)")
+        if burn > max_burn_pct:
+            ok = False
+            line += "  BURN"
+        report.append(line)
+    if compared == 0:
+        return False, report + [
+            "baseline has no serve_latency_*_ms to compare against"
+        ]
+    report.append(
+        f"{'ok' if ok else 'FAIL'}: {live['count']} observations, "
+        f"{compared} quantiles checked"
+    )
+    return ok, report

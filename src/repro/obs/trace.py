@@ -33,14 +33,25 @@ Instant event::
 
 The first line written by :meth:`SpanTracer.write` is a header::
 
-    {"type": "header", "schema": "repro-trace/1", "events": N}
+    {"type": "header", "schema": "repro-trace/1", "events": N,
+     "wall_epoch": unix-seconds}
+
+Streaming files written by :class:`AppendSink` start with a header
+that carries ``"streaming": true`` and no ``"events"`` count (the
+writer cannot know it up front); every event line additionally carries
+the sink's extra labels (``pid``, ``worker``) so per-process files can
+be merged after the fact (:func:`repro.obs.fleet.merge_trace_files`).
+``wall_epoch`` is the wall-clock time the tracer's relative clock
+started, letting a merger place events from different processes on one
+absolute timeline.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 TRACE_SCHEMA = "repro-trace/1"
 
@@ -105,6 +116,17 @@ class NullTracer:
     def event(self, name: str, **attrs: Any) -> None:
         return None
 
+    def now(self) -> float:
+        return 0.0
+
+    def record_span(self, name: str, start: float, dur: float,
+                    parent: Optional[int] = None, **attrs: Any) -> int:
+        return 0
+
+    @property
+    def wall_epoch(self) -> float:
+        return 0.0
+
     @property
     def events(self) -> List[Dict[str, Any]]:
         return []
@@ -125,13 +147,22 @@ class SpanTracer:
         without waiting for :meth:`write`.
     clock:
         Override for tests; defaults to :func:`time.perf_counter`.
+    keep:
+        When ``False`` events are handed to the sink only and never
+        retained in :attr:`events` — the right mode for long-running
+        servers streaming to an :class:`AppendSink`, where unbounded
+        in-memory retention would be a leak.
     """
 
     def __init__(self, sink: Optional[Sink] = None,
-                 clock: Callable[[], float] = time.perf_counter):
+                 clock: Callable[[], float] = time.perf_counter,
+                 keep: bool = True):
         self._clock = clock
         self._epoch = clock()
+        #: Wall-clock time of the relative epoch, for cross-process merge.
+        self.wall_epoch = time.time()
         self._sink = sink
+        self._keep = keep
         self._stack: List[_SpanHandle] = []
         self._next_id = 1
         self.events: List[Dict[str, Any]] = []
@@ -143,6 +174,14 @@ class SpanTracer:
 
     def _now(self) -> float:
         return self._clock() - self._epoch
+
+    def now(self) -> float:
+        """Seconds since tracer creation — the timebase of every event."""
+        return self._now()
+
+    def set_sink(self, sink: Optional[Sink]) -> None:
+        """Attach (or detach) the live event sink."""
+        self._sink = sink
 
     def span(self, name: str, **attrs: Any) -> _SpanHandle:
         """Open a nested span; use as a context manager."""
@@ -188,8 +227,34 @@ class SpanTracer:
         })
         self._next_id += 1
 
+    def record_span(self, name: str, start: float, dur: float,
+                    parent: Optional[int] = None, **attrs: Any) -> int:
+        """Record an already-timed span without touching the nesting stack.
+
+        The stack discipline of :meth:`span` assumes one logical thread
+        of control; interleaved asyncio tasks and executor threads would
+        corrupt it.  Serving-tier instrumentation measures ``start`` /
+        ``dur`` itself (``start`` in :meth:`now` units) and records the
+        closed span here — linkage across such spans is by shared attrs
+        (trace id, batch id), not by ``parent``.  Returns the span id.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        self._record({
+            "type": "span",
+            "name": name,
+            "id": span_id,
+            "parent": parent,
+            "depth": 0,
+            "start": start,
+            "dur": max(0.0, dur),
+            "attrs": dict(attrs),
+        })
+        return span_id
+
     def _record(self, event: Dict[str, Any]) -> None:
-        self.events.append(event)
+        if self._keep:
+            self.events.append(event)
         if self._sink is not None:
             self._sink(event)
 
@@ -200,12 +265,77 @@ class SpanTracer:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(
                 {"type": "header", "schema": TRACE_SCHEMA,
-                 "events": len(self.events)},
+                 "events": len(self.events),
+                 "wall_epoch": self.wall_epoch},
                 sort_keys=True,
             ) + "\n")
             for event in self.events:
                 fh.write(json.dumps(event, sort_keys=True, default=str)
                          + "\n")
+
+
+class AppendSink:
+    """Multi-process-safe JSON-lines sink for :class:`SpanTracer`.
+
+    Opens *path* with ``O_APPEND`` and emits each event as exactly one
+    :func:`os.write` of one complete line, so concurrent writers never
+    interleave partial JSON (POSIX appends are atomic with respect to
+    the file offset).  The first line is a streaming header (no event
+    count — unknowable up front) carrying ``wall_epoch`` and the extra
+    labels; every event line is stamped with the same extras (``pid``,
+    ``worker``) so a merger can tell the processes apart.
+    """
+
+    def __init__(self, path, wall_epoch: Optional[float] = None,
+                 extra: Optional[Dict[str, Any]] = None,
+                 header: bool = True):
+        self.path = str(path)
+        self.extra = dict(extra or {})
+        self._fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        if header:
+            self._emit({
+                "type": "header", "schema": TRACE_SCHEMA,
+                "streaming": True,
+                "wall_epoch": (time.time() if wall_epoch is None
+                               else wall_epoch),
+                **self.extra,
+            })
+
+    def __call__(self, event: Dict[str, Any]) -> None:
+        if self.extra:
+            event = {**event, **self.extra}
+        self._emit(event)
+
+    def _emit(self, obj: Dict[str, Any]) -> None:
+        line = json.dumps(obj, sort_keys=True, default=str) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+    def __enter__(self) -> "AppendSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def open_stream_tracer(path, **extra: Any) -> Tuple[SpanTracer, AppendSink]:
+    """A ``(tracer, sink)`` pair streaming straight to *path*.
+
+    The tracer retains nothing in memory (``keep=False``); the sink
+    stamps every line with *extra* (conventionally ``pid`` and
+    ``worker``) and shares the tracer's ``wall_epoch`` so merged
+    timelines line up.  Close the sink when the process is done.
+    """
+    tracer = SpanTracer(keep=False)
+    sink = AppendSink(path, wall_epoch=tracer.wall_epoch, extra=extra)
+    tracer.set_sink(sink)
+    return tracer, sink
 
 
 def read_trace(path) -> List[Dict[str, Any]]:

@@ -25,24 +25,32 @@ be constructed ``thread_safe=True``.
 from __future__ import annotations
 
 import asyncio
+import inspect
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
 #: Batch key: (op, t1, t2, theta) — exactly the engine's amortization unit.
 BatchKey = Tuple[str, int, int, Optional[int]]
 
 #: ``execute(key, pairs) -> answers`` — provided by the server; runs
-#: the engine batch call (usually in an executor thread).
+#: the engine batch call (usually in an executor thread).  An executor
+#: accepting a third parameter additionally receives the batch's trace
+#: metadata (``{"batch": label, "traces": [...]}``) so the engine-side
+#: span can be linked back to the batch that spawned it.
 Executor = Callable[[BatchKey, List[Tuple[Any, Any]]], Awaitable[List[bool]]]
 
 
 class _Pending:
-    __slots__ = ("key", "pairs", "futures", "timer")
+    __slots__ = ("key", "pairs", "futures", "timer", "traces", "metas")
 
     def __init__(self, key: BatchKey):
         self.key = key
         self.pairs: List[Tuple[Any, Any]] = []
         self.futures: List[asyncio.Future] = []
         self.timer: Optional[asyncio.TimerHandle] = None
+        #: Trace ids of the member queries that carried one.
+        self.traces: List[str] = []
+        #: Caller-owned per-query dicts to fill with batch metadata.
+        self.metas: List[Optional[Dict[str, Any]]] = []
 
 
 class MicroBatcher:
@@ -58,12 +66,25 @@ class MicroBatcher:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self._execute = execute
+        # Executors predating trace propagation take (key, pairs);
+        # newer ones take (key, pairs, meta).  Sniff once at
+        # construction so both keep working.
+        try:
+            params = inspect.signature(execute).parameters
+            self._execute_takes_meta = len(params) >= 3
+        except (TypeError, ValueError):
+            self._execute_takes_meta = False
         self.max_batch = max_batch
         self.max_delay = max_delay
         self._pending: Dict[BatchKey, _Pending] = {}
         self._tasks: "set[asyncio.Task]" = set()
         self.flushed_batches = 0
         self.flushed_queries = 0
+        self._batch_seq = 0
+        self._tracer = (
+            telemetry.tracer if telemetry is not None
+            and telemetry.tracer else None
+        )
         self._obs_batch_size = None
         self._obs_flush = None
         if telemetry is not None:
@@ -80,9 +101,18 @@ class MicroBatcher:
             )
 
     def submit(self, op: str, pair: Tuple[Any, Any], t1: int, t2: int,
-               theta: Optional[int]) -> "asyncio.Future[bool]":
+               theta: Optional[int], trace: Optional[str] = None,
+               meta: Optional[Dict[str, Any]] = None,
+               ) -> "asyncio.Future[bool]":
         """Park one query; the returned future resolves with its answer
-        (or the batch's exception) when its micro-batch flushes."""
+        (or the batch's exception) when its micro-batch flushes.
+
+        *trace* is the query's distributed-trace id (recorded on the
+        batch span); *meta*, when given, is a caller-owned dict the
+        flush fills with ``{"batch": label, "size": N, "cause": ...}``
+        — how the server learns, after the fact, which batch answered
+        a request (for the slow-query log and the request span).
+        """
         loop = asyncio.get_running_loop()
         key: BatchKey = (op, t1, t2, theta)
         batch = self._pending.get(key)
@@ -94,6 +124,9 @@ class MicroBatcher:
         future: "asyncio.Future[bool]" = loop.create_future()
         batch.pairs.append(pair)
         batch.futures.append(future)
+        if trace is not None:
+            batch.traces.append(trace)
+        batch.metas.append(meta)
         if len(batch.pairs) >= self.max_batch:
             self._flush(key, "size")
         return future
@@ -106,21 +139,46 @@ class MicroBatcher:
             batch.timer.cancel()
         self.flushed_batches += 1
         self.flushed_queries += len(batch.pairs)
+        self._batch_seq += 1
+        label = f"b{self._batch_seq}"
+        for meta in batch.metas:
+            if meta is not None:
+                meta["batch"] = label
+                meta["size"] = len(batch.pairs)
+                meta["cause"] = cause
         if self._obs_flush is not None:
             self._obs_flush.inc(cause=cause)
             self._obs_batch_size.observe(len(batch.pairs))
-        task = asyncio.get_running_loop().create_task(self._run(batch))
+        task = asyncio.get_running_loop().create_task(
+            self._run(batch, label, cause)
+        )
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
-    async def _run(self, batch: _Pending) -> None:
+    async def _run(self, batch: _Pending, label: str, cause: str) -> None:
+        tracer = self._tracer if batch.traces else None
+        started = tracer.now() if tracer else 0.0
+        meta = {"batch": label, "traces": list(batch.traces)}
         try:
-            answers = await self._execute(batch.key, batch.pairs)
+            if self._execute_takes_meta:
+                answers = await self._execute(batch.key, batch.pairs, meta)
+            else:
+                answers = await self._execute(batch.key, batch.pairs)
         except Exception as exc:  # delivered per future, not raised here
             for future in batch.futures:
                 if not future.done():
                     future.set_exception(exc)
             return
+        finally:
+            if tracer:
+                # Closed-form span (no nesting stack — batches overlap
+                # freely on the loop): one batch span records the N
+                # member trace ids it coalesced.
+                tracer.record_span(
+                    "server.batch", started, tracer.now() - started,
+                    batch=label, op=batch.key[0], cause=cause,
+                    size=len(batch.pairs), traces=list(batch.traces),
+                )
         for future, answer in zip(batch.futures, answers):
             if not future.done():
                 future.set_result(answer)

@@ -87,6 +87,28 @@ HIGHER_IS_BETTER = frozenset({
     "multi_worker_speedup",
 })
 
+#: Ratios of two metrics that are each gated on their own.  These are
+#: recorded and printed but skipped by :func:`compare_results`: gating a
+#: ratio alongside both of its components double-counts any real
+#: regression, and — worse — an *improvement* in the denominator (e.g. a
+#: faster scalar path) reads as a ratio "regression" even when the
+#: numerator is flat.
+DERIVED_RATIOS = frozenset({
+    "batch_speedup",
+    "cached_speedup",
+    "min_batch_speedup",
+    "parallel_build_speedup",
+    "contained_vs_mono_ratio",
+    "flat_vs_object_speedup",
+    "flat_theta_speedup",
+    "cold_open_speedup",
+    "numpy_span_kernel_speedup",
+    "numpy_theta_kernel_speedup",
+    "numpy_vs_flat_span_speedup",
+    "numpy_vs_flat_theta_speedup",
+    "multi_worker_speedup",
+})
+
 #: Cost-style metrics: a *rise* beyond tolerance is a regression.
 LOWER_IS_BETTER = frozenset({
     "build_seconds",
@@ -830,6 +852,70 @@ def bench_serving(
                 under_swap["errors"] + len(under_swap["failures"])
                 + len(swap_failed)
             )
+        # Fleet-observability pass: the same ladder top rerun with the
+        # spool reporter, trace streaming and slow-query log armed.
+        # ``fleet_overhead_pct`` is informational (the gated <5% bound
+        # is ``telemetry_overhead``'s in-process measurement; a forked
+        # network run is too noisy to gate), and the SLO estimates come
+        # from the fleet-aggregated ``server_request_seconds`` — the
+        # numbers ``repro slo`` would compute against this document.
+        workers = worker_counts[-1]
+        socket_path = os.path.join(scratch, "serve-obs.sock")
+        sock = bind_socket(socket_path=socket_path)
+        obs_config = ServerConfig(
+            max_batch=256, batch_delay=0.001,
+            obs_dir=os.path.join(scratch, "obs"),
+            metrics_interval=0.5,
+            slow_query_ms=50.0,
+        )
+        pool_pid = os.fork()
+        if pool_pid == 0:
+            status = 1
+            try:
+                status = serve_prefork(provider, obs_config, sock, workers)
+            finally:
+                os._exit(status)
+        sock.close()
+        fleet_doc = None
+        try:
+            wait_for_server(socket_path)
+            run_loadgen(workload[:200], socket_path=socket_path,
+                        concurrency=concurrency, pipeline=pipeline)
+            obs_run = run_loadgen(
+                workload, socket_path=socket_path,
+                concurrency=concurrency, pipeline=pipeline,
+                trace_every=8,
+            )
+            from repro.serve.client import ServeClient
+
+            with ServeClient(socket_path=socket_path) as client:
+                response = client.metrics()
+            if response.get("ok"):
+                fleet_doc = response["result"]
+        finally:
+            try:
+                os.kill(pool_pid, signal_module.SIGTERM)
+            except ProcessLookupError:
+                pass
+            os.waitpid(pool_pid, 0)
+        metrics["serve_qps_obs"] = obs_run["qps"]
+        plain_qps = metrics.get(f"serve_qps_{workers}w") or 0.0
+        if plain_qps > 0:
+            metrics["fleet_overhead_pct"] = (
+                (plain_qps - obs_run["qps"]) / plain_qps * 100.0
+            )
+        if fleet_doc is not None:
+            from repro.obs.slowlog import extract_latency_quantiles
+
+            quantiles = extract_latency_quantiles(fleet_doc)
+            metrics["fleet_workers_seen"] = len(
+                (fleet_doc.get("fleet") or {}).get("workers") or []
+            )
+            for key in ("p50", "p95", "p99"):
+                if quantiles.get(key) is not None:
+                    metrics[f"slo_estimate_{key}_ms"] = (
+                        quantiles[key] * 1000.0
+                    )
     metrics["serve_qps_best"] = best_qps
     metrics["hot_swap_load_errors"] = sum(
         metrics[f"hot_swap_errors_{w}w"] for w in worker_counts
@@ -966,13 +1052,17 @@ def compare_results(
     Every metric present in *both* documents (per dataset, plus the
     summary block) with a known direction is compared; a change past
     ``max_regression_pct`` in the bad direction produces one line.
-    Returns an empty list when the current run is within tolerance.
+    Derived ratios (:data:`DERIVED_RATIOS`) are informational only —
+    their components are gated individually.  Returns an empty list
+    when the current run is within tolerance.
     """
     problems: List[str] = []
 
     def check(scope: str, metrics_now: Dict, metrics_base: Dict) -> None:
         for key, base_value in metrics_base.items():
             if key not in metrics_now:
+                continue
+            if key in DERIVED_RATIOS:
                 continue
             now_value = metrics_now[key]
             if not isinstance(base_value, (int, float)) or isinstance(
@@ -1081,6 +1171,24 @@ def format_results(results: Dict[str, Any]) -> str:
             f"{serving['serve_latency_p99_ms']:.2f} ms, "
             f"hot-swap errors {serving['hot_swap_load_errors']}"
         )
+        if "serve_qps_obs" in serving:
+            fleet_line = (
+                f"  fleet[{serving['dataset']}]: "
+                f"{serving['serve_qps_obs']:.0f} q/s with fleet obs on"
+            )
+            if "fleet_overhead_pct" in serving:
+                fleet_line += (
+                    f" ({serving['fleet_overhead_pct']:+.1f}% vs plain)"
+                )
+            if "slo_estimate_p95_ms" in serving:
+                fleet_line += (
+                    f", fleet p95/p99 "
+                    f"{serving['slo_estimate_p95_ms']:.2f}/"
+                    f"{serving.get('slo_estimate_p99_ms', 0.0):.2f} ms "
+                    f"from {serving.get('fleet_workers_seen', 0)} "
+                    "worker snapshot(s)"
+                )
+            lines.append(fleet_line)
     elif serving and "skipped" in serving:
         lines.append(f"  serving: skipped ({serving['skipped']})")
     overhead = results.get("telemetry_overhead")

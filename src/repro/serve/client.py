@@ -89,19 +89,30 @@ class ServeClient:
 
     # -- convenience ops -----------------------------------------------
 
-    def span(self, u: Any, v: Any, t1: int, t2: int) -> Dict[str, Any]:
-        return self.call({"op": "span", "u": u, "v": v, "t1": t1, "t2": t2})
+    def span(self, u: Any, v: Any, t1: int, t2: int,
+             trace: Optional[str] = None) -> Dict[str, Any]:
+        doc = {"op": "span", "u": u, "v": v, "t1": t1, "t2": t2}
+        if trace is not None:
+            doc["trace"] = {"id": trace, "span": "client"}
+        return self.call(doc)
 
     def theta(self, u: Any, v: Any, t1: int, t2: int,
-              theta: int) -> Dict[str, Any]:
-        return self.call({"op": "theta", "u": u, "v": v,
-                          "t1": t1, "t2": t2, "theta": theta})
+              theta: int, trace: Optional[str] = None) -> Dict[str, Any]:
+        doc = {"op": "theta", "u": u, "v": v,
+               "t1": t1, "t2": t2, "theta": theta}
+        if trace is not None:
+            doc["trace"] = {"id": trace, "span": "client"}
+        return self.call(doc)
 
     def ping(self) -> Dict[str, Any]:
         return self.call({"op": "ping"})
 
     def stats(self) -> Dict[str, Any]:
         return self.call({"op": "stats"})
+
+    def metrics(self) -> Dict[str, Any]:
+        """Fetch the fleet-aggregated metrics document (``metrics`` op)."""
+        return self.call({"op": "metrics"})
 
     def reload(self) -> Dict[str, Any]:
         """Trigger an index hot swap and wait for its acknowledgement."""
@@ -131,7 +142,7 @@ def _percentile(sorted_samples: Sequence[float], q: float) -> float:
 
 
 class _WorkerResult:
-    __slots__ = ("ok", "errors", "codes", "latencies", "failure")
+    __slots__ = ("ok", "errors", "codes", "latencies", "failure", "traces")
 
     def __init__(self):
         self.ok = 0
@@ -139,6 +150,7 @@ class _WorkerResult:
         self.codes: Dict[str, int] = {}
         self.latencies: List[float] = []
         self.failure: Optional[str] = None
+        self.traces: List[str] = []
 
 
 def _loadgen_worker(
@@ -147,6 +159,9 @@ def _loadgen_worker(
     pipeline: int,
     result: _WorkerResult,
     tenant: Optional[str],
+    trace_every: int = 0,
+    trace_prefix: str = "lg",
+    worker_index: int = 0,
 ) -> None:
     try:
         client = ServeClient(tenant=tenant, **connect)
@@ -156,16 +171,23 @@ def _loadgen_worker(
     try:
         n = len(queries)
         i = 0
+        sent = 0
         while i < n:
             window = queries[i:i + pipeline]
             started = time.perf_counter()
             for (u, v, t1, t2, theta) in window:
                 if theta is None:
-                    client.send({"op": "span", "u": u, "v": v,
-                                 "t1": t1, "t2": t2})
+                    doc = {"op": "span", "u": u, "v": v,
+                           "t1": t1, "t2": t2}
                 else:
-                    client.send({"op": "theta", "u": u, "v": v,
-                                 "t1": t1, "t2": t2, "theta": theta})
+                    doc = {"op": "theta", "u": u, "v": v,
+                           "t1": t1, "t2": t2, "theta": theta}
+                if trace_every and sent % trace_every == 0:
+                    trace_id = f"{trace_prefix}-{worker_index}-{sent}"
+                    doc["trace"] = {"id": trace_id, "span": "client"}
+                    result.traces.append(trace_id)
+                sent += 1
+                client.send(doc)
             client.flush()
             for _ in window:
                 response = client.recv()
@@ -195,6 +217,9 @@ def run_loadgen(
     pipeline: int = 16,
     tenant: Optional[str] = None,
     timeout: float = 30.0,
+    trace_every: int = 0,
+    trace_prefix: str = "lg",
+    with_metrics: bool = False,
 ) -> Dict[str, Any]:
     """Drive the server with *queries* from *concurrency* connections.
 
@@ -202,6 +227,13 @@ def run_loadgen(
     connection pipelines *pipeline* requests per flush.  Returns a
     result dict with ``qps``, ``ok``/``errors``/``codes``, and
     latency percentiles (seconds; per-query when ``pipeline=1``).
+
+    ``trace_every=k`` stamps every k-th request per connection with a
+    distributed-trace id (``{prefix}-{conn}-{seq}``); the sampled ids
+    come back under ``"trace_ids"`` so callers can reassemble their
+    server-side timelines.  ``with_metrics=True`` additionally returns
+    a ``repro-metrics/1`` document of the client-side view under
+    ``"metrics_doc"`` (the ``repro loadgen --metrics-out`` payload).
     """
     all_queries: List[LoadQuery] = list(queries)
     connect = {"socket_path": socket_path, "host": host, "port": port,
@@ -213,10 +245,11 @@ def run_loadgen(
     threads = [
         threading.Thread(
             target=_loadgen_worker,
-            args=(connect, shard, max(1, pipeline), result, tenant),
+            args=(connect, shard, max(1, pipeline), result, tenant,
+                  max(0, trace_every), trace_prefix, index),
             daemon=True,
         )
-        for shard, result in zip(shards, results)
+        for index, (shard, result) in enumerate(zip(shards, results))
     ]
     started = time.perf_counter()
     for thread in threads:
@@ -232,7 +265,7 @@ def run_loadgen(
             codes[code] = codes.get(code, 0) + count
     failures = [r.failure for r in results if r.failure]
     latencies = sorted(x for r in results for x in r.latencies)
-    return {
+    result = {
         "queries": len(all_queries),
         "ok": ok,
         "errors": errors,
@@ -246,3 +279,45 @@ def run_loadgen(
         "latency_p95_ms": _percentile(latencies, 0.95) * 1e3,
         "latency_p99_ms": _percentile(latencies, 0.99) * 1e3,
     }
+    if trace_every:
+        result["trace_ids"] = [t for r in results for t in r.traces]
+    if with_metrics:
+        result["metrics_doc"] = _loadgen_metrics_doc(result, latencies)
+    return result
+
+
+def _loadgen_metrics_doc(result: Dict[str, Any],
+                         latencies: Sequence[float]) -> Dict[str, Any]:
+    """The client-side view as a ``repro-metrics/1`` document.
+
+    Shares the server's schema so the validate tooling, the fleet
+    merge and the bench ``--compare`` gate can consume load-test
+    output and server output interchangeably.
+    """
+    from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "client_requests_total", "Loadgen responses by outcome"
+    )
+    if result["ok"]:
+        requests.inc(result["ok"], outcome="ok")
+    if result["errors"]:
+        requests.inc(result["errors"], outcome="error")
+    errors_by_code = registry.counter(
+        "client_errors_total", "Loadgen error responses by wire code"
+    )
+    for code, count in sorted(result["codes"].items()):
+        errors_by_code.inc(count, code=code)
+    histogram = registry.histogram(
+        "client_latency_seconds", DEFAULT_TIME_BUCKETS,
+        "Per-query latency observed at the client "
+        "(per-window mean when pipelined)",
+    )
+    for sample in latencies:
+        histogram.observe(sample, pipeline=result["pipeline"])
+    registry.gauge("client_qps", "Loadgen throughput").set(result["qps"])
+    registry.gauge(
+        "client_connections", "Loadgen connections"
+    ).set(result["concurrency"])
+    return registry.snapshot()

@@ -16,9 +16,18 @@ Request::
     {"op": "reload"}
 
 Optional request fields: ``"id"`` (any JSON scalar, echoed verbatim in
-the response so pipelined clients can match answers out of order) and
+the response so pipelined clients can match answers out of order),
 ``"tenant"`` (a string, used for per-tenant quota accounting; requests
-without one share the :data:`DEFAULT_TENANT` bucket).
+without one share the :data:`DEFAULT_TENANT` bucket) and ``"trace"``
+(distributed-tracing context: ``{"id": "...", "span": ...}`` — the
+client's trace id plus its parent span reference, carried through
+admission, the micro-batcher and the engine so per-worker trace
+streams can be reassembled into one end-to-end timeline; see
+:mod:`repro.obs.fleet`).
+
+The ``metrics`` control op answers the **fleet-aggregated** metrics
+view (every worker's spooled snapshot merged), unlike ``stats`` which
+reports the answering worker alone.
 
 Response::
 
@@ -59,7 +68,7 @@ ERROR_CODES = (
 #: Query operations (coalesced into micro-batches) vs. control
 #: operations (answered immediately, never queued behind a batch).
 QUERY_OPS = ("span", "theta")
-CONTROL_OPS = ("ping", "stats", "reload")
+CONTROL_OPS = ("ping", "stats", "reload", "metrics")
 
 
 class ProtocolError(ReproError):
@@ -82,6 +91,8 @@ class Request:
     theta: Optional[int] = None
     id: Any = None
     tenant: str = DEFAULT_TENANT
+    trace_id: Optional[str] = None
+    parent_span: Any = None
 
     @property
     def window(self):
@@ -116,6 +127,17 @@ def parse_request(line: bytes) -> Request:
             BAD_REQUEST, "tenant must be a non-empty string"
         )
     request = Request(op=op, id=doc.get("id"), tenant=tenant)
+    trace = doc.get("trace")
+    if trace is not None:
+        if not isinstance(trace, dict) or not isinstance(
+            trace.get("id"), str
+        ) or not trace["id"]:
+            raise ProtocolError(
+                BAD_REQUEST,
+                "trace must be an object with a non-empty string 'id'",
+            )
+        request.trace_id = trace["id"]
+        request.parent_span = trace.get("span")
     if op in CONTROL_OPS:
         return request
     for field in ("u", "v", "t1", "t2"):

@@ -101,6 +101,31 @@ class ServerConfig:
     #: while the loop coalesces the next one; >1 needs nothing extra —
     #: the engine is constructed thread-safe either way).
     executor_threads: int = 1
+    #: Fleet spool directory: when set, every worker builds its own
+    #: telemetry, streams its trace to ``trace-{pid}.jsonl`` in here,
+    #: and publishes metrics snapshots to ``metrics-{pid}.json`` every
+    #: ``metrics_interval`` seconds (plus on shutdown and on every
+    #: ``metrics`` op).  The ``metrics`` wire op and the Prometheus
+    #: endpoint aggregate this directory.
+    obs_dir: Optional[str] = None
+    #: Seconds between periodic spool flushes.
+    metrics_interval: float = 2.0
+    #: Per-worker metrics snapshot written at shutdown; ``{pid}`` /
+    #: ``{worker}`` placeholders are expanded (required when shared by
+    #: a pre-fork pool).
+    metrics_out: Optional[str] = None
+    #: Per-worker trace stream (JSON lines, appended live); same
+    #: placeholder rules as ``metrics_out``.
+    trace_out: Optional[str] = None
+    #: Slow-query threshold in milliseconds (None disables the log;
+    #: 0 logs every request, useful for smoke runs).
+    slow_query_ms: Optional[float] = None
+    #: Slow-query log path template (defaults to ``slow-{pid}.jsonl``
+    #: inside ``obs_dir`` when that is set).
+    slow_query_log: Optional[str] = None
+    #: Max slow-query lines written per second (token bucket; beyond
+    #: it lines are counted as suppressed, never written).
+    slow_query_rate: float = 10.0
 
 
 class IndexProvider:
@@ -153,7 +178,6 @@ class ReachabilityServer:
     ):
         self.provider = provider
         self.config = config or ServerConfig()
-        self.telemetry = telemetry
         self.worker_id = worker_id
         self.engine: Optional[QueryEngine] = None
         self.generation = 0
@@ -169,6 +193,16 @@ class ReachabilityServer:
             quotas=self.config.quotas,
             default_quota=self.config.default_quota,
         )
+        # --- fleet observability (spool reporter, trace stream,
+        # slow-query log); builds this worker's telemetry when the
+        # config asks for observability and none was injected ---
+        self.telemetry = telemetry
+        self._fleet = None
+        self._trace_sink = None
+        self._slowlog = None
+        self._metrics_out_path: Optional[str] = None
+        self._init_fleet_obs()
+        telemetry = self.telemetry
         # --- telemetry instruments (None when telemetry is off) ---
         self._obs = None
         if telemetry is not None:
@@ -210,6 +244,107 @@ class ReachabilityServer:
                     "Index generation (bumped by each hot swap)",
                 ),
             }
+
+    # ------------------------------------------------------------------
+    # fleet observability plumbing
+    # ------------------------------------------------------------------
+
+    def _expand(self, template: str) -> str:
+        return template.replace("{pid}", str(os.getpid())).replace(
+            "{worker}", str(self.worker_id)
+        )
+
+    def _init_fleet_obs(self) -> None:
+        """Build per-worker telemetry/spool/trace/slowlog from config.
+
+        Runs in the worker process (post-fork), so ``{pid}`` paths and
+        the spool filenames are per-worker by construction.
+        """
+        config = self.config
+        wants_obs = bool(
+            config.obs_dir or config.trace_out or config.metrics_out
+            or config.slow_query_ms is not None
+        )
+        if self.telemetry is None and not wants_obs:
+            return
+        from repro.obs import Telemetry
+        from repro.obs.fleet import FleetReporter, spool_trace_path
+        from repro.obs.trace import AppendSink, SpanTracer
+
+        trace_path = None
+        if config.trace_out:
+            trace_path = self._expand(config.trace_out)
+        elif config.obs_dir:
+            os.makedirs(config.obs_dir, exist_ok=True)
+            trace_path = spool_trace_path(config.obs_dir)
+        if self.telemetry is None:
+            # Servers run indefinitely: never retain events in memory.
+            self.telemetry = Telemetry(tracer=SpanTracer(keep=False))
+        tracer = self.telemetry.tracer
+        if trace_path is not None and tracer:
+            self._trace_sink = AppendSink(
+                trace_path, wall_epoch=tracer.wall_epoch,
+                extra={"pid": os.getpid(), "worker": self.worker_id},
+            )
+            tracer.set_sink(self._trace_sink)
+        if config.obs_dir:
+            self._fleet = FleetReporter(
+                self.telemetry, config.obs_dir,
+                worker_id=self.worker_id,
+            )
+        if config.metrics_out:
+            self._metrics_out_path = self._expand(config.metrics_out)
+        if config.slow_query_ms is not None:
+            from repro.obs.slowlog import SlowQueryLog
+
+            log_path = (
+                self._expand(config.slow_query_log)
+                if config.slow_query_log
+                else (os.path.join(config.obs_dir,
+                                   f"slow-{os.getpid()}.jsonl")
+                      if config.obs_dir else None)
+            )
+            if log_path is not None:
+                self._slowlog = SlowQueryLog(
+                    log_path,
+                    threshold_s=config.slow_query_ms / 1000.0,
+                    max_per_sec=config.slow_query_rate,
+                    telemetry=self.telemetry,
+                    worker=self.worker_id,
+                )
+
+    async def _flush_metrics_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.metrics_interval)
+            try:
+                self._fleet.flush()
+            except OSError:
+                pass  # spool momentarily unwritable; next tick retries
+
+    def fleet_metrics(self) -> Dict[str, Any]:
+        """The ``metrics`` op payload: the fleet-aggregated view.
+
+        Flushes *this* worker's snapshot first (so the answering
+        worker is always current), then merges every snapshot in the
+        spool.  Without a spool the single-worker registry is merged
+        alone — same document shape either way.
+        """
+        from repro.obs.fleet import aggregate_spool, merge_metrics_docs
+
+        if self._fleet is not None:
+            self._fleet.flush()
+            merged, problems = aggregate_spool(self._fleet.spool)
+        elif self.telemetry is not None:
+            doc = self.telemetry.metrics.snapshot()
+            doc["worker"] = {"pid": os.getpid(), "id": self.worker_id}
+            merged, problems = merge_metrics_docs([doc])
+        else:
+            raise ReproError(
+                "metrics op needs telemetry; start the server with "
+                "--obs-dir (or --metrics-out)"
+            )
+        merged["problems"] = problems
+        return merged
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -282,6 +417,10 @@ class ReachabilityServer:
                 self._serve_connection, host=host or "127.0.0.1",
                 port=0 if port is None else port,
             )
+        flush_task = (
+            loop.create_task(self._flush_metrics_loop())
+            if self._fleet is not None else None
+        )
         try:
             if ready is not None:
                 ready.set()
@@ -293,6 +432,20 @@ class ReachabilityServer:
             # Graceful: every admitted query gets its response.
             await self._batcher.drain()
             self._executor.shutdown(wait=True)
+            if flush_task is not None:
+                flush_task.cancel()
+            if self._fleet is not None:
+                try:
+                    self._fleet.flush()  # final snapshot incl. drain
+                except OSError:
+                    pass
+            if self._metrics_out_path is not None:
+                self.telemetry.write_metrics(self._metrics_out_path)
+            if self._slowlog is not None:
+                self._slowlog.close()
+            if self._trace_sink is not None:
+                self.telemetry.tracer.set_sink(None)
+                self._trace_sink.close()
 
     def stop(self) -> None:
         """Request a graceful stop (thread-safe and signal-safe)."""
@@ -400,6 +553,14 @@ class ReachabilityServer:
         if request.op == "stats":
             self._count("stats", "ok")
             return encode_result(request.id, self.describe())
+        if request.op == "metrics":
+            try:
+                payload = self.fleet_metrics()
+            except ReproError as exc:
+                self._count("metrics", UNSUPPORTED)
+                return encode_error(request.id, UNSUPPORTED, str(exc))
+            self._count("metrics", "ok")
+            return encode_result(request.id, payload)
         if request.op == "reload":
             future = asyncio.get_running_loop().create_task(
                 self._reload_response(request)
@@ -446,52 +607,99 @@ class ReachabilityServer:
             obs["inflight"].set(self.admission.inflight)
             obs["tenants"].inc(tenant=request.tenant)
         admitted_at = time.perf_counter()
+        # The batcher fills this with {batch, size, cause} at flush —
+        # the request's route, for the slow-query log and its span.
+        meta: Optional[Dict[str, Any]] = (
+            {} if (self._slowlog is not None or request.trace_id)
+            else None
+        )
         answer_future = self._batcher.submit(
-            op, (request.u, request.v), request.t1, request.t2, request.theta
+            op, (request.u, request.v), request.t1, request.t2,
+            request.theta, trace=request.trace_id, meta=meta,
         )
         return asyncio.get_running_loop().create_task(
-            self._finish_query(request, answer_future, admitted_at)
+            self._finish_query(request, answer_future, admitted_at, meta)
         )
 
     async def _finish_query(self, request: Request, answer_future,
-                            admitted_at: float) -> bytes:
+                            admitted_at: float,
+                            meta: Optional[Dict[str, Any]] = None) -> bytes:
         op = request.op
+        outcome = "ok"
         try:
             answer = await answer_future
         except ReproError as exc:
-            code = _code_for(exc)
+            code = outcome = _code_for(exc)
             self._count(op, code)
             return encode_error(request.id, code, str(exc))
         except Exception as exc:
+            outcome = INTERNAL
             self._count(op, INTERNAL)
             return encode_error(request.id, INTERNAL,
                                f"internal error: {exc}")
         finally:
             self.admission.release()
+            elapsed = time.perf_counter() - admitted_at
             obs = self._obs
             if obs is not None:
                 obs["inflight"].set(self.admission.inflight)
-                obs["latency"].observe(
-                    time.perf_counter() - admitted_at, op=op
+                obs["latency"].observe(elapsed, op=op)
+            tracer = (self.telemetry.tracer
+                      if self.telemetry is not None else None)
+            if request.trace_id and tracer:
+                now = tracer.now()
+                tracer.record_span(
+                    "server.request", now - elapsed, elapsed,
+                    trace=request.trace_id,
+                    parent_span=request.parent_span,
+                    op=op, tenant=request.tenant, outcome=outcome,
+                    batch=(meta or {}).get("batch"),
+                )
+            if self._slowlog is not None:
+                self._slowlog.maybe_record(
+                    elapsed, op=op,
+                    u=request.u, v=request.v,
+                    t1=request.t1, t2=request.t2, theta=request.theta,
+                    tenant=request.tenant,
+                    trace=request.trace_id,
+                    batch=(meta or {}).get("batch"),
+                    batch_size=(meta or {}).get("size"),
+                    route=(meta or {}).get("cause"),
+                    outcome=outcome,
                 )
         self._count(op, "ok")
         return encode_answer(request.id, answer)
 
     async def _execute_batch(self, key: BatchKey,
-                             pairs: List[Tuple[Any, Any]]) -> List[bool]:
+                             pairs: List[Tuple[Any, Any]],
+                             meta: Optional[Dict[str, Any]] = None,
+                             ) -> List[bool]:
         """Run one coalesced batch on the executor thread."""
         op, t1, t2, theta = key
         engine = self.engine
         loop = asyncio.get_running_loop()
-        if op == "span":
+        tracer = (self.telemetry.tracer
+                  if self.telemetry is not None else None)
+        traced = bool(tracer) and bool(meta and meta.get("traces"))
+        started = tracer.now() if traced else 0.0
+        try:
+            if op == "span":
+                return await loop.run_in_executor(
+                    self._executor,
+                    lambda: engine.span_many(pairs, (t1, t2)),
+                )
             return await loop.run_in_executor(
                 self._executor,
-                lambda: engine.span_many(pairs, (t1, t2)),
+                lambda: engine.theta_many(pairs, (t1, t2), theta),
             )
-        return await loop.run_in_executor(
-            self._executor,
-            lambda: engine.theta_many(pairs, (t1, t2), theta),
-        )
+        finally:
+            if traced:
+                # Engine-layer span, linked to the batch span by the
+                # shared batch label (same worker, same pid).
+                tracer.record_span(
+                    "engine.execute", started, tracer.now() - started,
+                    batch=meta["batch"], op=op, size=len(pairs),
+                )
 
     # ------------------------------------------------------------------
     # observability
@@ -520,6 +728,14 @@ class ReachabilityServer:
                 if batcher is not None else 0,
                 "flushed_queries": batcher.flushed_queries
                 if batcher is not None else 0,
+            },
+            "obs": {
+                "spool": self._fleet.spool
+                if self._fleet is not None else None,
+                "trace_stream": self._trace_sink.path
+                if self._trace_sink is not None else None,
+                "slow_query_log": self._slowlog.path
+                if self._slowlog is not None else None,
             },
         }
 
@@ -580,6 +796,25 @@ def serve_prefork(
             "pre-fork serving needs os.fork(); run with --workers 1 "
             "on this platform"
         )
+    if workers > 1:
+        # A shared output path across workers would interleave or
+        # clobber; demand a per-process template up front.
+        for option, template in (("--trace-out", config.trace_out),
+                                 ("--metrics-out", config.metrics_out),
+                                 ("--slow-query-log",
+                                  config.slow_query_log)):
+            if template and "{pid}" not in template \
+                    and "{worker}" not in template:
+                kind = ("trace-{pid}.jsonl" if option == "--trace-out"
+                        else "metrics-{pid}.json"
+                        if option == "--metrics-out"
+                        else "slow-{pid}.jsonl")
+                raise ReproError(
+                    f"{option} {template!r} is shared by {workers} "
+                    f"pre-fork workers; use a per-worker template like "
+                    f"{kind!r} (or --obs-dir, which spools per-pid "
+                    "files automatically)"
+                )
     pids: List[int] = []
     for worker_id in range(workers):
         pid = os.fork()

@@ -109,6 +109,14 @@ class TestCompare:
         baseline["datasets"]["chess"]["exotic_metric"] = 123.0
         assert compare_results(tiny_results, baseline, 10.0) == []
 
+    def test_derived_ratios_are_informational(self, tiny_results):
+        # A faster scalar path shrinks batch_speedup without any batch
+        # regression; the ratio must not trip the gate on its own.
+        baseline = json.loads(json.dumps(tiny_results))
+        baseline["datasets"]["chess"]["batch_speedup"] *= 2.0
+        baseline["summary"]["min_batch_speedup"] *= 2.0
+        assert compare_results(tiny_results, baseline, 10.0) == []
+
 
 class TestCli:
     def test_bench_writes_results_file(self, tmp_path, capsys):

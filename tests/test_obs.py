@@ -145,6 +145,50 @@ class TestMetricsRegistry:
         assert "lat_seconds_count 3" in text
         assert "lat_seconds_sum 5.55" in text
 
+    def test_prometheus_label_value_escaping(self):
+        # The three characters the text exposition format escapes:
+        # backslash, double quote, newline — in that replacement order
+        # (escaping the backslash first must not double-escape the
+        # quote/newline escapes).
+        reg = MetricsRegistry()
+        c = reg.counter("esc_total")
+        c.inc(path='C:\\temp\\"logs"\nline2')
+        text = reg.to_prometheus()
+        assert (r'esc_total{path="C:\\temp\\\"logs\"\nline2"} 1'
+                in text.splitlines())
+
+    def test_prometheus_ordering_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("zz_total").inc(b="2", a="1")
+            reg.counter("zz_total").inc(a="1", b="1")
+            reg.gauge("aa_gauge").set(1, shard="9")
+            reg.gauge("aa_gauge").set(2, shard="10")
+            return reg.to_prometheus()
+
+        one = build()
+        assert one == build()
+        lines = one.splitlines()
+        # Metric families come out name-sorted, series label-sorted.
+        assert lines.index("# TYPE aa_gauge gauge") < lines.index(
+            "# TYPE zz_total counter"
+        )
+        assert one.index('zz_total{a="1",b="1"}') < one.index(
+            'zz_total{a="1",b="2"}'
+        )
+
+    def test_fleet_render_matches_registry_render(self):
+        # render_prometheus works on the JSON document; on a single
+        # snapshot it must agree with the live registry's exposition.
+        from repro.obs.fleet import render_prometheus
+
+        reg = MetricsRegistry()
+        reg.counter("c_total", "help").inc(3, op="span")
+        h = reg.histogram("h_seconds", (0.5, 2.0), "lat")
+        h.observe(0.1, op="a\\b")
+        h.observe(9.0, op="a\\b")
+        assert render_prometheus(reg.snapshot()) == reg.to_prometheus()
+
 
 # ---------------------------------------------------------------------------
 # span tracer
@@ -191,9 +235,12 @@ class TestSpanTracer:
         path = tmp_path / "trace.jsonl"
         tracer.write(path)
         header = json.loads(path.read_text().splitlines()[0])
-        assert header == {
-            "type": "header", "schema": "repro-trace/1", "events": 2,
-        }
+        assert header["type"] == "header"
+        assert header["schema"] == "repro-trace/1"
+        assert header["events"] == 2
+        # The wall-clock anchor of the tracer's relative timebase —
+        # what lets per-process streams merge onto one timeline.
+        assert header["wall_epoch"] == tracer.wall_epoch > 0
         assert read_trace(path) == tracer.events
         assert validate_trace_file(path) == []
 
@@ -212,6 +259,53 @@ class TestSpanTracer:
             span.attrs["x"] = 1
         assert null.events == []
         assert null.span("again").attrs == {}  # reusable handle, cleared
+        # The closed-form recording surface is a no-op too.
+        assert null.record_span("s", 0.0, 1.0, trace="t") == 0
+        assert null.now() == 0.0
+
+    def test_record_span_skips_the_nesting_stack(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("outer"):
+            clock.now += 1.0
+            # Closed-form spans never become children of open spans —
+            # they model work on other tasks/threads.
+            span_id = tracer.record_span(
+                "server.request", 0.25, 0.5, trace="t-1", op="span"
+            )
+        closed, outer = tracer.events
+        assert closed["id"] == span_id
+        assert closed["parent"] is None
+        assert closed["depth"] == 0
+        assert closed["start"] == 0.25
+        assert closed["dur"] == 0.5
+        assert closed["attrs"]["trace"] == "t-1"
+        assert outer["name"] == "outer"
+        assert validate_trace_events(tracer.events) == []
+        # Negative durations (clock weirdness) clamp to zero.
+        assert tracer.record_span("x", 1.0, -2.0) > span_id
+        assert tracer.events[-1]["dur"] == 0.0
+
+    def test_keep_false_streams_without_retaining(self, tmp_path):
+        from repro.obs.trace import open_stream_tracer
+
+        path = tmp_path / "stream.jsonl"
+        tracer, sink = open_stream_tracer(path, pid=123, worker=7)
+        try:
+            tracer.record_span("s", 0.0, 0.1, trace="t-9")
+            tracer.event("e", n=1)
+        finally:
+            sink.close()
+        assert tracer.events == []  # keep=False: sink-only
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        header, span, event = lines
+        assert header["streaming"] is True
+        assert "events" not in header
+        assert header["wall_epoch"] == tracer.wall_epoch
+        # Every line is stamped with the sink's process identity.
+        assert (span["pid"], span["worker"]) == (123, 7)
+        assert (event["pid"], event["worker"]) == (123, 7)
+        assert validate_trace_file(path) == []
 
 
 # ---------------------------------------------------------------------------

@@ -77,6 +77,24 @@ class TestProtocol:
         assert parse_request(b'{"op":"ping"}').op == "ping"
         assert parse_request(b'{"op":"stats"}').op == "stats"
         assert parse_request(b'{"op":"reload"}').op == "reload"
+        assert parse_request(b'{"op":"metrics"}').op == "metrics"
+
+    def test_trace_field_is_optional_and_validated(self):
+        r = parse_request(b'{"op":"span","u":1,"v":2,"t1":0,"t2":9}')
+        assert r.trace_id is None and r.parent_span is None
+        r = parse_request(
+            b'{"op":"span","u":1,"v":2,"t1":0,"t2":9,'
+            b'"trace":{"id":"req-7","span":"client"}}'
+        )
+        assert r.trace_id == "req-7" and r.parent_span == "client"
+        for bad in (b'{"op":"span","u":1,"v":2,"t1":0,"t2":9,"trace":7}',
+                    b'{"op":"span","u":1,"v":2,"t1":0,"t2":9,'
+                    b'"trace":{"id":""}}',
+                    b'{"op":"span","u":1,"v":2,"t1":0,"t2":9,'
+                    b'"trace":{"span":"x"}}'):
+            with pytest.raises(ProtocolError) as info:
+                parse_request(bad)
+            assert info.value.code == BAD_REQUEST
 
     def test_encode_decode(self):
         doc = decode_response(encode_answer(3, True))
@@ -221,6 +239,59 @@ class TestMicroBatcher:
 
         results = self._run(scenario())
         assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_meta_and_traces_reach_a_3arg_executor(self):
+        seen = []
+
+        async def execute(key, pairs, meta):
+            seen.append(dict(meta))
+            return [True] * len(pairs)
+
+        async def scenario():
+            batcher = MicroBatcher(execute, max_batch=100, max_delay=0.005)
+            metas = [{}, {}, None]
+            futures = [
+                batcher.submit("span", (0, 0), 1, 9, None,
+                               trace="t-0", meta=metas[0]),
+                batcher.submit("span", (0, 1), 1, 9, None,
+                               trace="t-1", meta=metas[1]),
+                batcher.submit("span", (0, 2), 1, 9, None),  # untraced
+            ]
+            await asyncio.gather(*futures)
+            await batcher.drain()
+            return metas
+
+        metas = self._run(scenario())
+        # one coalesced flush: the executor saw the batch label and
+        # every member trace id
+        assert len(seen) == 1
+        assert seen[0]["traces"] == ["t-0", "t-1"]
+        assert seen[0]["batch"].startswith("b")
+        # the caller-owned meta dicts were filled in place at flush
+        for meta in metas[:2]:
+            assert meta["batch"] == seen[0]["batch"]
+            assert meta["size"] == 3
+            assert meta["cause"] in ("timer", "size", "drain")
+
+    def test_2arg_executor_gets_no_meta(self):
+        calls = []
+
+        async def execute(key, pairs):
+            calls.append(len(pairs))
+            return [True] * len(pairs)
+
+        async def scenario():
+            batcher = MicroBatcher(execute, max_batch=10, max_delay=0.005)
+            meta = {}
+            future = batcher.submit("span", (0, 1), 1, 9, None,
+                                    trace="t-9", meta=meta)
+            assert await future is True
+            await batcher.drain()
+            return meta
+
+        meta = self._run(scenario())
+        assert calls == [1]
+        assert meta["size"] == 1  # meta still filled for the slow log
 
     def test_drain_flushes_pending(self):
         flushed = []
