@@ -7,7 +7,7 @@ export PYTHONPATH := src
 # traces, throwaway indexes) — never committed, wiped by `make clean`.
 SCRATCH := .scratch
 
-.PHONY: install test bench bench-smoke experiments examples verify fuzz-smoke fuzz shard-smoke flat-smoke obs-smoke serve-smoke clean
+.PHONY: install test bench bench-smoke experiments examples verify fuzz-smoke fuzz shard-smoke flat-smoke native-smoke obs-smoke serve-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,7 @@ test:
 	$(MAKE) fuzz-smoke
 	$(MAKE) shard-smoke
 	$(MAKE) flat-smoke
+	$(MAKE) native-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) bench-smoke
@@ -66,6 +67,24 @@ flat-smoke:
 	$(PYTHON) -m repro query chess 5 40 0 900 \
 		--index $(SCRATCH)/flat_smoke.till --mmap --flat-backend auto
 	rm -f $(SCRATCH)/flat_smoke.till
+
+# Native-kernel + parallel-execution smoke stage (<60 s): the
+# dedicated parallel-kernels test file (executor partition/splice,
+# determinism across thread widths and backends, the uncompiled
+# native kernel bodies, the batcher's θ-agnostic span keys), one
+# mmap'd query with --kernel-threads 2, and a short flat fuzz
+# campaign whose native leg runs the kernel bodies uncompiled when
+# numba is absent and JIT'd when it is present — the target is green
+# on both kinds of host.  Deterministic — safe for CI.
+native-smoke:
+	mkdir -p $(SCRATCH)
+	$(PYTHON) -m pytest tests/test_parallel_kernels.py -q
+	$(PYTHON) -m repro build chess -o $(SCRATCH)/native_smoke.till --format 3
+	$(PYTHON) -m repro query chess 5 40 0 900 \
+		--index $(SCRATCH)/native_smoke.till --mmap \
+		--flat-backend auto --kernel-threads 2
+	$(PYTHON) -m repro fuzz --profile flat --seeds 6
+	rm -f $(SCRATCH)/native_smoke.till
 
 # Telemetry smoke stage (<60 s): build + query a small graph with
 # metrics/trace export through every surfaced flag, then validate the
@@ -120,16 +139,19 @@ serve-smoke:
 # batch vs cached query throughput, per-scenario latency percentiles,
 # the online fallback, the monolithic-vs-sharded build/query
 # comparison, the telemetry-overhead scenario, the flat-vs-object
-# (python vs numpy batch kernel) + cold-open scenario, and the network
-# serving scenario (concurrent QPS + p50/p95/p99 vs worker count vs
-# the in-process engine ceiling, with a hot swap under load, plus a
-# fleet-observability rerun recording its overhead and SLO estimates).
-# Writes BENCH_PR9.json and gates against the recorded PR 8 baseline;
+# (python vs numpy batch kernel) + cold-open scenario, the
+# parallel-kernel scenario (chunked batch execution vs the sequential
+# engine across a thread sweep, against the python/numpy references),
+# and the network serving scenario (concurrent QPS + p50/p95/p99 vs
+# worker count vs the in-process engine ceiling, with a hot swap under
+# load, plus a fleet-observability rerun recording its overhead and
+# SLO estimates).
+# Writes BENCH_PR10.json and gates against the recorded PR 9 baseline;
 # tune the gate with e.g.
-#   python -m repro bench --smoke --compare BENCH_PR8.json --max-regression 15
+#   python -m repro bench --smoke --compare BENCH_PR9.json --max-regression 15
 bench-smoke:
-	$(PYTHON) -m repro bench --smoke -o BENCH_PR9.json \
-		--compare BENCH_PR8.json --max-regression 15 --repeats 6
+	$(PYTHON) -m repro bench --smoke -o BENCH_PR10.json \
+		--compare BENCH_PR9.json --max-regression 15 --repeats 6
 
 experiments:
 	$(PYTHON) -m repro experiment table2

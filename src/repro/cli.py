@@ -277,6 +277,12 @@ def cmd_shard_query(args: argparse.Namespace) -> int:
             jobs=args.jobs, telemetry=telemetry,
             flat_backend=args.flat_backend,
         )
+    if args.kernel_threads > 1:
+        from repro.serve.engine import ParallelKernelExecutor
+
+        index.set_kernel_executor(
+            ParallelKernelExecutor(args.kernel_threads, telemetry=telemetry)
+        )
     if args.theta is None:
         plan = index.plan_span(window)
         answer = index.span_reachable(u, v, window)
@@ -331,7 +337,8 @@ def cmd_query(args: argparse.Namespace) -> int:
             # snapshot carries the full outcome/latency instrument set.
             from repro.serve.engine import QueryEngine
 
-            engine = QueryEngine(index, telemetry=telemetry)
+            engine = QueryEngine(index, telemetry=telemetry,
+                                 kernel_threads=max(1, args.kernel_threads))
             if args.theta is None:
                 answer = engine.span_reachable(u, v, window)
             else:
@@ -426,6 +433,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             repeats=args.repeats,
             telemetry=telemetry,
+            kernel_threads=args.kernel_threads,
         )
         wrote = args.output
         write_results(results, wrote)
@@ -607,6 +615,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         quotas=quotas,
         default_quota=default_quota,
         cache_size=args.cache_size,
+        kernel_threads=max(1, args.kernel_threads),
         obs_dir=args.obs_dir,
         metrics_interval=args.metrics_interval,
         metrics_out=args.metrics_out,
@@ -822,11 +831,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="map a format-3 --index file zero-copy")
     p.add_argument("--online", action="store_true",
                    help="use the index-free Algorithm 1")
-    p.add_argument("--flat-backend", choices=("auto", "python", "numpy"),
+    p.add_argument("--flat-backend",
+                   choices=("auto", "python", "numpy", "native"),
                    default=None,
                    help="flatten the index and select the batch-kernel "
-                        "backend (numpy fails loudly when NumPy is "
-                        "missing; auto falls back silently)")
+                        "backend (numpy/native fail loudly when the "
+                        "dependency is missing; auto falls back silently "
+                        "native -> numpy -> python)")
+    p.add_argument("--kernel-threads", type=int, default=1,
+                   help="threads splitting oversized batches across the "
+                        "kernel (default 1; >1 pays off with the "
+                        "GIL-releasing native backend)")
     p.add_argument("--undirected", action="store_true")
     _add_obs_args(p)
     p.set_defaults(func=cmd_query)
@@ -878,10 +893,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", choices=("equal-edges", "equal-span"),
                    default="equal-edges")
     p.add_argument("--jobs", type=int, default=1)
-    p.add_argument("--flat-backend", choices=("auto", "python", "numpy"),
+    p.add_argument("--flat-backend",
+                   choices=("auto", "python", "numpy", "native"),
                    default="python",
                    help="batch-kernel backend applied when shards are "
                         "flattened on first touch (default python)")
+    p.add_argument("--kernel-threads", type=int, default=1,
+                   help="threads for contained-route batch chunking and "
+                        "stitch-hop shard fan-out (default 1)")
     p.add_argument("--undirected", action="store_true")
     _add_obs_args(p)
     p.set_defaults(func=cmd_shard_query)
@@ -938,10 +957,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small fixed suite (<60 s), suitable for CI")
     p.add_argument("--seed", type=int, default=0,
                    help="workload seed (default 0)")
-    p.add_argument("-o", "--output", default="BENCH_PR9.json",
-                   help="results file (default BENCH_PR9.json)")
-    p.add_argument("--label", default="PR9",
+    p.add_argument("-o", "--output", default="BENCH_PR10.json",
+                   help="results file (default BENCH_PR10.json)")
+    p.add_argument("--label", default="PR10",
                    help="label recorded in the results document")
+    p.add_argument("--kernel-threads", type=int, default=None,
+                   help="override the parallel-kernel scenario's thread "
+                        "sweep with one fixed width")
     p.add_argument("--datasets", help="comma-separated dataset override")
     p.add_argument("--batch-size", type=int, default=2000,
                    help="queries per serving batch (default 2000)")
@@ -1023,9 +1045,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine result-cache entries per worker")
     p.add_argument("--vartheta", type=int, default=None,
                    help="length cap when building in-process (no --index)")
-    p.add_argument("--flat-backend", choices=("auto", "python", "numpy"),
+    p.add_argument("--flat-backend",
+                   choices=("auto", "python", "numpy", "native"),
                    default=None,
                    help="batch-kernel backend (default auto)")
+    p.add_argument("--kernel-threads", type=int, default=1,
+                   help="kernel thread-pool width per worker: oversized "
+                        "micro-batches are split on source-run "
+                        "boundaries (default 1; pays off with the "
+                        "GIL-releasing native backend)")
     p.add_argument("--undirected", action="store_true")
     p.add_argument("--obs-dir", metavar="DIR",
                    help="fleet spool directory: every worker publishes "

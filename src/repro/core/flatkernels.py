@@ -66,7 +66,7 @@ except ImportError:  # pragma: no cover - exercised via the no-numpy tests
     _np = None
 
 #: Recognised values of the ``backend=`` feature flag.
-BACKENDS = ("auto", "python", "numpy")
+BACKENDS = ("auto", "python", "numpy", "native")
 
 #: Byte ceiling for the indicator matrices of the GEMM join
 #: (``(S + T) * num_ranks`` float32 cells plus the ``S × T`` product).
@@ -83,8 +83,11 @@ def select(store, rank: Sequence[int], backend: str):
     """Resolve the ``backend`` flag into a kernels object (or ``None``).
 
     ``None`` means "use the pure-python kernels" — the mandatory
-    fallback.  ``backend="numpy"`` raises :class:`IndexBuildError` when
-    numpy is not importable; ``"auto"`` degrades silently.
+    fallback.  An explicitly requested accelerator that is missing its
+    dependency raises :class:`IndexBuildError` (``"native"`` needs
+    numba+numpy, ``"numpy"`` needs numpy); ``"auto"`` degrades silently
+    down the ladder native → numpy → python, so the same call site is
+    correct on any host.
     """
     if backend not in BACKENDS:
         known = ", ".join(repr(b) for b in BACKENDS)
@@ -93,13 +96,25 @@ def select(store, rank: Sequence[int], backend: str):
         )
     if backend == "python":
         return None
+    if backend == "native":
+        from repro.core.nativekernels import NativeFlatKernels
+
+        # Raises IndexBuildError itself when numba/numpy are absent —
+        # an explicit request for the JIT backend must fail loudly.
+        return NativeFlatKernels(store, rank)
+    if backend == "auto":
+        from repro.core import nativekernels
+
+        if nativekernels.available():
+            return nativekernels.NativeFlatKernels(store, rank)
+        if _np is None:
+            return None  # silent fallback to the python kernels
+        return NumPyFlatKernels(store, rank)
     if _np is None:
-        if backend == "numpy":
-            raise IndexBuildError(
-                "flat backend 'numpy' requested but numpy is not "
-                "importable; install numpy or use backend='python'"
-            )
-        return None  # auto: silent fallback
+        raise IndexBuildError(
+            "flat backend 'numpy' requested but numpy is not "
+            "importable; install numpy or use backend='python'"
+        )
     return NumPyFlatKernels(store, rank)
 
 

@@ -115,9 +115,15 @@ class TILLIndex:
         #: :meth:`flatten` ``backend=``); ``None`` means the pure-python
         #: kernels answer batch queries.
         self.flat_kernels: Optional[Any] = None
-        #: Resolved batch-kernel backend: ``"python"`` or ``"numpy"``.
+        #: Resolved batch-kernel backend: ``"python"``, ``"numpy"`` or
+        #: ``"native"``.
         self.flat_backend: str = "python"
         self._flat_requested: Optional[str] = None
+        # Kernels objects already bound to ``flat``, keyed by backend
+        # name (requested and resolved): switching backends back and
+        # forth — or re-flattening with the same flag — reuses the
+        # bound array views instead of rebinding them per call site.
+        self._flat_kernel_cache: Dict[str, Any] = {}
         if isinstance(labels, FlatTILLLabels):
             self.flat = labels.store
 
@@ -542,11 +548,18 @@ class TILLIndex:
           :mod:`repro.core.flatkernels`; raises
           :class:`~repro.errors.IndexBuildError` when numpy is not
           importable;
-        * ``"auto"`` — numpy when importable, python otherwise;
+        * ``"native"`` — the numba-JIT, GIL-released kernels from
+          :mod:`repro.core.nativekernels`; raises
+          :class:`~repro.errors.IndexBuildError` when numba (or numpy)
+          is not importable;
+        * ``"auto"`` — the fastest available rung of the ladder:
+          native when numba is importable, else numpy, else python;
         * ``None`` — keep the current selection.
 
         Answers are identical across backends (the ``flat`` fuzz
         profile cross-checks them against the brute-force oracle).
+        Kernels objects are cached per backend: re-flattening — or
+        alternating backends on one index — rebinds no array views.
         """
         from repro.core import flatkernels
 
@@ -556,11 +569,21 @@ class TILLIndex:
         if backend is None:
             backend = self._flat_requested or "python"
         if backend != self._flat_requested:
-            self.flat_kernels = flatkernels.select(
-                self.flat, self.order.rank, backend
-            )
+            cache = self._flat_kernel_cache
+            if backend in cache:
+                kernels = cache[backend]
+            else:
+                kernels = flatkernels.select(
+                    self.flat, self.order.rank, backend
+                )
+                cache[backend] = kernels
+                if kernels is not None:
+                    # "auto" resolving to e.g. the numpy kernels also
+                    # satisfies a later explicit backend="numpy".
+                    cache.setdefault(kernels.backend, kernels)
+            self.flat_kernels = kernels
             self.flat_backend = (
-                "numpy" if self.flat_kernels is not None else "python"
+                kernels.backend if kernels is not None else "python"
             )
             self._flat_requested = backend
         return self
@@ -592,6 +615,7 @@ class TILLIndex:
         self.flat_kernels = None
         self.flat_backend = "python"
         self._flat_requested = None
+        self._flat_kernel_cache = {}
 
     # ------------------------------------------------------------------
     # persistence

@@ -1,0 +1,468 @@
+"""Native (numba-JIT, GIL-released) flat batch kernels.
+
+The third rung of the batch-kernel ladder.  The pure-python kernels
+(:func:`repro.core.queries.flat_span_batch`) are the mandatory
+fallback; the numpy kernels (:class:`repro.core.flatkernels.
+NumPyFlatKernels`) vectorize the probes but still hold the GIL; the
+kernels here compile the *scalar* per-pair loop — the exact control
+flow of the python batch kernels, source-run reuse included — to
+native code with ``numba.njit(nogil=True, cache=True)``:
+
+* ``nogil=True`` releases the GIL for the whole batch, so the
+  :class:`repro.serve.engine.ParallelKernelExecutor` can run chunk
+  kernels truly concurrently on one process's thread pool;
+* ``cache=True`` persists the compiled machine code on disk, so a
+  pre-fork serving worker pays JIT compilation once per machine, not
+  once per process.
+
+Every kernel operates directly on the format-3 flat arrays — the
+``int64`` offset/interval buffers of a
+:class:`~repro.core.flatstore.FlatTILLStore` viewed zero-copy through
+numpy (``hub_ranks`` is widened from ``int32`` once at bind time) —
+so an mmap-loaded index runs these kernels over the OS page cache
+without any per-query marshalling.
+
+Layering: numba is an *optional* accelerator exactly like numpy.
+When it is absent, :func:`repro.core.flatkernels.select` falls back
+silently under ``backend="auto"`` and raises loudly under an explicit
+``backend="native"``.  The kernel bodies below are plain Python
+functions wrapped by :func:`_jit`; without numba they stay callable
+at interpreter speed, which is how the differential tests pin the
+native control flow to the python kernels even on hosts where numba
+never compiles.
+
+>>> from repro import TemporalGraph, TILLIndex
+>>> g = TemporalGraph.from_edges([("a", "b", 1), ("b", "c", 2)])
+>>> index = TILLIndex.build(g).flatten(backend="auto")
+>>> index.flat_backend in ("native", "numpy", "python")
+True
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Any, List, Sequence, Tuple
+
+from repro.core.intervals import validate_theta_window
+from repro.errors import IndexBuildError
+
+try:  # numpy provides the zero-copy array views the kernels run over.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-numpy CI leg
+    _np = None
+
+try:  # numba is the optional JIT; everything degrades without it.
+    import numba as _numba
+except ImportError:  # pragma: no cover - the common case in slim images
+    _numba = None
+
+
+def available() -> bool:
+    """Can the native backend JIT-compile here (numpy AND numba)?"""
+    return _np is not None and _numba is not None
+
+
+def _jit(fn):
+    """``numba.njit(nogil=True, cache=True)`` when numba is importable;
+    the plain function otherwise.
+
+    Keeping the undecorated body callable serves two purposes: the
+    no-numba differential tests exercise the exact control flow the JIT
+    compiles elsewhere, and a numba import that exists but fails to
+    compile (unsupported platform) degrades to a working kernel instead
+    of a crash.
+    """
+    if _numba is None:
+        return fn
+    return _numba.njit(nogil=True, cache=True)(fn)
+
+
+# ----------------------------------------------------------------------
+# kernel bodies (plain scalar loops — numba's favourite shape)
+# ----------------------------------------------------------------------
+
+
+def _bisect_left(vals, target, lo, hi):
+    """``bisect.bisect_left(vals, target, lo, hi)`` over an int64 array."""
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if vals[mid] < target:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+_bisect_left = _jit(_bisect_left)
+
+
+def _span_batch(uis, vis, rank,
+                o_voff, o_hubs, o_ioff, o_starts, o_ends,
+                i_voff, i_hubs, i_ioff, i_starts, i_ends,
+                ws, we, out):
+    """Unchecked Algorithm 4 over parallel ``uis``/``vis`` id arrays.
+
+    A 1:1 port of :func:`repro.core.queries.flat_span_batch` — same
+    condition order, same first-entry probe before the bisect, same
+    source-run reuse (``last_ui``) — so answers are bit-identical and
+    chunked execution (each chunk a contiguous source run) composes to
+    the sequential result exactly.
+    """
+    n = uis.shape[0]
+    last_ui = _np.int64(-1)
+    a0 = _np.int64(0)
+    a1 = _np.int64(0)
+    ru = _np.int64(0)
+    for idx in range(n):
+        ui = uis[idx]
+        vi = vis[idx]
+        hit = False
+        if ui != last_ui:
+            last_ui = ui
+            a0 = o_voff[ui]
+            a1 = o_voff[ui + 1]
+            ru = rank[ui]
+        # Condition (i): v itself is a hub of u's out-label.
+        rv = rank[vi]
+        g = _bisect_left(o_hubs, rv, a0, a1)
+        if g < a1 and o_hubs[g] == rv:
+            lo = o_ioff[g]
+            hi = o_ioff[g + 1]
+            if o_starts[lo] >= ws:
+                k = lo
+            else:
+                k = _bisect_left(o_starts, ws, lo, hi)
+            if k < hi and o_ends[k] <= we:
+                hit = True
+        if not hit:
+            b0 = i_voff[vi]
+            b1 = i_voff[vi + 1]
+            # Condition (ii): u itself is a hub of v's in-label.
+            g = _bisect_left(i_hubs, ru, b0, b1)
+            if g < b1 and i_hubs[g] == ru:
+                lo = i_ioff[g]
+                hi = i_ioff[g + 1]
+                if i_starts[lo] >= ws:
+                    k = lo
+                else:
+                    k = _bisect_left(i_starts, ws, lo, hi)
+                if k < hi and i_ends[k] <= we:
+                    hit = True
+            if not hit:
+                # Condition (iii): rank-ordered merge-join.
+                i = a0
+                j = b0
+                while i < a1 and j < b1:
+                    ha = o_hubs[i]
+                    hb = i_hubs[j]
+                    if ha < hb:
+                        i += 1
+                    elif ha > hb:
+                        j += 1
+                    else:
+                        lo = o_ioff[i]
+                        hi = o_ioff[i + 1]
+                        if o_starts[lo] >= ws:
+                            k = lo
+                        else:
+                            k = _bisect_left(o_starts, ws, lo, hi)
+                        if k < hi and o_ends[k] <= we:
+                            lo = i_ioff[j]
+                            hi = i_ioff[j + 1]
+                            if i_starts[lo] >= ws:
+                                k = lo
+                            else:
+                                k = _bisect_left(i_starts, ws, lo, hi)
+                            if k < hi and i_ends[k] <= we:
+                                hit = True
+                                break
+                        i += 1
+                        j += 1
+        out[idx] = 1 if hit else 0
+
+
+_span_batch = _jit(_span_batch)
+
+
+def _theta_batch(uis, vis, rank,
+                 o_voff, o_hubs, o_ioff, o_starts, o_ends,
+                 i_voff, i_hubs, i_ioff, i_starts, i_ends,
+                 ws, we, theta, out):
+    """Unchecked Algorithm 5 (``ES-Reach*``) over parallel id arrays —
+    the port of :func:`repro.core.queries.flat_theta_batch`."""
+    n = uis.shape[0]
+    last_ui = _np.int64(-1)
+    a0 = _np.int64(0)
+    a1 = _np.int64(0)
+    ru = _np.int64(0)
+    for idx in range(n):
+        ui = uis[idx]
+        vi = vis[idx]
+        hit = False
+        if ui != last_ui:
+            last_ui = ui
+            a0 = o_voff[ui]
+            a1 = o_voff[ui + 1]
+            ru = rank[ui]
+        # Conditions (1)/(2): a single ≤θ entry whose hub is the other
+        # endpoint, scanned over the contained chronological run.
+        rv = rank[vi]
+        g = _bisect_left(o_hubs, rv, a0, a1)
+        if g < a1 and o_hubs[g] == rv:
+            lo = o_ioff[g]
+            hi = o_ioff[g + 1]
+            if o_starts[lo] >= ws:
+                k = lo
+            else:
+                k = _bisect_left(o_starts, ws, lo, hi)
+            while k < hi and o_ends[k] <= we:
+                if o_ends[k] - o_starts[k] + 1 <= theta:
+                    hit = True
+                    break
+                k += 1
+        b0 = i_voff[vi]
+        b1 = i_voff[vi + 1]
+        if not hit:
+            g = _bisect_left(i_hubs, ru, b0, b1)
+            if g < b1 and i_hubs[g] == ru:
+                lo = i_ioff[g]
+                hi = i_ioff[g + 1]
+                if i_starts[lo] >= ws:
+                    k = lo
+                else:
+                    k = _bisect_left(i_starts, ws, lo, hi)
+                while k < hi and i_ends[k] <= we:
+                    if i_ends[k] - i_starts[k] + 1 <= theta:
+                        hit = True
+                        break
+                    k += 1
+        if not hit:
+            # Condition (3): merge-join + two-pointer pass per common
+            # hub (Algorithm 5 lines 9-21).
+            i = a0
+            j = b0
+            while i < a1 and j < b1:
+                ha = o_hubs[i]
+                hb = i_hubs[j]
+                if ha < hb:
+                    i += 1
+                elif ha > hb:
+                    j += 1
+                else:
+                    o_hi = o_ioff[i + 1]
+                    n_hi = i_ioff[j + 1]
+                    k = _bisect_left(o_starts, ws, o_ioff[i], o_hi)
+                    kp = _bisect_left(i_starts, ws, i_ioff[j], n_hi)
+                    while k < o_hi and kp < n_hi:
+                        oe = o_ends[k]
+                        ne = i_ends[kp]
+                        if oe > we or ne > we:
+                            break
+                        os_ = o_starts[k]
+                        ns = i_starts[kp]
+                        top = oe if oe > ne else ne
+                        bot = os_ if os_ < ns else ns
+                        if top - bot + 1 <= theta:
+                            hit = True
+                            break
+                        if os_ <= ns:
+                            k += 1
+                        else:
+                            kp += 1
+                    if hit:
+                        break
+                    i += 1
+                    j += 1
+        out[idx] = 1 if hit else 0
+
+
+_theta_batch = _jit(_theta_batch)
+
+
+def _span_single(ui, vi, rank,
+                 o_voff, o_hubs, o_ioff, o_starts, o_ends,
+                 i_voff, i_hubs, i_ioff, i_starts, i_ends,
+                 ws, we):
+    """Scalar Algorithm 4 probe (:func:`repro.core.queries.flat_span`)
+    — the inner step of the naive θ baseline."""
+    a0 = o_voff[ui]
+    a1 = o_voff[ui + 1]
+    b0 = i_voff[vi]
+    b1 = i_voff[vi + 1]
+    g = _bisect_left(o_hubs, rank[vi], a0, a1)
+    if g < a1 and o_hubs[g] == rank[vi]:
+        lo = o_ioff[g]
+        hi = o_ioff[g + 1]
+        k = _bisect_left(o_starts, ws, lo, hi)
+        if k < hi and o_ends[k] <= we:
+            return True
+    g = _bisect_left(i_hubs, rank[ui], b0, b1)
+    if g < b1 and i_hubs[g] == rank[ui]:
+        lo = i_ioff[g]
+        hi = i_ioff[g + 1]
+        k = _bisect_left(i_starts, ws, lo, hi)
+        if k < hi and i_ends[k] <= we:
+            return True
+    i = a0
+    j = b0
+    while i < a1 and j < b1:
+        ha = o_hubs[i]
+        hb = i_hubs[j]
+        if ha < hb:
+            i += 1
+        elif ha > hb:
+            j += 1
+        else:
+            lo = o_ioff[i]
+            hi = o_ioff[i + 1]
+            k = _bisect_left(o_starts, ws, lo, hi)
+            if k < hi and o_ends[k] <= we:
+                lo = i_ioff[j]
+                hi = i_ioff[j + 1]
+                k = _bisect_left(i_starts, ws, lo, hi)
+                if k < hi and i_ends[k] <= we:
+                    return True
+            i += 1
+            j += 1
+    return False
+
+
+_span_single = _jit(_span_single)
+
+
+def _theta_naive_batch(uis, vis, rank,
+                       o_voff, o_hubs, o_ioff, o_starts, o_ends,
+                       i_voff, i_hubs, i_ioff, i_starts, i_ends,
+                       ws, we, theta, out):
+    """ES-Reach baseline: one span probe per θ-position, early-exiting
+    each pair on its first reachable position."""
+    n = uis.shape[0]
+    for idx in range(n):
+        ui = uis[idx]
+        vi = vis[idx]
+        hit = False
+        for start in range(ws, we - theta + 2):
+            if _span_single(ui, vi, rank,
+                            o_voff, o_hubs, o_ioff, o_starts, o_ends,
+                            i_voff, i_hubs, i_ioff, i_starts, i_ends,
+                            start, start + theta - 1):
+                hit = True
+                break
+        out[idx] = 1 if hit else 0
+
+
+_theta_naive_batch = _jit(_theta_naive_batch)
+
+
+# ----------------------------------------------------------------------
+# binding
+# ----------------------------------------------------------------------
+
+
+def _direction_views(direction) -> Tuple[Any, ...]:
+    """One direction's buffers as the int64 ndarray 5-tuple the kernels
+    take: ``(voff, hubs, ioff, starts, ends)``.
+
+    Offsets/starts/ends are zero-copy ``frombuffer`` views (mmap-safe);
+    ``hub_ranks`` is stored int32 and widened once here so every kernel
+    signature is uniformly int64 — one specialization to compile and
+    cache, regardless of store.
+    """
+    np = _np
+
+    def view(buf, typecode):
+        dtype = np.int64 if typecode == "q" else np.int32
+        if len(buf) == 0:
+            return np.empty(0, dtype=np.int64)
+        arr = np.frombuffer(buf, dtype=dtype)
+        return arr if typecode == "q" else arr.astype(np.int64)
+
+    return (
+        view(direction.vertex_offsets, "q"),
+        view(direction.hub_ranks, "i"),
+        view(direction.interval_offsets, "q"),
+        view(direction.starts, "q"),
+        view(direction.ends, "q"),
+    )
+
+
+class NativeFlatKernels:
+    """Batch kernels bound to one flat store and one vertex-rank array,
+    API-identical to :class:`~repro.core.flatkernels.NumPyFlatKernels`
+    (unchecked contracts, ``list[bool]`` answers in pair order).
+
+    Array views are bound once at construction — ``flatten()`` time —
+    and shared by every call; the per-call work is one ``fromiter``
+    over the pairs plus the GIL-released kernel itself.
+
+    ``_allow_uncompiled=True`` (tests, no-numba differential runs)
+    skips the numba requirement and runs the same kernel bodies at
+    interpreter speed; :func:`repro.core.flatkernels.select` never sets
+    it — an explicit ``backend="native"`` without numba must fail
+    loudly, not silently serve slow answers.
+    """
+
+    backend = "native"
+
+    __slots__ = ("store", "_rank", "_o", "_i", "_compiled")
+
+    def __init__(self, store, rank: Sequence[int],
+                 _allow_uncompiled: bool = False):
+        if _np is None:
+            raise IndexBuildError(
+                "flat backend 'native' requires numpy for the array "
+                "views; install numpy (and numba) or use "
+                "backend='python'"
+            )
+        if _numba is None and not _allow_uncompiled:
+            raise IndexBuildError(
+                "flat backend 'native' requested but numba is not "
+                "importable; install numba, or use backend='auto' for "
+                "the silent numpy/python fallback"
+            )
+        self.store = store
+        self._rank = _np.asarray(rank, dtype=_np.int64)
+        self._o = _direction_views(store.out)
+        self._i = (self._o if store.inn is store.out
+                   else _direction_views(store.inn))
+        self._compiled = _numba is not None
+
+    def _pair_arrays(self, pairs):
+        flat = _np.fromiter(chain.from_iterable(pairs), dtype=_np.int64,
+                            count=2 * len(pairs))
+        return _np.ascontiguousarray(flat[0::2]), \
+            _np.ascontiguousarray(flat[1::2])
+
+    def span_batch(self, pairs, ws, we) -> List[bool]:
+        """Unchecked Algorithm 4 over many pairs; answer-for-answer
+        identical to :func:`~repro.core.queries.flat_span_batch`."""
+        if len(pairs) == 0:
+            return []
+        uis, vis = self._pair_arrays(pairs)
+        out = _np.zeros(len(pairs), dtype=_np.uint8)
+        _span_batch(uis, vis, self._rank, *self._o, *self._i,
+                    int(ws), int(we), out)
+        return [bool(x) for x in out]
+
+    def theta_batch(self, pairs, ws, we, theta) -> List[bool]:
+        """Unchecked Algorithm 5 over many pairs; answer-for-answer
+        identical to :func:`~repro.core.queries.flat_theta_batch`."""
+        if len(pairs) == 0:
+            return []
+        uis, vis = self._pair_arrays(pairs)
+        out = _np.zeros(len(pairs), dtype=_np.uint8)
+        _theta_batch(uis, vis, self._rank, *self._o, *self._i,
+                     int(ws), int(we), int(theta), out)
+        return [bool(x) for x in out]
+
+    def theta_naive_batch(self, pairs, ws, we, theta) -> List[bool]:
+        """ES-Reach baseline over many pairs (validates the θ window
+        like :func:`~repro.core.queries.flat_theta_naive`)."""
+        validate_theta_window((ws, we), theta)
+        if len(pairs) == 0:
+            return []
+        uis, vis = self._pair_arrays(pairs)
+        out = _np.zeros(len(pairs), dtype=_np.uint8)
+        _theta_naive_batch(uis, vis, self._rank, *self._o, *self._i,
+                           int(ws), int(we), int(theta), out)
+        return [bool(x) for x in out]

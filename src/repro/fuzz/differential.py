@@ -570,6 +570,24 @@ def _numpy_kernels(index, store):
     return select(store, index.order.rank, "auto")
 
 
+def _native_kernels(index, store):
+    """Native-backend kernels over *store*, or ``None`` without numpy.
+
+    Compiled when numba is importable; otherwise constructed through
+    the uncompiled test hook, so the kernel *bodies* stay on the
+    differential surface at interpreter speed on every host.  Fresh
+    per call for the same reason as :func:`_numpy_kernels`.
+    """
+    from repro.core import nativekernels
+
+    if nativekernels._np is None:
+        return None
+    return nativekernels.NativeFlatKernels(
+        store, index.order.rank,
+        _allow_uncompiled=not nativekernels.available(),
+    )
+
+
 def _check_flat_span(index, store, u, v, win, found, prefix) -> None:
     from repro.core import queries
 
@@ -595,16 +613,23 @@ def _check_flat_span(index, store, u, v, win, found, prefix) -> None:
         if flat != want:
             _mismatch(found, prefix + "span-oracle",
                       f"flat={flat}, oracle={want}", u, v, win)
-    # The numpy backend must track the python batch kernel bit-for-bit
-    # (which the checks above pin to the object path and the oracle).
+    # The numpy and native backends must track the python batch kernel
+    # bit-for-bit (which the checks above pin to the object path and
+    # the oracle).
     kern = _numpy_kernels(index, store)
     if kern is not None and ui != vi:
         py = queries.flat_span_batch(store, rank, [(ui, vi)],
                                      win.start, win.end)[0]
         npy = kern.span_batch([(ui, vi)], win.start, win.end)[0]
         if npy != py:
-            _mismatch(found, prefix + "span-numpy",
-                      f"numpy={npy}, python batch={py}", u, v, win)
+            _mismatch(found, prefix + f"span-{kern.backend}",
+                      f"{kern.backend}={npy}, python batch={py}", u, v, win)
+        nat = _native_kernels(index, store)
+        if nat is not None and nat.backend != kern.backend:
+            nv = nat.span_batch([(ui, vi)], win.start, win.end)[0]
+            if nv != py:
+                _mismatch(found, prefix + "span-native",
+                          f"native={nv}, python batch={py}", u, v, win)
 
 
 def _check_flat_theta(index, store, u, v, win, theta, found, prefix) -> None:
@@ -642,14 +667,28 @@ def _check_flat_theta(index, store, u, v, win, theta, found, prefix) -> None:
                                       win.start, win.end, theta)[0]
         npy = kern.theta_batch([(ui, vi)], win.start, win.end, theta)[0]
         if npy != py:
-            _mismatch(found, prefix + "theta-numpy",
-                      f"numpy={npy}, python batch={py}", u, v, win, theta)
+            _mismatch(found, prefix + f"theta-{kern.backend}",
+                      f"{kern.backend}={npy}, python batch={py}",
+                      u, v, win, theta)
         npn = kern.theta_naive_batch([(ui, vi)], win.start, win.end,
                                      theta)[0]
         if npn != naive:
-            _mismatch(found, prefix + "theta-naive-numpy",
-                      f"numpy naive={npn}, flat naive={naive}",
+            _mismatch(found, prefix + f"theta-naive-{kern.backend}",
+                      f"{kern.backend} naive={npn}, flat naive={naive}",
                       u, v, win, theta)
+        nat = _native_kernels(index, store)
+        if nat is not None and nat.backend != kern.backend:
+            nv = nat.theta_batch([(ui, vi)], win.start, win.end, theta)[0]
+            if nv != py:
+                _mismatch(found, prefix + "theta-native",
+                          f"native={nv}, python batch={py}",
+                          u, v, win, theta)
+            nvn = nat.theta_naive_batch([(ui, vi)], win.start, win.end,
+                                        theta)[0]
+            if nvn != naive:
+                _mismatch(found, prefix + "theta-naive-native",
+                          f"native naive={nvn}, flat naive={naive}",
+                          u, v, win, theta)
 
 
 def check_flat_query(
@@ -751,27 +790,50 @@ def check_flat_index(
             start = rng.randint(lo - 1, hi)
             win = Interval(start, start + length - 1)
             theta = rng.randint(1, win.length)
+            nat = _native_kernels(index, store)
+            if nat is not None and nat.backend == kern.backend:
+                nat = None  # "auto" already resolved to native
             py = queries.flat_span_batch(store, rank, pairs,
                                          win.start, win.end)
             npy = kern.span_batch(pairs, win.start, win.end)
             for (ui, vi), a, b in zip(pairs, py, npy):
                 if a != b:
-                    _mismatch(found, prefix + "span-numpy",
-                              f"numpy={b}, python batch={a} (in batch of "
-                              f"{len(pairs)})",
+                    _mismatch(found, prefix + f"span-{kern.backend}",
+                              f"{kern.backend}={b}, python batch={a} "
+                              f"(in batch of {len(pairs)})",
                               graph.label_of(ui), graph.label_of(vi), win)
                     break
+            if nat is not None:
+                nv = nat.span_batch(pairs, win.start, win.end)
+                for (ui, vi), a, b in zip(pairs, py, nv):
+                    if a != b:
+                        _mismatch(found, prefix + "span-native",
+                                  f"native={b}, python batch={a} "
+                                  f"(in batch of {len(pairs)})",
+                                  graph.label_of(ui), graph.label_of(vi),
+                                  win)
+                        break
             py = queries.flat_theta_batch(store, rank, pairs,
                                           win.start, win.end, theta)
             npy = kern.theta_batch(pairs, win.start, win.end, theta)
             for (ui, vi), a, b in zip(pairs, py, npy):
                 if a != b:
-                    _mismatch(found, prefix + "theta-numpy",
-                              f"numpy={b}, python batch={a} (in batch of "
-                              f"{len(pairs)})",
+                    _mismatch(found, prefix + f"theta-{kern.backend}",
+                              f"{kern.backend}={b}, python batch={a} "
+                              f"(in batch of {len(pairs)})",
                               graph.label_of(ui), graph.label_of(vi), win,
                               theta)
                     break
+            if nat is not None:
+                nv = nat.theta_batch(pairs, win.start, win.end, theta)
+                for (ui, vi), a, b in zip(pairs, py, nv):
+                    if a != b:
+                        _mismatch(found, prefix + "theta-native",
+                                  f"native={b}, python batch={a} "
+                                  f"(in batch of {len(pairs)})",
+                                  graph.label_of(ui), graph.label_of(vi),
+                                  win, theta)
+                        break
     if found and first_failure:
         return found[:1]
     return found

@@ -28,7 +28,9 @@ import asyncio
 import inspect
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
-#: Batch key: (op, t1, t2, theta) — exactly the engine's amortization unit.
+#: Batch key: (op, t1, t2, theta) — exactly the engine's amortization
+#: unit.  Span ops carry ``theta=None`` (normalized at submit: a span
+#: answer never depends on θ, so θ must never fragment span batches).
 BatchKey = Tuple[str, int, int, Optional[int]]
 
 #: ``execute(key, pairs) -> answers`` — provided by the server; runs
@@ -114,7 +116,12 @@ class MicroBatcher:
         a request (for the slow-query log and the request span).
         """
         loop = asyncio.get_running_loop()
-        key: BatchKey = (op, t1, t2, theta)
+        # Span answers never depend on θ, so span keys must not either:
+        # clients that send an incidental θ default on span requests
+        # would otherwise split one coalescible population into
+        # per-θ micro-batches, shrinking every batch under mixed
+        # traffic.  θ stays in the key only for ops that consume it.
+        key: BatchKey = (op, t1, t2, theta if op == "theta" else None)
         batch = self._pending.get(key)
         if batch is None:
             batch = self._pending[key] = _Pending(key)

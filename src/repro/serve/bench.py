@@ -79,6 +79,15 @@ HIGHER_IS_BETTER = frozenset({
     "numpy_theta_batch_qps",
     "numpy_vs_flat_span_speedup",
     "numpy_vs_flat_theta_speedup",
+    # Parallel-kernel scenario: chunked batch execution through the
+    # ParallelKernelExecutor vs. the same engine with one thread.  The
+    # scaling ratio is machine-dependent (informational below ~4
+    # cores), so only the absolute throughputs are gated.
+    "parallel_span_qps",
+    "parallel_theta_qps",
+    "sequential_span_qps",
+    "sequential_theta_qps",
+    "kernel_thread_scaling",
     # Network serving scenario (absent when the platform lacks
     # os.fork/AF_UNIX — ``compare_results`` then skips them).
     "engine_baseline_qps",
@@ -106,6 +115,7 @@ DERIVED_RATIOS = frozenset({
     "numpy_theta_kernel_speedup",
     "numpy_vs_flat_span_speedup",
     "numpy_vs_flat_theta_speedup",
+    "kernel_thread_scaling",
     "multi_worker_speedup",
 })
 
@@ -620,6 +630,186 @@ def bench_flat(
     return results
 
 
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    pos = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[pos]
+
+
+def bench_parallel(
+    name: str = "email-eu",
+    seed: int = 0,
+    batch_size: int = 2000,
+    repeats: int = 3,
+    kernel_threads: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Chunked parallel batch execution vs. the sequential engine.
+
+    One wide seeded batch (enough *unique* miss pairs to clear the
+    engine's :data:`~repro.serve.engine.PARALLEL_BATCH_THRESHOLD`)
+    runs through engines that differ only in ``kernel_threads``:
+    width 1 is the sequential baseline, the sweep (1, 2, 4, 8 —
+    truncated to twice the core count, or pinned by
+    *kernel_threads*) exercises the run-boundary partition + in-order
+    splice.  The same batch also runs the python flat path and (when
+    importable) the numpy kernels, so the document relates the
+    parallel numbers to the per-backend ladder measured in
+    :func:`bench_flat`.  Answers are asserted identical across every
+    backend and thread width on every timed pass — the executor's
+    contract is bit-equal results, faster.
+
+    ``kernel_thread_scaling`` (best sweep QPS over width-1 QPS) is a
+    derived ratio and machine-dependent: below ~4 cores — and always
+    on the pure-python backends, which hold the GIL — it hovers near
+    or below 1.0 and is informational only.  The gated metrics are the
+    absolute ``parallel_*``/``sequential_*`` throughputs.
+    """
+    import os
+
+    from repro.serve.engine import PARALLEL_BATCH_THRESHOLD
+
+    graph = load_dataset(name)
+    index = TILLIndex.build(graph).compact()
+    index.flatten(backend="auto")
+    backend = index.flat_backend
+
+    # Wide workload: many hot sources over the whole vertex pool so
+    # the deduped miss set clears the parallel threshold (the hot-set
+    # batches elsewhere in the suite dedup to a few hundred pairs).
+    wide = max(4 * batch_size, 6000)
+    batch = make_serving_batch(graph, wide, 64, len(list(graph.vertices())),
+                               seed)
+    unique_pairs = len({(u, v) for u, v in batch if u != v})
+    window = (graph.min_time, graph.max_time)
+    theta = max(1, graph.lifetime // 3)
+
+    cpu_count = os.cpu_count() or 1
+    if kernel_threads is not None:
+        sweep = sorted({1, max(1, kernel_threads)})
+    else:
+        sweep = [n for n in (1, 2, 4, 8) if n == 1 or n <= 2 * cpu_count]
+        if len(sweep) == 1:
+            sweep.append(2)  # always exercise the partition/splice path
+
+    # A python-flat facade over the same order/labels/store isolates
+    # the backend from the engine machinery; numpy likewise when it is
+    # importable and not already the resolved backend.
+    def facade(flat_backend: str) -> QueryEngine:
+        shadow = TILLIndex(
+            graph, index.order, index.labels, index.vartheta,
+            method=index.method, ordering_name=index.ordering_name,
+        )
+        shadow.flat = index.flat
+        shadow.flatten(backend=flat_backend)
+        return QueryEngine(shadow, cache_size=0)
+
+    python_engine = facade("python")
+    numpy_engine = None
+    from repro.core import flatkernels as _flatkernels
+
+    if _flatkernels._np is not None and backend != "numpy":
+        numpy_engine = facade("numpy")
+    engines = {
+        n: QueryEngine(index, cache_size=0, kernel_threads=n)
+        for n in sweep
+    }
+
+    # Interleaved best-of passes: every configuration sees the same
+    # machine conditions, and every pass re-asserts answer equality.
+    passes = max(3, repeats)
+    span_times: Dict[int, List[float]] = {n: [] for n in sweep}
+    theta_times: Dict[int, List[float]] = {n: [] for n in sweep}
+    py_span = py_theta = np_span = np_theta = float("inf")
+    want_span = want_theta = None
+    try:
+        for _ in range(passes):
+            for n in sweep:
+                secs, answers = _timed(
+                    lambda n=n: engines[n].span_many(batch, window), 1
+                )
+                span_times[n].append(secs)
+                if want_span is None:
+                    want_span = answers
+                assert answers == want_span, (
+                    f"span answers diverge at kernel_threads={n} on {name}"
+                )
+                secs, answers = _timed(
+                    lambda n=n: engines[n].theta_many(batch, window, theta), 1
+                )
+                theta_times[n].append(secs)
+                if want_theta is None:
+                    want_theta = answers
+                assert answers == want_theta, (
+                    f"theta answers diverge at kernel_threads={n} on {name}"
+                )
+            secs, answers = _timed(
+                lambda: python_engine.span_many(batch, window), 1
+            )
+            py_span = min(py_span, secs)
+            assert answers == want_span, f"python span mismatch on {name}"
+            secs, answers = _timed(
+                lambda: python_engine.theta_many(batch, window, theta), 1
+            )
+            py_theta = min(py_theta, secs)
+            assert answers == want_theta, f"python theta mismatch on {name}"
+            if numpy_engine is not None:
+                secs, answers = _timed(
+                    lambda: numpy_engine.span_many(batch, window), 1
+                )
+                np_span = min(np_span, secs)
+                assert answers == want_span, f"numpy span mismatch on {name}"
+                secs, answers = _timed(
+                    lambda: numpy_engine.theta_many(batch, window, theta), 1
+                )
+                np_theta = min(np_theta, secs)
+                assert answers == want_theta, (
+                    f"numpy theta mismatch on {name}"
+                )
+    finally:
+        for engine in engines.values():
+            engine.close()
+
+    qps = lambda secs, n=len(batch): (n / secs) if secs > 0 else float("inf")
+    thread_sweep: Dict[str, Dict[str, float]] = {}
+    for n in sweep:
+        span_sorted = sorted(span_times[n])
+        theta_sorted = sorted(theta_times[n])
+        thread_sweep[str(n)] = {
+            "span_qps": qps(span_sorted[0]),
+            "theta_qps": qps(theta_sorted[0]),
+            "span_p50_ms": _percentile(span_sorted, 0.50) * 1000.0,
+            "span_p95_ms": _percentile(span_sorted, 0.95) * 1000.0,
+            "theta_p50_ms": _percentile(theta_sorted, 0.50) * 1000.0,
+            "theta_p95_ms": _percentile(theta_sorted, 0.95) * 1000.0,
+        }
+    sequential_span_qps = thread_sweep["1"]["span_qps"]
+    sequential_theta_qps = thread_sweep["1"]["theta_qps"]
+    parallel_span_qps = max(m["span_qps"] for m in thread_sweep.values())
+    parallel_theta_qps = max(m["theta_qps"] for m in thread_sweep.values())
+    results = {
+        "dataset": name,
+        "backend": backend,
+        "cpu_count": cpu_count,
+        "batch_size": len(batch),
+        "unique_pairs": unique_pairs,
+        "parallel_threshold": PARALLEL_BATCH_THRESHOLD,
+        "theta": theta,
+        "thread_sweep": thread_sweep,
+        "sequential_span_qps": sequential_span_qps,
+        "sequential_theta_qps": sequential_theta_qps,
+        "parallel_span_qps": parallel_span_qps,
+        "parallel_theta_qps": parallel_theta_qps,
+        "kernel_thread_scaling": parallel_span_qps / sequential_span_qps,
+        "python_flat_span_qps": qps(py_span),
+        "python_flat_theta_qps": qps(py_theta),
+    }
+    if numpy_engine is not None:
+        results["numpy_span_qps"] = qps(np_span)
+        results["numpy_theta_qps"] = qps(np_theta)
+    return results
+
+
 def bench_overhead(
     name: str = "chess",
     seed: int = 0,
@@ -929,10 +1119,11 @@ def run_suite(
     smoke: bool = True,
     seed: int = 0,
     datasets: Optional[Sequence[str]] = None,
-    label: str = "PR6",
+    label: str = "PR10",
     batch_size: int = 2000,
     repeats: int = 3,
     telemetry=None,
+    kernel_threads: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run the micro+macro suite and return the results document.
 
@@ -941,7 +1132,10 @@ def run_suite(
     top-level ``"sharded"`` key, and the flat-vs-object serving and
     cold-open comparison (:func:`bench_flat`) under ``"flat"``; the
     smallest (first) runs the telemetry-overhead scenario
-    (:func:`bench_overhead`) under ``"telemetry_overhead"``.  ``telemetry`` (a
+    (:func:`bench_overhead`) under ``"telemetry_overhead"``, and the
+    parallel-kernel scenario (:func:`bench_parallel`, thread sweep
+    pinned by *kernel_threads* when given) under ``"parallel"``.
+    ``telemetry`` (a
     :class:`repro.obs.Telemetry`) traces the suite itself — one span
     per stage plus ``bench_stage_seconds`` gauges; the timed scenarios
     construct their own engines, so suite-level telemetry never sits
@@ -986,6 +1180,13 @@ def run_suite(
             names[-1], seed=seed, batch_size=batch_size, repeats=repeats
         ),
     )
+    parallel = staged(
+        f"parallel:{names[-1]}",
+        lambda: bench_parallel(
+            names[-1], seed=seed, batch_size=batch_size, repeats=repeats,
+            kernel_threads=kernel_threads,
+        ),
+    )
     overhead = staged(
         f"overhead:{names[0]}",
         lambda: bench_overhead(
@@ -1008,6 +1209,8 @@ def run_suite(
         "telemetry_serve_overhead_pct": overhead["serve_overhead_pct"],
         "flat_vs_object_speedup": flat["flat_vs_object_speedup"],
         "cold_open_speedup": flat["cold_open_speedup"],
+        "parallel_span_qps": parallel["parallel_span_qps"],
+        "kernel_thread_scaling": parallel["kernel_thread_scaling"],
     }
     if "numpy_span_kernel_speedup" in flat:
         summary["numpy_span_kernel_speedup"] = (
@@ -1036,6 +1239,7 @@ def run_suite(
         "datasets": per_dataset,
         "sharded": {"dataset": names[-1], **sharded},
         "flat": flat,
+        "parallel": parallel,
         "telemetry_overhead": overhead,
         "serving": serving,
         "summary": summary,
@@ -1091,6 +1295,8 @@ def compare_results(
             check(name, now_datasets[name], base_metrics)
     check("sharded", current.get("sharded", {}), baseline.get("sharded", {}))
     check("flat", current.get("flat", {}), baseline.get("flat", {}))
+    check("parallel", current.get("parallel", {}),
+          baseline.get("parallel", {}))
     check("serving", current.get("serving", {}),
           baseline.get("serving", {}))
     check("summary", current.get("summary", {}), baseline.get("summary", {}))
@@ -1153,6 +1359,24 @@ def format_results(results: Dict[str, Any]) -> str:
             f"({flat['numpy_theta_kernel_speedup']:.2f}x), "
             f"serving span {flat['numpy_span_batch_qps']:.0f} q/s "
             f"({flat['numpy_vs_flat_span_speedup']:.2f}x of python flat)"
+        )
+    parallel = results.get("parallel")
+    if parallel:
+        widths = ", ".join(
+            f"{n}t {m['span_qps']:.0f} q/s "
+            f"(p50 {m['span_p50_ms']:.1f}ms)"
+            for n, m in sorted(
+                parallel["thread_sweep"].items(), key=lambda kv: int(kv[0])
+            )
+        )
+        lines.append(
+            f"  parallel[{parallel['dataset']}]: backend "
+            f"{parallel['backend']}, {parallel['unique_pairs']} unique "
+            f"pairs, {widths}; best "
+            f"{parallel['parallel_span_qps']:.0f} q/s span / "
+            f"{parallel['parallel_theta_qps']:.0f} q/s theta "
+            f"({parallel['kernel_thread_scaling']:.2f}x of 1t, "
+            f"{parallel['cpu_count']} core(s))"
         )
     serving = results.get("serving")
     if serving and "serve_qps_best" in serving:

@@ -101,6 +101,13 @@ class ServerConfig:
     #: while the loop coalesces the next one; >1 needs nothing extra —
     #: the engine is constructed thread-safe either way).
     executor_threads: int = 1
+    #: Kernel thread-pool width inside the engine (the
+    #: :class:`~repro.serve.engine.ParallelKernelExecutor`): oversized
+    #: coalesced batches are split on source-run boundaries and run
+    #: concurrently.  Distinct from ``executor_threads`` (which runs
+    #: whole batches) and from the pre-fork worker count; the speedup
+    #: is real only with the GIL-releasing ``native`` kernels.
+    kernel_threads: int = 1
     #: Fleet spool directory: when set, every worker builds its own
     #: telemetry, streams its trace to ``trace-{pid}.jsonl`` in here,
     #: and publishes metrics snapshots to ``metrics-{pid}.json`` every
@@ -358,6 +365,7 @@ class ReachabilityServer:
                 cache_size=self.config.cache_size,
                 telemetry=self.telemetry,
                 thread_safe=True,
+                kernel_threads=max(1, self.config.kernel_threads),
             )
 
     async def serve(

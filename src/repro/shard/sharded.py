@@ -185,6 +185,10 @@ class ShardedTILLIndex:
         #: (``contained``/``stitch``/``fallback``/``empty``, θ routes
         #: prefixed ``theta-``, plus ``online-cap-fallback``).
         self.route_counts: Dict[str, int] = {}
+        # Optional ParallelKernelExecutor (attached by the serving
+        # engine): contained-route batches are chunked across it and
+        # stitch hops probe their shards concurrently.
+        self._kernel_executor = None
         self._telemetry = telemetry
         self._obs_routes = None
         if telemetry is not None:
@@ -396,6 +400,20 @@ class ShardedTILLIndex:
                 "larger cap or pass fallback='online'"
             )
 
+    def set_kernel_executor(self, executor) -> None:
+        """Attach a :class:`repro.serve.engine.ParallelKernelExecutor`
+        (or ``None`` to detach).
+
+        The serving engine calls this so one pool serves both its own
+        kernel chunking and this index's fan-out: contained-route
+        batches are split on source-run boundaries and answered
+        concurrently, and every stitch-BFS hop probes its candidate
+        shards in parallel instead of one at a time.  Answers are
+        identical with or without an executor (the fan-out only
+        reorders *when* each shard is asked, never what it is asked).
+        """
+        self._kernel_executor = executor
+
     def _flat_shard(self, shard_id: int) -> TILLIndex:
         """The shard, flattened on first touch: every routed query —
         contained, stitch hops, θ decomposition — runs the flat kernels
@@ -425,8 +443,28 @@ class ShardedTILLIndex:
         subwindows = {
             k: self.planner.subwindow(k, plan.window) for k in plan.shards
         }
+        executor = self._kernel_executor
+        fan_out = (executor is not None and executor.threads > 1
+                   and len(plan.shards) > 1)
+        if fan_out:
+            # Flatten every candidate shard up front: first-touch
+            # flattening mutates the shard and must not race the
+            # concurrent hop probes below.
+            for k in plan.shards:
+                self._flat_shard(k)
 
         def hop(xi: int, yi: int) -> bool:
+            if fan_out:
+                # One existential OR per hop: every shard is probed
+                # concurrently (a hit in any certifies the hop).  The
+                # sequential path's early exit is traded for wall-clock
+                # on the straddling windows, where per-shard probes
+                # dominate stitch latency.
+                return any(executor.map([
+                    (lambda k=k: self._shard_span(k, xi, yi,
+                                                  subwindows[k]))
+                    for k in plan.shards
+                ]))
             for k in plan.shards:
                 if self._shard_span(k, xi, yi, subwindows[k]):
                     return True
@@ -582,6 +620,17 @@ class ShardedTILLIndex:
             self._observe_plan(plan, len(batch))
         if plan.route == "contained":
             shard = self._flat_shard(plan.shards[0])
+            executor = self._kernel_executor
+            if executor is not None:
+                # Chunked across the engine's kernel pool: each chunk
+                # is an independent batch over the same shard/window,
+                # so the splice equals the one-call answer exactly.
+                return executor.run(
+                    batch,
+                    lambda chunk: shard.span_reachable_many(
+                        chunk, plan.window, prefilter=prefilter
+                    ),
+                )
             return shard.span_reachable_many(batch, plan.window,
                                              prefilter=prefilter)
         memo = {}
@@ -611,6 +660,14 @@ class ShardedTILLIndex:
         if plan.route == "contained":
             self._tally("theta-contained", len(batch))
             shard = self._flat_shard(plan.shards[0])
+            executor = self._kernel_executor
+            if executor is not None:
+                return executor.run(
+                    batch,
+                    lambda chunk: shard.theta_reachable_many(
+                        chunk, window, theta, prefilter=prefilter
+                    ),
+                )
             return shard.theta_reachable_many(batch, window, theta,
                                               prefilter=prefilter)
         memo: Dict[Pair, bool] = {}

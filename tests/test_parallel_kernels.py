@@ -1,0 +1,406 @@
+"""Native kernels, the parallel kernel executor, and their wiring.
+
+Covers the PR-10 surface: the ``native`` rung of the flat-backend
+ladder (exercised through the uncompiled test hook so the kernel
+bodies run on numba-less hosts too), the
+:class:`~repro.serve.engine.ParallelKernelExecutor`'s partition /
+splice contract, determinism across thread widths and backends, the
+flatten-time kernels cache, and the micro-batcher's θ-agnostic span
+coalescing keys.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+
+import pytest
+
+from repro import TILLIndex
+from repro.core import flatkernels, nativekernels
+from repro.errors import IndexBuildError
+from repro.serve.batching import MicroBatcher
+from repro.serve.engine import ParallelKernelExecutor, QueryEngine
+from tests.conftest import random_graph
+
+HAS_NUMPY = flatkernels._np is not None
+HAS_NUMBA = nativekernels.available()
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+
+
+def _built_index(seed: int = 0, **kw):
+    graph = random_graph(seed, num_vertices=12, num_edges=60, max_time=12,
+                         **kw)
+    return graph, TILLIndex.build(graph).compact()
+
+
+def _wide_batch(graph, size: int, seed: int = 0):
+    rng = random.Random(seed)
+    vertices = list(graph.vertices())
+    return [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(size)
+    ]
+
+
+class TestBackendLadder:
+    def test_backends_tuple_lists_native(self):
+        assert flatkernels.BACKENDS == ("auto", "python", "numpy", "native")
+
+    def test_explicit_native_without_numba_raises(self):
+        _, index = _built_index()
+        if HAS_NUMBA:
+            pytest.skip("numba installed; the explicit rung succeeds")
+        with pytest.raises(IndexBuildError):
+            index.flatten(backend="native")
+
+    @needs_numpy
+    def test_auto_resolves_fastest_available_rung(self):
+        _, index = _built_index()
+        index.flatten(backend="auto")
+        assert index.flat_backend == ("native" if HAS_NUMBA else "numpy")
+
+    @needs_numpy
+    def test_native_kernels_match_python_batch(self):
+        graph, index = _built_index(seed=3)
+        from repro.core import queries
+
+        store, rank = index.flat, index.order.rank
+        kern = nativekernels.NativeFlatKernels(
+            store, rank, _allow_uncompiled=not HAS_NUMBA
+        )
+        assert kern.backend == "native"
+        pairs = sorted(
+            (graph.index_of(u), graph.index_of(v))
+            for u, v in _wide_batch(graph, 300, seed=5) if u != v
+        )
+        ws, we = graph.min_time, graph.max_time
+        theta = max(1, graph.lifetime // 2)
+        assert kern.span_batch(pairs, ws, we) == queries.flat_span_batch(
+            store, rank, pairs, ws, we
+        )
+        assert kern.theta_batch(
+            pairs, ws, we, theta
+        ) == queries.flat_theta_batch(store, rank, pairs, ws, we, theta)
+        assert kern.theta_naive_batch(
+            pairs, ws, we, theta
+        ) == kern.theta_batch(pairs, ws, we, theta)
+
+    @needs_numpy
+    def test_native_kernels_survive_mmap_round_trip(self, tmp_path):
+        import os
+
+        graph, index = _built_index(seed=9)
+        path = os.fspath(tmp_path / "native.till")
+        index.save(path, format=3)
+        loaded = TILLIndex.load(path, graph, mmap=True)
+        kern = nativekernels.NativeFlatKernels(
+            loaded.flat, loaded.order.rank, _allow_uncompiled=not HAS_NUMBA
+        )
+        pairs = sorted(
+            (graph.index_of(u), graph.index_of(v))
+            for u, v in _wide_batch(graph, 120, seed=2) if u != v
+        )
+        ws, we = graph.min_time, graph.max_time
+        from repro.core import queries
+
+        assert kern.span_batch(pairs, ws, we) == queries.flat_span_batch(
+            index.flat, index.order.rank, pairs, ws, we
+        )
+
+
+class TestPartition:
+    def _executor(self, threads, min_batch=2):
+        return ParallelKernelExecutor(threads, min_batch=min_batch)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            ParallelKernelExecutor(0)
+
+    def test_cuts_only_on_source_changes(self):
+        pairs = [(0, 1), (0, 2), (0, 3), (1, 0), (1, 2), (2, 0), (3, 1)]
+        for threads in (2, 3, 4, 8):
+            chunks = self._executor(threads).partition(pairs)
+            assert chunks[0][0] == 0 and chunks[-1][1] == len(pairs)
+            for (_, hi), (lo, _) in zip(chunks, chunks[1:]):
+                assert hi == lo  # contiguous cover, no gap or overlap
+                assert pairs[lo][0] != pairs[lo - 1][0]
+
+    def test_single_giant_run_yields_one_chunk(self):
+        pairs = [(7, v) for v in range(100)]
+        assert self._executor(4).partition(pairs) == [(0, 100)]
+
+    def test_run_splices_in_input_order(self):
+        pairs = sorted((s, t) for s in range(40) for t in range(40) if s != t)
+        want = [s + t for s, t in pairs]
+        fn = lambda chunk: [s + t for s, t in chunk]
+        for threads in (1, 2, 3, 8):
+            executor = self._executor(threads)
+            try:
+                assert executor.run(pairs, fn) == want
+            finally:
+                executor.close()
+
+    def test_small_batches_stay_sequential(self):
+        calls = []
+
+        def fn(chunk):
+            calls.append(len(chunk))
+            return [True] * len(chunk)
+
+        executor = ParallelKernelExecutor(4, min_batch=1024)
+        executor.run([(0, 1), (0, 2)], fn)
+        assert calls == [2]  # one unchunked call, pool never built
+        assert executor._pool is None
+
+    def test_map_preserves_order(self):
+        executor = self._executor(4)
+        try:
+            thunks = [lambda k=k: k * k for k in range(10)]
+            assert executor.map(thunks) == [k * k for k in range(10)]
+        finally:
+            executor.close()
+
+    def test_close_is_idempotent_and_pool_rebuilds(self):
+        executor = self._executor(2)
+        pairs = sorted((s, t) for s in range(8) for t in range(8) if s != t)
+        fn = lambda chunk: [0] * len(chunk)
+        executor.run(pairs, fn)
+        assert executor._pool is not None
+        executor.close()
+        executor.close()
+        assert executor._pool is None
+        assert executor.run(pairs, fn) == [0] * len(pairs)
+        executor.close()
+
+    def test_telemetry_gauge_and_chunk_histogram(self):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        executor = ParallelKernelExecutor(3, min_batch=2,
+                                          telemetry=telemetry)
+        try:
+            pairs = sorted(
+                (s, t) for s in range(6) for t in range(6) if s != t
+            )
+            executor.run(pairs, lambda chunk: [0] * len(chunk))
+        finally:
+            executor.close()
+        metrics = telemetry.metrics.snapshot()["metrics"]
+        gauge = metrics["engine_kernel_threads"]["series"][0]
+        assert gauge["value"] == 3
+        chunk = metrics["engine_kernel_chunk_ms"]["series"][0]
+        assert chunk["count"] >= 2  # one observation per chunk
+
+
+class TestDeterminism:
+    """The executor's contract: bit-identical answers, any width."""
+
+    def _backends(self, index):
+        backends = ["python"]
+        if HAS_NUMPY:
+            backends.append("numpy")
+        return backends
+
+    def test_thread_width_never_changes_answers(self):
+        graph, index = _built_index(seed=11)
+        batch = _wide_batch(graph, 600, seed=4)
+        window = (graph.min_time, graph.max_time)
+        theta = max(1, graph.lifetime // 3)
+        for backend in self._backends(index):
+            index.flatten(backend=backend)
+            want_span = want_theta = None
+            for threads in (1, 2, 8):
+                engine = QueryEngine(index, cache_size=0,
+                                     kernel_threads=threads)
+                engine.kernel_executor.min_batch = 4  # engage the pool
+                try:
+                    span = engine.span_many(batch, window)
+                    thet = engine.theta_many(batch, window, theta)
+                finally:
+                    engine.close()
+                if want_span is None:
+                    want_span, want_theta = span, thet
+                assert span == want_span, (backend, threads)
+                assert thet == want_theta, (backend, threads)
+
+    @needs_numpy
+    def test_uncompiled_native_matches_other_backends(self):
+        graph, index = _built_index(seed=11)
+        batch = _wide_batch(graph, 600, seed=4)
+        window = (graph.min_time, graph.max_time)
+        index.flatten(backend="python")
+        engine = QueryEngine(index, cache_size=0)
+        want = engine.span_many(batch, window)
+        index.flat_kernels = nativekernels.NativeFlatKernels(
+            index.flat, index.order.rank, _allow_uncompiled=not HAS_NUMBA
+        )
+        index.flat_backend = "native"
+        try:
+            for threads in (1, 2, 8):
+                native = QueryEngine(index, cache_size=0,
+                                     kernel_threads=threads)
+                native.kernel_executor.min_batch = 4
+                try:
+                    assert native.span_many(batch, window) == want
+                finally:
+                    native.close()
+        finally:
+            index.flatten(backend="python")
+
+    def test_threaded_engine_hammer_under_swap(self):
+        graph, index = _built_index(seed=21)
+        other = TILLIndex.build(graph).compact()
+        batch = _wide_batch(graph, 200, seed=7)
+        window = (graph.min_time, graph.max_time)
+        engine = QueryEngine(index, cache_size=64, thread_safe=True,
+                             kernel_threads=2)
+        engine.kernel_executor.min_batch = 4
+        want = engine.span_many(batch, window)
+        errors = []
+        stop = threading.Event()
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    if engine.span_many(batch, window) != want:
+                        errors.append("answer drift")
+                        return
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(6):
+                engine.swap_index(other)
+                engine.swap_index(index)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+            engine.close()
+        assert errors == []
+
+
+class TestKernelsCache:
+    """Satellite: flatten() binds kernels once, not per backend switch."""
+
+    @needs_numpy
+    def test_repeat_flatten_reuses_kernels_object(self):
+        _, index = _built_index(seed=2)
+        index.flatten(backend="numpy")
+        first = index.flat_kernels
+        assert first is not None
+        index.flatten(backend="numpy")
+        assert index.flat_kernels is first
+
+    @needs_numpy
+    def test_backend_alternation_reuses_cached_objects(self):
+        _, index = _built_index(seed=2)
+        index.flatten(backend="numpy")
+        numpy_kern = index.flat_kernels
+        index.flatten(backend="python")
+        assert index.flat_kernels is None
+        index.flatten(backend="numpy")
+        assert index.flat_kernels is numpy_kern
+        # The direction views (and their memo slots) were never rebuilt.
+        assert index.flat_kernels._o is numpy_kern._o
+
+    @needs_numpy
+    def test_auto_shares_the_resolved_backend_entry(self):
+        _, index = _built_index(seed=2)
+        index.flatten(backend="auto")
+        resolved = index.flat_kernels
+        index.flatten(backend=index.flat_backend)
+        assert index.flat_kernels is resolved
+
+    @needs_numpy
+    def test_invalidate_flat_drops_the_cache(self):
+        _, index = _built_index(seed=2)
+        index.flatten(backend="numpy")
+        stale = index.flat_kernels
+        index.invalidate_flat()
+        index.flatten(backend="numpy")
+        assert index.flat_kernels is not None
+        assert index.flat_kernels is not stale
+
+
+class TestBatcherCoalescing:
+    """Satellite: span coalescing keys must ignore θ."""
+
+    def _run(self, submits):
+        """Drive a MicroBatcher with a recording executor; returns the
+        flushed (key, pairs) list."""
+        flushed = []
+
+        async def scenario():
+            async def execute(key, pairs):
+                flushed.append((key, list(pairs)))
+                return [True] * len(pairs)
+
+            batcher = MicroBatcher(execute, max_batch=64, max_delay=0.005)
+            futures = [
+                batcher.submit(op, pair, t1, t2, theta)
+                for op, pair, t1, t2, theta in submits
+            ]
+            await asyncio.gather(*futures)
+            await batcher.drain()
+
+        asyncio.run(scenario())
+        return flushed
+
+    def test_span_submits_with_mixed_theta_share_one_batch(self):
+        flushed = self._run([
+            ("span", ("a", "b"), 1, 9, None),
+            ("span", ("a", "c"), 1, 9, 3),
+            ("span", ("b", "c"), 1, 9, 7),
+        ])
+        assert len(flushed) == 1
+        key, pairs = flushed[0]
+        assert key == ("span", 1, 9, None)
+        assert len(pairs) == 3
+
+    def test_theta_submits_with_mixed_theta_stay_separate(self):
+        flushed = self._run([
+            ("theta", ("a", "b"), 1, 9, 3),
+            ("theta", ("a", "c"), 1, 9, 3),
+            ("theta", ("b", "c"), 1, 9, 7),
+        ])
+        keys = sorted(key for key, _ in flushed)
+        assert keys == [("theta", 1, 9, 3), ("theta", 1, 9, 7)]
+        sizes = {key: len(pairs) for key, pairs in flushed}
+        assert sizes[("theta", 1, 9, 3)] == 2
+        assert sizes[("theta", 1, 9, 7)] == 1
+
+
+class TestShardedFanOut:
+    def test_sharded_answers_match_with_executor(self):
+        from repro.shard import ShardedTILLIndex
+
+        graph = random_graph(31, num_vertices=14, num_edges=80, max_time=16)
+        mono = TILLIndex.build(graph)
+        sharded = ShardedTILLIndex.build(graph, num_shards=3)
+        batch = _wide_batch(graph, 300, seed=13)
+        lo, hi = graph.min_time, graph.max_time
+        windows = [(lo, hi), (lo, lo + (hi - lo) // 3), (lo + 1, hi - 1)]
+        executor = ParallelKernelExecutor(3, min_batch=4)
+        try:
+            sharded.set_kernel_executor(executor)
+            for window in windows:
+                want = [
+                    mono.span_reachable(u, v, window) for u, v in batch
+                ]
+                assert sharded.span_reachable_many(batch, window) == want
+                theta = max(1, (window[1] - window[0]) // 2)
+                want_theta = [
+                    mono.theta_reachable(u, v, window, theta)
+                    for u, v in batch
+                ]
+                assert sharded.theta_reachable_many(
+                    batch, window, theta
+                ) == want_theta
+        finally:
+            executor.close()
